@@ -1,0 +1,53 @@
+"""Figure 9: simulated load imbalance vs cluster size.
+
+Paper's claim (§5.3): splitting each slab k ways *and* batch-placing the
+pieces on the least-loaded k of d sampled machines (k=2, d=4) beats plain
+power-of-d-choices (d=4), which beats d=2, which beats uniform random —
+and the gap grows with cluster size.
+"""
+
+from conftest import write_report
+
+from repro.analysis import (
+    FOUR_CHOICES,
+    HYDRA_K2_D4,
+    RANDOM,
+    TWO_CHOICES,
+    imbalance_curve,
+)
+from repro.harness import banner, format_table
+from repro.sim import RandomSource
+
+MACHINE_COUNTS = (100, 300, 1000, 3000)
+POLICIES = (RANDOM, TWO_CHOICES, FOUR_CHOICES, HYDRA_K2_D4)
+
+
+def test_fig09_load_balance(benchmark):
+    curves = benchmark.pedantic(
+        lambda: imbalance_curve(
+            POLICIES, MACHINE_COUNTS, RandomSource(9), trials=3,
+            balls_per_machine=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [str(n)] + [f"{curves[p.name][i]:.3f}" for p in POLICIES]
+        for i, n in enumerate(MACHINE_COUNTS)
+    ]
+    text = banner("Figure 9 — max/mean load imbalance vs cluster size") + "\n"
+    text += format_table(["machines"] + [p.name for p in POLICIES], rows)
+    write_report("fig09_load_balance", text)
+
+    for i in range(len(MACHINE_COUNTS)):
+        random_i = curves["random"][i]
+        d2 = curves["d=2"][i]
+        d4 = curves["d=4"][i]
+        hydra = curves["k=2,d=4"][i]
+        # Paper ordering; splitting can tie plain d=4 at large n (the two
+        # asymptotic bounds coincide for k=2, d=4) but never loses.
+        assert hydra <= d4 < d2 < random_i
+    mean = lambda name: sum(curves[name]) / len(MACHINE_COUNTS)
+    assert mean("k=2,d=4") < mean("d=4")  # strictly better on average
+    benchmark.extra_info["hydra_at_3000"] = round(curves["k=2,d=4"][-1], 3)
+    benchmark.extra_info["random_at_3000"] = round(curves["random"][-1], 3)

@@ -1,0 +1,113 @@
+"""Figure 10: disaggregated VMM and VFS latency characteristics.
+
+(a) VMM: page-in/page-out latency while paging at 50% fit — Hydra vs the
+    Infiniswap-style whole-page path vs replication.
+(b) VFS: fio 4 KB random read/write through the remote block device —
+    Hydra vs the Remote-Regions-style path vs replication.
+
+Paper shapes: Hydra improves on the whole-page baselines by ~1.8-2.2x at
+median and tail; replication gains at most ~1.1-1.2x over Hydra.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner, build_pool, format_table, run_process
+from repro.sim import RandomSource, summarize
+from repro.vfs import RemoteBlockDevice
+from repro.vmm import PagedMemory
+from repro.workloads import FioWorkload
+
+BACKENDS = ("direct", "replication", "hydra")
+N_PAGES = 400
+
+
+def _quiet(cluster):
+    # Figure 10 measures the *baseline* ("in the absence of
+    # uncertainties", §7.1.1): no straggler events.
+    cluster.fabric.config.straggler_prob = 0.0
+    return cluster
+
+
+def _vmm_latencies(backend):
+    cluster, pool = build_pool(backend, machines=12, seed=10)
+    _quiet(cluster)
+    sim = cluster.sim
+    pager = PagedMemory(pool, resident_pages=N_PAGES // 2)
+    run_process(sim, pager.preload(range(N_PAGES)), until=1e10)
+    rng = RandomSource(10, f"fig10/{backend}")
+
+    def driver():
+        for _ in range(800):
+            page = rng.randint(0, N_PAGES - 1)
+            yield pager.access(page, write=rng.bernoulli(0.3))
+
+    run_process(sim, sim.process(driver(), name="vmm-driver"), until=1e10)
+    return (
+        summarize(pool.read_latency.samples, name=f"{backend}.pagein"),
+        summarize(pool.write_latency.samples, name=f"{backend}.pageout"),
+    )
+
+
+def _vfs_latencies(backend):
+    cluster, pool = build_pool(backend, machines=12, seed=11)
+    _quiet(cluster)
+    sim = cluster.sim
+    device = RemoteBlockDevice(pool)
+    fio = FioWorkload(
+        device, RandomSource(11, f"fio/{backend}"), n_blocks=N_PAGES,
+        read_fraction=0.5, queue_depth=4,
+    )
+    run_process(sim, fio.prefill(N_PAGES), until=1e10)
+    run_process(sim, fio.run(total_ops=1200), until=1e10)
+    return (
+        summarize(device.read_latency.samples, name=f"{backend}.read"),
+        summarize(device.write_latency.samples, name=f"{backend}.write"),
+    )
+
+
+def test_fig10a_vmm_latency(benchmark):
+    results = benchmark.pedantic(
+        lambda: {b: _vmm_latencies(b) for b in BACKENDS}, rounds=1, iterations=1
+    )
+    rows = [
+        [b, r.p50, r.p99, w.p50, w.p99]
+        for b, (r, w) in results.items()
+    ]
+    text = banner("Figure 10a — disaggregated VMM latency (us)") + "\n"
+    text += format_table(
+        ["backend", "page-in p50", "page-in p99", "page-out p50", "page-out p99"],
+        rows,
+    )
+    write_report("fig10a_vmm_latency", text)
+
+    hydra_in, hydra_out = results["hydra"]
+    direct_in, direct_out = results["direct"]  # Infiniswap's data path
+    repl_in, _repl_out = results["replication"]
+    assert hydra_in.p50 < direct_in.p50  # Hydra beats whole-page page-in
+    assert hydra_out.p50 < direct_out.p50
+    assert repl_in.p50 > 0.8 * hydra_in.p50  # replication gains are small
+    benchmark.extra_info["hydra_pagein_p50"] = round(hydra_in.p50, 2)
+    benchmark.extra_info["infiniswap_pagein_p50"] = round(direct_in.p50, 2)
+
+
+def test_fig10b_vfs_latency(benchmark):
+    results = benchmark.pedantic(
+        lambda: {b: _vfs_latencies(b) for b in BACKENDS}, rounds=1, iterations=1
+    )
+    rows = [
+        [b, r.p50, r.p99, w.p50, w.p99]
+        for b, (r, w) in results.items()
+    ]
+    text = banner("Figure 10b — disaggregated VFS latency, fio 4K (us)") + "\n"
+    text += format_table(
+        ["backend", "read p50", "read p99", "write p50", "write p99"], rows
+    )
+    write_report("fig10b_vfs_latency", text)
+
+    hydra_read, hydra_write = results["hydra"]
+    rr_read, rr_write = results["direct"]  # Remote Regions' data path
+    assert hydra_read.p50 < rr_read.p50
+    assert hydra_write.p50 < rr_write.p50
+    assert hydra_read.p99 < rr_read.p99
+    benchmark.extra_info["hydra_read_p50"] = round(hydra_read.p50, 2)
+    benchmark.extra_info["remote_regions_read_p50"] = round(rr_read.p50, 2)

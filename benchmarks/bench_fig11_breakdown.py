@@ -1,0 +1,86 @@
+"""Figure 11: latency breakdown of Hydra's data-path optimizations.
+
+Starting from the naive erasure-coded data path, enable the §4.2
+techniques cumulatively:
+
+    none -> +run-to-completion -> +in-place coding -> +late binding
+         -> +asynchronous encoding (= full Hydra)
+
+Paper shapes: run-to-completion halves the median; in-place coding
+removes copy costs; late binding cuts the *read tail* (median may rise
+slightly from the extra read); async encoding cuts the write median.
+"""
+
+from conftest import write_report
+
+from repro.core import DatapathConfig
+from repro.harness import banner, build_hydra_cluster, format_table, measure_latency
+from repro.net import NetworkConfig
+
+STEPS = [
+    ("none", dict(run_to_completion=False, in_place_coding=False,
+                  late_binding=False, async_encoding=False)),
+    ("+run-to-completion", dict(run_to_completion=True, in_place_coding=False,
+                                late_binding=False, async_encoding=False)),
+    ("+in-place coding", dict(run_to_completion=True, in_place_coding=True,
+                              late_binding=False, async_encoding=False)),
+    ("+late binding", dict(run_to_completion=True, in_place_coding=True,
+                           late_binding=True, async_encoding=False)),
+    ("+async encoding", dict(run_to_completion=True, in_place_coding=True,
+                             late_binding=True, async_encoding=True)),
+]
+
+# A mildly noisy network so late binding has stragglers to dodge.
+NETWORK = NetworkConfig(straggler_prob=0.03, straggler_scale_us=25.0)
+
+
+def _measure(step_toggles, label):
+    hydra = build_hydra_cluster(
+        machines=14, k=8, r=2, seed=12,
+        datapath=DatapathConfig(**step_toggles),
+        network=NETWORK,
+    )
+    return measure_latency(
+        hydra.remote_memory(0), hydra.sim, label=label,
+        n_pages=48, writes=400, reads=400, seed=12,
+    )
+
+
+def test_fig11_breakdown(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(label, _measure(toggles, label)) for label, toggles in STEPS],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, r.read.p50, r.read.p99, r.write.p50, r.write.p99]
+        for label, r in results
+    ]
+    text = banner("Figure 11 — Hydra data-path latency breakdown (us)") + "\n"
+    text += format_table(
+        ["optimizations", "read p50", "read p99", "write p50", "write p99"], rows
+    )
+    write_report("fig11_breakdown", text)
+
+    by_label = dict(results)
+    naive = by_label["none"]
+    r2c = by_label["+run-to-completion"]
+    inplace = by_label["+in-place coding"]
+    late = by_label["+late binding"]
+    full = by_label["+async encoding"]
+
+    # (1) run-to-completion: large median cut on both paths (§7.1.1: 51%).
+    assert r2c.read.p50 < 0.75 * naive.read.p50
+    assert r2c.write.p50 < 0.75 * naive.write.p50
+    # (2) in-place coding: further median cut (§7.1.1: 28%).
+    assert inplace.read.p50 < 0.85 * r2c.read.p50
+    # (3) late binding: cuts the read tail; median may rise slightly.
+    assert late.read.p99 < 0.75 * inplace.read.p99
+    assert late.read.p50 < 1.25 * inplace.read.p50
+    # (4) async encoding: cuts the write median (§7.1.1: 38%).
+    assert full.write.p50 < 0.8 * late.write.p50
+    # End to end: the full data path is several times faster than naive.
+    assert full.read.p50 < 0.45 * naive.read.p50
+
+    benchmark.extra_info["naive_read_p50"] = round(naive.read.p50, 2)
+    benchmark.extra_info["full_read_p50"] = round(full.read.p50, 2)

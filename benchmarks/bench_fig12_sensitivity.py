@@ -1,0 +1,84 @@
+"""Figure 12: sensitivity to the coding parameters (k, Δ, r).
+
+Paper shapes:
+(a) k=1 -> k=2 cuts read latency (parallelism); large k deteriorates;
+(b) Δ=0 -> Δ=1 cuts the read *tail*; more extra reads have diminishing
+    returns and eventually hurt (communication overhead);
+(c) r barely moves the write median (parities are asynchronous); the tail
+    grows from r=3 onward.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner, build_hydra_cluster, format_table, measure_latency
+from repro.net import NetworkConfig
+
+# Stragglers present: Δ's value is straggler mitigation.
+NETWORK = NetworkConfig(straggler_prob=0.03, straggler_scale_us=25.0)
+
+
+def _measure(k, r, delta, label, seed=13):
+    hydra = build_hydra_cluster(
+        machines=24, k=k, r=r, delta=delta, seed=seed, network=NETWORK
+    )
+    return measure_latency(
+        hydra.remote_memory(0), hydra.sim, label=label,
+        n_pages=48, writes=300, reads=300, seed=seed,
+    )
+
+
+def test_fig12a_read_latency_vs_k(benchmark):
+    ks = (1, 2, 4, 8, 16)
+    results = benchmark.pedantic(
+        lambda: {k: _measure(k, 2, 1, f"k={k}") for k in ks},
+        rounds=1, iterations=1,
+    )
+    rows = [[k, r.read.p50, r.read.p99] for k, r in results.items()]
+    text = banner("Figure 12a — read latency vs k (r=2, Δ=1)") + "\n"
+    text += format_table(["k", "read p50 (us)", "read p99 (us)"], rows)
+    write_report("fig12a_k_sweep", text)
+
+    # k=1 -> k=2 parallelism win; very large k deteriorates again.
+    assert results[2].read.p50 < results[1].read.p50
+    assert results[16].read.p50 > results[2].read.p50
+    benchmark.extra_info["p50_k2"] = round(results[2].read.p50, 2)
+    benchmark.extra_info["p50_k16"] = round(results[16].read.p50, 2)
+
+
+def test_fig12b_read_latency_vs_delta(benchmark):
+    deltas = (0, 1, 2, 3)
+    results = benchmark.pedantic(
+        lambda: {d: _measure(8, 3, d, f"delta={d}") for d in deltas},
+        rounds=1, iterations=1,
+    )
+    rows = [[d, r.read.p50, r.read.p99] for d, r in results.items()]
+    text = banner("Figure 12b — read latency vs Δ (k=8, r=3)") + "\n"
+    text += format_table(["delta", "read p50 (us)", "read p99 (us)"], rows)
+    write_report("fig12b_delta_sweep", text)
+
+    # One extra read slashes the tail...
+    assert results[1].read.p99 < 0.7 * results[0].read.p99
+    # ...further reads show diminishing returns on the tail.
+    gain_01 = results[0].read.p99 - results[1].read.p99
+    gain_13 = results[1].read.p99 - results[3].read.p99
+    assert gain_13 < gain_01
+    benchmark.extra_info["p99_delta0"] = round(results[0].read.p99, 2)
+    benchmark.extra_info["p99_delta1"] = round(results[1].read.p99, 2)
+
+
+def test_fig12c_write_latency_vs_r(benchmark):
+    rs = (1, 2, 3, 4)
+    results = benchmark.pedantic(
+        lambda: {r: _measure(8, r, min(1, r), f"r={r}") for r in rs},
+        rounds=1, iterations=1,
+    )
+    rows = [[r, res.write.p50, res.write.p99] for r, res in results.items()]
+    text = banner("Figure 12c — write latency vs r (k=8)") + "\n"
+    text += format_table(["r", "write p50 (us)", "write p99 (us)"], rows)
+    write_report("fig12c_r_sweep", text)
+
+    # Asynchronous encoding keeps the median essentially flat across r.
+    medians = [res.write.p50 for res in results.values()]
+    assert max(medians) < 1.6 * min(medians)
+    benchmark.extra_info["p50_r1"] = round(results[1].write.p50, 2)
+    benchmark.extra_info["p50_r4"] = round(results[4].write.p50, 2)

@@ -1,0 +1,47 @@
+"""Figure 16: application completion times with one remote failure
+mid-run (the paper plots this on a log scale).
+
+Paper shapes: with a failure injected while running at the 50% fit,
+SSD backup inflates completion 1.3-5.75x, while Hydra stays within a few
+percent of replication.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner, format_table, run_app
+
+WORKLOADS = ("voltdb", "etc", "sys")
+BACKENDS = ("ssd_backup", "hydra", "replication")
+
+
+def test_fig16_completion_under_failure(benchmark):
+    def run():
+        results = {}
+        for workload in WORKLOADS:
+            for backend in BACKENDS:
+                results[(workload, backend)] = run_app(
+                    backend, workload, fit=0.5, machines=12, seed=16,
+                    n_pages=1200, total_ops=1200, fail_at_us=30_000.0,
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [w] + [results[(w, b)].completion_us / 1e3 for b in BACKENDS]
+        for w in WORKLOADS
+    ]
+    text = banner("Figure 16 — completion time with a mid-run failure (ms)") + "\n"
+    text += format_table(["workload"] + list(BACKENDS), rows)
+    write_report("fig16_failure_completion", text)
+
+    for workload in WORKLOADS:
+        ssd = results[(workload, "ssd_backup")].completion_us
+        hydra = results[(workload, "hydra")].completion_us
+        repl = results[(workload, "replication")].completion_us
+        assert ssd > 1.2 * hydra  # SSD backup pays the disk penalty
+        assert hydra < 1.3 * repl  # Hydra tracks replication
+    benchmark.extra_info["voltdb_ssd_over_hydra"] = round(
+        results[("voltdb", "ssd_backup")].completion_us
+        / results[("voltdb", "hydra")].completion_us,
+        2,
+    )

@@ -1,0 +1,59 @@
+"""Table 1: minimum splits and memory overhead per resilience guarantee —
+and an empirical check that the codec enforces exactly those minima.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analysis import requirements
+from repro.ec import CorruptionDetected, DecodeError, PageCodec
+from repro.harness import banner, format_table
+
+
+def test_tab01_requirements(benchmark):
+    def run():
+        rows = requirements(k=8, r=2, delta=1)
+        # Empirical verification on real bytes with RS(8, 3) (enough
+        # splits to exercise the correction row).
+        codec = PageCodec(8, 3)
+        rng = np.random.default_rng(1)
+        page = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        splits = codec.encode(page)
+
+        # Failure row: k splits decode, k-1 cannot.
+        assert codec.decode({i: splits[i] for i in range(8)}) == page
+        try:
+            codec.decode({i: splits[i] for i in range(7)})
+            raise AssertionError("decoded from k-1 splits?!")
+        except DecodeError:
+            pass
+
+        # Detection row: k+1 splits detect one corruption; k do not.
+        tampered = {i: splits[i].copy() for i in range(9)}
+        tampered[0][0] ^= 0xFF
+        try:
+            codec.decode_verified(tampered)
+            raise AssertionError("missed a detectable corruption")
+        except CorruptionDetected:
+            pass
+
+        # Correction row: k+3 splits locate and fix one corruption.
+        received = {i: splits[i].copy() for i in range(11)}
+        received[4][1] ^= 0x3C
+        fixed, bad = codec.correct(received, max_errors=1)
+        assert fixed == page and bad == [4]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = banner("Table 1 — minimum splits per guarantee (k=8, r=2, Δ=1)") + "\n"
+    text += format_table(
+        ["scenario", "# errors", "min # splits", "memory overhead"],
+        [[r.scenario, r.errors, r.min_splits, f"{r.memory_overhead:.3f}x"] for r in rows],
+    )
+    write_report("tab01_requirements", text)
+
+    by_name = {r.scenario: r for r in rows}
+    assert by_name["failure"].min_splits == 8
+    assert by_name["error detection"].min_splits == 9
+    assert by_name["error correction"].min_splits == 11
+    assert by_name["failure"].memory_overhead == 1.25

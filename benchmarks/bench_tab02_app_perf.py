@@ -1,0 +1,70 @@
+"""Table 2: application throughput and latency, Hydra vs replication, at
+the 100%/75%/50% memory fits.
+
+Paper shapes: Hydra within a few percent of replication everywhere
+(0.82-0.97x throughput of the all-in-memory case at 50%), with
+replication's only advantage bought at 1.6x higher memory overhead.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner, format_table, run_app
+
+WORKLOADS = ("voltdb", "etc", "sys")
+FITS = (1.0, 0.75, 0.5)
+BACKENDS = ("hydra", "replication")
+
+
+def test_tab02_app_performance(benchmark):
+    def run():
+        results = {}
+        for workload in WORKLOADS:
+            for backend in BACKENDS:
+                for fit in FITS:
+                    results[(workload, backend, fit)] = run_app(
+                        backend, workload, fit=fit, machines=12, seed=2,
+                        n_pages=1500, total_ops=1500,
+                    )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for workload in WORKLOADS:
+        for fit in FITS:
+            hyd = results[(workload, "hydra", fit)]
+            rep = results[(workload, "replication", fit)]
+            rows.append(
+                [
+                    workload,
+                    f"{fit:.0%}",
+                    f"{hyd.throughput_ops_per_sec / 1e3:.1f}",
+                    f"{rep.throughput_ops_per_sec / 1e3:.1f}",
+                    f"{hyd.op_latency.p50:.0f}",
+                    f"{rep.op_latency.p50:.0f}",
+                    f"{hyd.op_latency.p99:.0f}",
+                    f"{rep.op_latency.p99:.0f}",
+                ]
+            )
+    text = banner("Table 2 — app performance, Hydra (HYD) vs replication (REP)") + "\n"
+    text += format_table(
+        ["workload", "fit", "HYD kops/s", "REP kops/s",
+         "HYD p50 us", "REP p50 us", "HYD p99 us", "REP p99 us"],
+        rows,
+    )
+    write_report("tab02_app_perf", text)
+
+    for workload in WORKLOADS:
+        # Hydra tracks replication at every fit (within 15%).
+        for fit in FITS:
+            hyd = results[(workload, "hydra", fit)].throughput_ops_per_sec
+            rep = results[(workload, "replication", fit)].throughput_ops_per_sec
+            assert hyd > 0.85 * rep
+        # Constrained memory costs something but not an order of magnitude.
+        hyd_100 = results[(workload, "hydra", 1.0)].throughput_ops_per_sec
+        hyd_50 = results[(workload, "hydra", 0.5)].throughput_ops_per_sec
+        assert hyd_50 > 0.4 * hyd_100
+    benchmark.extra_info["voltdb_hydra_50_vs_100"] = round(
+        results[("voltdb", "hydra", 0.5)].throughput_ops_per_sec
+        / results[("voltdb", "hydra", 1.0)].throughput_ops_per_sec,
+        3,
+    )

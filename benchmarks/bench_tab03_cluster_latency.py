@@ -1,0 +1,53 @@
+"""Table 3: per-workload operation latencies in the 50-machine cluster
+experiment (p50 / p99 for SSD backup, Hydra, replication).
+
+Paper shape: the dramatic differences are in the *tails at constrained
+fits* — SSD backup's p99 explodes (9,912-22,828 ms rows in the paper)
+while Hydra and replication stay flat.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner, format_table
+
+WORKLOADS = ("voltdb", "etc", "sys")
+FITS = (1.0, 0.75, 0.5)
+BACKENDS = ("ssd_backup", "hydra", "replication")
+
+
+def test_tab03_cluster_latency(benchmark, cluster_runs):
+    results = benchmark.pedantic(lambda: cluster_runs, rounds=1, iterations=1)
+    rows = []
+    for workload in WORKLOADS:
+        for fit in FITS:
+            row = [workload, f"{fit:.0%}"]
+            for pct in (50, 99):
+                for backend in BACKENDS:
+                    value = results[backend].latency_percentile(workload, fit, pct)
+                    row.append(f"{value / 1e3:.2f}" if value else "-")
+            rows.append(row)
+    text = banner("Table 3 — cluster-experiment op latency (ms)") + "\n"
+    text += format_table(
+        ["workload", "fit",
+         "p50 SSD", "p50 HYD", "p50 REP",
+         "p99 SSD", "p99 HYD", "p99 REP"],
+        rows,
+    )
+    write_report("tab03_cluster_latency", text)
+
+    # The paper's signature blowup is on the page-heavy workload: SSD
+    # backup's constrained-fit tail explodes while Hydra stays in
+    # replication's league. (The GET-dominant memcached mixes barely
+    # page at this scale, so their tails stay flat for everyone.)
+    ssd_p99 = results["ssd_backup"].latency_percentile("voltdb", 0.5, 99)
+    hyd_p99 = results["hydra"].latency_percentile("voltdb", 0.5, 99)
+    rep_p99 = results["replication"].latency_percentile("voltdb", 0.5, 99)
+    assert ssd_p99 > 1.8 * hyd_p99
+    assert hyd_p99 < 2 * rep_p99
+    for workload in WORKLOADS:
+        hyd = results["hydra"].latency_percentile(workload, 0.5, 99)
+        rep = results["replication"].latency_percentile(workload, 0.5, 99)
+        assert hyd < 3 * rep
+    benchmark.extra_info["voltdb_p99_ssd_over_hydra"] = round(
+        ssd_p99 / hyd_p99, 1
+    )

@@ -1,0 +1,49 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* prints the rows/series to stdout (visible with ``pytest -s``),
+* writes them to ``benchmarks/results/<name>.txt`` so the artifacts
+  survive pytest's capture,
+* attaches headline numbers to ``benchmark.extra_info`` so they appear in
+  pytest-benchmark's JSON output.
+
+The 50-machine cluster experiment backing Figs 17-18 and Table 3 is run
+once per backend and shared across the three benchmarks via a
+session-scoped fixture.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a benchmark's table/figure text under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def cluster_runs():
+    """The §7.4 cluster experiment, once per backend (Figs 17-18, Tab 3)."""
+    from repro.harness import ClusterExperiment
+
+    runs = {}
+    for backend in ("ssd_backup", "hydra", "replication"):
+        experiment = ClusterExperiment(
+            backend,
+            machines=50,
+            containers=250,
+            pages_per_container=400,
+            ops_per_container=150,
+            seed=11,
+        )
+        runs[backend] = experiment.run()
+    return runs

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: erasure-coded remote memory surviving a machine failure.
+
+Builds an 8-machine simulated RDMA cluster with Hydra deployed, writes a
+working set through the Resilience Manager, kills a machine that holds
+one of the slabs, and shows that every page still reads back correctly —
+then watches background regeneration restore full redundancy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.harness import build_hydra_cluster, run_process
+from repro.sim import RandomSource
+
+
+def main():
+    # An 8-machine cluster, RS(4+2) with one extra late-binding read.
+    hydra = build_hydra_cluster(machines=8, k=4, r=2, delta=1, seed=42)
+    rm = hydra.remote_memory(client=0)  # machine 0's Resilience Manager
+    sim = hydra.sim
+
+    n_pages = 64
+    rng = np.random.default_rng(7)
+    pages = {
+        pid: rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        for pid in range(n_pages)
+    }
+
+    def driver():
+        print("== writing", n_pages, "pages to remote memory ==")
+        for pid, data in pages.items():
+            yield rm.write(pid, data)
+        print(f"   write p50 = {rm.write_latency.p50:.2f} us, "
+              f"p99 = {rm.write_latency.p99:.2f} us")
+
+        print("== reading them back ==")
+        for pid, data in pages.items():
+            got = yield rm.read(pid)
+            assert got == data, f"page {pid} corrupted!"
+        print(f"   read  p50 = {rm.read_latency.p50:.2f} us, "
+              f"p99 = {rm.read_latency.p99:.2f} us")
+
+        # Kill a machine that hosts one of our slabs.
+        victim = rm.space.get(0).handle(0).machine_id
+        print(f"== killing machine {victim} (hosts data slab 0) ==")
+        hydra.cluster.machine(victim).fail()
+        yield sim.timeout(200)  # let the disconnect notification land
+
+        ok = 0
+        for pid, data in pages.items():
+            got = yield rm.read(pid)
+            ok += got == data
+        print(f"   {ok}/{n_pages} pages still read correctly (degraded mode)")
+
+        # Give background regeneration time to rebuild the lost slab.
+        yield sim.timeout(3_000_000)
+        regens = rm.events["regenerations"]
+        print(f"== background regeneration: {regens} slab(s) rebuilt ==")
+        for pid, data in pages.items():
+            got = yield rm.read(pid)
+            assert got == data
+        print("   full redundancy restored; all pages verified")
+        return ok
+
+    proc = sim.process(driver(), name="quickstart")
+    run_process(sim, proc, until=60_000_000)
+    print("\nevent counters:", rm.events)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment lacks the `wheel` package, which PEP 660 editable
+installs require; this file keeps `setup.py develop` working there. All
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

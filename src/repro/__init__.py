@@ -1,0 +1,29 @@
+"""Hydra: resilient and highly available remote memory (FAST 2022).
+
+A complete reproduction of the Hydra system on a discrete-event substrate:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (time in µs);
+* :mod:`repro.ec` — GF(2^8) Reed-Solomon codes and the per-page codec;
+* :mod:`repro.net` — RDMA network model (RC queue pairs, one-sided verbs);
+* :mod:`repro.cluster` — machines, slabs, SSDs, failure injection;
+* :mod:`repro.core` — Hydra's Resilience Manager & Resource Monitor;
+* :mod:`repro.baselines` — SSD backup, replication, compression, naive RS;
+* :mod:`repro.vmm` / :mod:`repro.vfs` — the two disaggregation front-ends;
+* :mod:`repro.workloads` — TPC-C/VoltDB-, Memcached-, PageRank-, fio-like
+  workload models;
+* :mod:`repro.analysis` — availability, load-balancing, and TCO models;
+* :mod:`repro.harness` — experiment composition used by ``benchmarks/``.
+
+Quickstart::
+
+    from repro.harness import build_hydra_cluster
+
+    cluster = build_hydra_cluster(machines=8, k=4, r=2, seed=7)
+    pool = cluster.remote_memory(client=0)
+    pool.write(0, b"\\x2a" * 4096)
+    assert pool.read(0) == b"\\x2a" * 4096
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,53 @@
+"""Analytical models: availability, load balancing, TCO."""
+
+from .availability import (
+    Requirements,
+    correctable_corruptions,
+    data_loss_probability,
+    replication_loss_probability,
+    requirements,
+    simulate_data_loss,
+)
+from .load_balance import (
+    FOUR_CHOICES,
+    HYDRA_K2_D4,
+    RANDOM,
+    TWO_CHOICES,
+    PlacementPolicy,
+    imbalance_curve,
+    simulate_imbalance,
+)
+from .tco import (
+    AMAZON,
+    AZURE,
+    DEFAULT_RDMA,
+    GOOGLE,
+    CloudPricing,
+    RdmaCost,
+    tco_savings_percent,
+    tco_table,
+)
+
+__all__ = [
+    "Requirements",
+    "correctable_corruptions",
+    "data_loss_probability",
+    "replication_loss_probability",
+    "requirements",
+    "simulate_data_loss",
+    "FOUR_CHOICES",
+    "HYDRA_K2_D4",
+    "RANDOM",
+    "TWO_CHOICES",
+    "PlacementPolicy",
+    "imbalance_curve",
+    "simulate_imbalance",
+    "AMAZON",
+    "AZURE",
+    "DEFAULT_RDMA",
+    "GOOGLE",
+    "CloudPricing",
+    "RdmaCost",
+    "tco_savings_percent",
+    "tco_table",
+]

@@ -1,0 +1,117 @@
+"""Availability under correlated failures (§5.1-§5.2, Table 1, Figure 8).
+
+Data loss for an erasure-coded range occurs when a correlated event kills
+more than ``r`` of its ``k + r`` slabs before regeneration. With ``N``
+machines and a fraction ``f`` failing concurrently, the failed set is a
+uniform random subset, so the number of a range's hosts inside it is
+hypergeometric:
+
+    P(loss) = sum_{i=r+1}^{k+r}  C(k+r, i) * C(N-k-r, N*f - i) / C(N, N*f)
+
+(The paper's §5.2 formula expresses the same hypergeometric tail.)
+Replication with ``c`` copies is the ``k=1, r=c-1`` special case; disk
+backup never loses data to *remote* failures (the local disk holds a full
+copy) — its cost is paid in latency instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb, floor
+from typing import List
+
+from ..sim import RandomSource
+
+__all__ = [
+    "data_loss_probability",
+    "replication_loss_probability",
+    "simulate_data_loss",
+    "Requirements",
+    "requirements",
+    "correctable_corruptions",
+]
+
+
+def data_loss_probability(k: int, r: int, machines: int, failure_fraction: float) -> float:
+    """Exact P(data loss) for an RS(k, r) range under a correlated event.
+
+    ``failure_fraction`` of the ``machines`` fail simultaneously; loss
+    happens when more than ``r`` of the range's ``k + r`` hosts are among
+    them.
+    """
+    if k < 1 or r < 0:
+        raise ValueError(f"invalid code (k={k}, r={r})")
+    n = k + r
+    if machines < n:
+        raise ValueError(f"cluster of {machines} cannot host {n} slabs distinctly")
+    if not 0 <= failure_fraction <= 1:
+        raise ValueError(f"failure_fraction must be in [0,1], got {failure_fraction}")
+    failed = floor(machines * failure_fraction)
+    if failed <= r:
+        return 0.0
+    total = comb(machines, failed)
+    loss = 0
+    for i in range(r + 1, min(n, failed) + 1):
+        loss += comb(n, i) * comb(machines - n, failed - i)
+    return loss / total
+
+
+def replication_loss_probability(
+    copies: int, machines: int, failure_fraction: float
+) -> float:
+    """P(loss) for ``copies``-way replication: all copies must die."""
+    return data_loss_probability(1, copies - 1, machines, failure_fraction)
+
+
+def simulate_data_loss(
+    k: int,
+    r: int,
+    machines: int,
+    failure_fraction: float,
+    trials: int,
+    rng: RandomSource,
+) -> float:
+    """Monte-Carlo cross-check of :func:`data_loss_probability`."""
+    n = k + r
+    failed_count = floor(machines * failure_fraction)
+    losses = 0
+    ids = list(range(machines))
+    hosts = set(range(n))  # by symmetry, fix the range's hosts
+    for _ in range(trials):
+        failed = rng.sample(ids, failed_count)
+        dead_hosts = sum(1 for m in failed if m in hosts)
+        if dead_hosts > r:
+            losses += 1
+    return losses / trials
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """One row of Table 1: splits and memory needed for a guarantee."""
+
+    scenario: str
+    errors: int
+    min_splits: int
+    memory_overhead: float
+
+
+def requirements(k: int, r: int, delta: int) -> List[Requirements]:
+    """Table 1 for the given code parameters.
+
+    Rows: tolerate ``r`` failures; detect ``delta`` corruptions; locate and
+    correct ``delta`` corruptions.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    return [
+        Requirements("failure", r, k, 1 + r / k),
+        Requirements("error detection", delta, k + delta, 1 + delta / k),
+        Requirements(
+            "error correction", delta, k + 2 * delta + 1, 1 + (2 * delta + 1) / k
+        ),
+    ]
+
+
+def correctable_corruptions(k: int, r: int) -> int:
+    """Hydra can correct floor(r / 2) corruptions with all n splits (§5.1)."""
+    return r // 2

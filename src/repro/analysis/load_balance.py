@@ -1,0 +1,97 @@
+"""Balls-into-bins load-balancing analysis (§5.3, Figure 9).
+
+Placing ``n`` slabs on ``n`` machines:
+
+* uniformly at random -> max load Θ(log n / log log n);
+* best of ``d`` random choices -> Θ(log log n / log d) [Azar et al.];
+* Hydra: each logical slab is split ``k`` ways and the k pieces are
+  placed on the least-loaded ``k`` of ``d`` sampled machines (batch
+  placement) -> O(log log n / (k log(d/k))) when d >= 2k [Park].
+
+:func:`simulate_imbalance` measures the three policies empirically; the
+figure plots max-load / mean-load versus cluster size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..sim import RandomSource
+
+__all__ = ["PlacementPolicy", "simulate_imbalance", "imbalance_curve"]
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """A placement strategy for the balls-into-bins experiment.
+
+    ``splits`` pieces per ball, each 1/splits of the ball's weight;
+    ``choices`` machines sampled per ball (batch placement picks the
+    least-loaded ``splits`` of them).
+    """
+
+    name: str
+    splits: int
+    choices: int
+
+    def __post_init__(self):
+        if self.splits < 1:
+            raise ValueError(f"splits must be >= 1, got {self.splits}")
+        if self.choices < self.splits:
+            raise ValueError(
+                f"choices ({self.choices}) must be >= splits ({self.splits})"
+            )
+
+
+RANDOM = PlacementPolicy("random", splits=1, choices=1)
+TWO_CHOICES = PlacementPolicy("d=2", splits=1, choices=2)
+FOUR_CHOICES = PlacementPolicy("d=4", splits=1, choices=4)
+HYDRA_K2_D4 = PlacementPolicy("k=2,d=4", splits=2, choices=4)
+
+
+def simulate_imbalance(
+    policy: PlacementPolicy,
+    machines: int,
+    balls: int,
+    rng: RandomSource,
+) -> float:
+    """Place ``balls`` (each of unit weight) and return max/mean load."""
+    if machines < policy.choices:
+        raise ValueError(f"{machines} machines < {policy.choices} choices")
+    loads = np.zeros(machines, dtype=np.float64)
+    generator = rng.numpy
+    weight = 1.0 / policy.splits
+    for _ in range(balls):
+        if policy.choices == 1:
+            targets = generator.integers(0, machines, size=1)
+        else:
+            sampled = generator.choice(machines, size=policy.choices, replace=False)
+            order = np.argsort(loads[sampled], kind="stable")
+            targets = sampled[order[: policy.splits]]
+        loads[targets] += weight
+    mean = loads.mean()
+    return float(loads.max() / mean) if mean > 0 else 1.0
+
+
+def imbalance_curve(
+    policies: Sequence[PlacementPolicy],
+    machine_counts: Sequence[int],
+    rng: RandomSource,
+    trials: int = 3,
+    balls_per_machine: int = 1,
+) -> Dict[str, List[float]]:
+    """Figure 9's data: mean imbalance per policy across cluster sizes."""
+    curves: Dict[str, List[float]] = {p.name: [] for p in policies}
+    for n in machine_counts:
+        for policy in policies:
+            samples = [
+                simulate_imbalance(
+                    policy, n, n * balls_per_machine, rng.child(f"{policy.name}/{n}/{t}")
+                )
+                for t in range(trials)
+            ]
+            curves[policy.name].append(float(np.mean(samples)))
+    return curves

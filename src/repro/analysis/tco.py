@@ -1,0 +1,97 @@
+"""TCO savings model (§7.5, Table 4).
+
+The savings of memory disaggregation are the revenue from leasing the
+machine's otherwise-stranded memory, divided by the resilience scheme's
+memory overhead, minus the three-year TCO of the RDMA hardware — all
+relative to the machine's three-year rental price. The paper's worked
+example (Google, Hydra):
+
+    ((5.18 * 30 * 36) / 1.25 - 970) / (1553 * 36) * 100 % = 6.3 %
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = [
+    "CloudPricing",
+    "RdmaCost",
+    "tco_savings_percent",
+    "tco_table",
+    "GOOGLE",
+    "AMAZON",
+    "AZURE",
+    "DEFAULT_RDMA",
+]
+
+
+@dataclass(frozen=True)
+class CloudPricing:
+    """Monthly pricing of a standard machine and of 1 % of its memory."""
+
+    provider: str
+    machine_monthly_usd: float
+    one_percent_memory_monthly_usd: float
+
+
+@dataclass(frozen=True)
+class RdmaCost:
+    """Per-machine RDMA hardware TCO over the analysis horizon."""
+
+    adapter_usd: float = 600.0
+    switch_usd: float = 318.0
+    operating_usd: float = 52.0
+
+    @property
+    def total_usd(self) -> float:
+        return self.adapter_usd + self.switch_usd + self.operating_usd
+
+
+# Table 4's pricing rows (sourced from the paper).
+GOOGLE = CloudPricing("Google", 1553.0, 5.18)
+AMAZON = CloudPricing("Amazon", 2211.0, 9.21)
+AZURE = CloudPricing("Microsoft", 2242.0, 5.92)
+DEFAULT_RDMA = RdmaCost()
+
+
+def tco_savings_percent(
+    pricing: CloudPricing,
+    memory_overhead: float,
+    unused_memory_percent: float = 30.0,
+    months: int = 36,
+    rdma: RdmaCost = DEFAULT_RDMA,
+) -> float:
+    """Three-year TCO savings (percent of machine cost) for a scheme with
+    the given memory overhead leasing ``unused_memory_percent`` of memory.
+    """
+    if memory_overhead < 1.0:
+        raise ValueError(f"memory overhead must be >= 1, got {memory_overhead}")
+    if not 0 <= unused_memory_percent <= 100:
+        raise ValueError(f"unused memory % out of range: {unused_memory_percent}")
+    revenue = (
+        pricing.one_percent_memory_monthly_usd * unused_memory_percent * months
+    ) / memory_overhead
+    net = revenue - rdma.total_usd
+    return net / (pricing.machine_monthly_usd * months) * 100.0
+
+
+def tco_table(
+    schemes: Dict[str, float],
+    providers: List[CloudPricing] = (GOOGLE, AMAZON, AZURE),
+    unused_memory_percent: float = 30.0,
+) -> Dict[str, Dict[str, float]]:
+    """Table 4: savings percentage per scheme per provider.
+
+    ``schemes`` maps scheme name -> memory overhead (Hydra 1.25, 2x
+    replication 2.0).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for scheme, overhead in schemes.items():
+        table[scheme] = {
+            pricing.provider: tco_savings_percent(
+                pricing, overhead, unused_memory_percent
+            )
+            for pricing in providers
+        }
+    return table

@@ -1,0 +1,20 @@
+"""Baseline remote-memory backends: the other points of Figure 1."""
+
+from .base import BackendError, BaselineBackend, BaselineConfig, GroupHandle
+from .batch_coded import BatchCodedBackend
+from .compression import CompressedReplicationBackend
+from .direct import DirectRemoteMemory
+from .replication import ReplicationBackend
+from .ssd_backup import SSDBackupBackend
+
+__all__ = [
+    "BackendError",
+    "BaselineBackend",
+    "BaselineConfig",
+    "GroupHandle",
+    "BatchCodedBackend",
+    "CompressedReplicationBackend",
+    "DirectRemoteMemory",
+    "ReplicationBackend",
+    "SSDBackupBackend",
+]

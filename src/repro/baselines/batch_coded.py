@@ -1,0 +1,224 @@
+"""Batch-coded remote memory — the design §4 argues *against*.
+
+Classic erasure-coded memory systems (EC-Cache et al.) code across large
+objects or batches of pages: ``batch_pages`` pages form one stripe that is
+split k ways and encoded together. That amortizes coding overhead but:
+
+* writes wait for the batch to fill ("batch waiting time") or for a
+  timeout before anything durable happens;
+* reading *one* page requires fetching k splits of the *whole stripe* —
+  ``batch_pages``-times the bytes of interest;
+* an updated page cannot be patched in place: the stripe is immutable, so
+  updates go to a fresh stripe (log-structured), leaving garbage behind.
+
+Hydra codes each page independently precisely to avoid all three. This
+backend exists so the trade-off is measurable (see
+``benchmarks/bench_ablation_batch_coding.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import PhantomSplit
+from ..ec import PageCodec
+from ..net import RDMAError, RemoteAccessError
+from .base import BackendError, BaselineBackend
+
+__all__ = ["BatchCodedBackend"]
+
+
+class BatchCodedBackend(BaselineBackend):
+    """Erasure coding across ``batch_pages``-page stripes."""
+
+    name = "batch_coded"
+
+    def __init__(
+        self,
+        *args,
+        k: int = 8,
+        r: int = 2,
+        batch_pages: int = 8,
+        batch_timeout_us: float = 50.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if batch_pages < 1:
+            raise ValueError(f"batch_pages must be >= 1, got {batch_pages}")
+        self.k = k
+        self.r = r
+        self.batch_pages = batch_pages
+        self.batch_timeout_us = batch_timeout_us
+        self.stripe_bytes = batch_pages * self.config.page_size
+        self.split_bytes = -(-self.stripe_bytes // k)
+        self.codec = PageCodec(k, r, page_size=self.stripe_bytes)
+        # page_id -> (stripe_id, slot). Updated pages point at new stripes.
+        self.page_location: Dict[int, Tuple[int, int]] = {}
+        self._stripe_count = 0
+        self._open_batch: List[Tuple[int, object, object]] = []  # (page, payload, done)
+        self._batch_timer = None
+
+    @property
+    def memory_overhead(self) -> float:
+        """1 + r/k for live data; stale stripes add garbage on top."""
+        return 1.0 + self.r / self.k
+
+    # -- write: buffer into the open batch ---------------------------------
+    def _write_process(self, page_id: int, data: Optional[bytes]):
+        start = self.sim.now
+        done = self.sim.event(name=f"batch-write:{page_id}")
+        if self.payload_mode == "real":
+            if data is None or len(data) != self.config.page_size:
+                raise BackendError(
+                    f"real mode write needs {self.config.page_size} bytes"
+                )
+            payload = np.frombuffer(data, dtype=np.uint8).copy()
+        else:
+            payload = PhantomSplit(version=self.versions.get(page_id, 0) + 1)
+        self._open_batch.append((page_id, payload, done))
+        if len(self._open_batch) >= self.batch_pages:
+            yield from self._seal_batch()
+        else:
+            self._arm_timer()
+        # The write completes only when its stripe is sealed and written:
+        # this wait IS the batch-waiting time of §4.
+        yield done
+        self.versions[page_id] = self.versions.get(page_id, 0) + 1
+        if self.payload_mode == "real":
+            self.record_integrity(page_id, data, self.versions[page_id])
+        self.write_latency.record(self.sim.now - start)
+        self.events.incr("writes")
+        return None
+
+    def _arm_timer(self) -> None:
+        if self._batch_timer is not None:
+            return
+
+        def flush():
+            yield self.sim.timeout(self.batch_timeout_us)
+            self._batch_timer = None
+            if self._open_batch:
+                yield from self._seal_batch()
+
+        self._batch_timer = self.sim.process(flush(), name="batch-flush")
+
+    def _seal_batch(self):
+        """Encode the open batch as one stripe and write its splits."""
+        batch, self._open_batch = self._open_batch, []
+        if not batch:
+            return
+        stripe_id = self._stripe_count
+        self._stripe_count += 1
+        # One split set per stripe, placed on (k + r) machines.
+        split_handles = self._stripe_handles(stripe_id)
+
+        if self.payload_mode == "real":
+            stripe = bytearray(self.stripe_bytes)
+            for slot, (page_id, payload, _done) in enumerate(batch):
+                offset = slot * self.config.page_size
+                stripe[offset : offset + self.config.page_size] = payload.tobytes()
+            splits = self.codec.encode(bytes(stripe))
+        else:
+            splits = [
+                PhantomSplit(version=1) for _ in range(self.k + self.r)
+            ]
+
+        acks = []
+        for index, handle in enumerate(split_handles):
+            payload = splits[index]
+            machine = self.fabric.machine(handle.machine_id)
+            qp = self.fabric.qp(self.client_id, handle.machine_id)
+            acks.append(
+                qp.post_write(
+                    self.split_bytes,
+                    apply=lambda m=machine, h=handle, p=payload: m.write_split(
+                        h.slab_id, stripe_id, p
+                    ),
+                )
+            )
+        for ack in acks:
+            try:
+                yield ack
+            except (RDMAError, RemoteAccessError):
+                self.events.incr("stripe_write_failures")
+        for slot, (page_id, _payload, done) in enumerate(batch):
+            previous = self.page_location.get(page_id)
+            if previous is not None:
+                self.events.incr("garbage_pages")  # stale copy left behind
+            self.page_location[page_id] = (stripe_id, slot)
+            if not done.triggered:
+                done.succeed()
+        self.events.incr("stripes_written")
+
+    def _stripe_handles(self, stripe_id: int):
+        """(k + r) split locations for a stripe, one per machine."""
+        key = -(stripe_id + 1)  # negative keys: stripe groups
+        handles = self.groups.get(key)
+        if handles is not None:
+            return handles
+        from .base import GroupHandle
+
+        handles = []
+        used = {self.client_id}
+        for _ in range(self.k + self.r):
+            machine = self._pick_machine(exclude=used)
+            slab = None
+            # Reuse our existing stripe slab on that machine if present.
+            for existing in machine.hosted_slabs.values():
+                if existing.owner_id == self.client_id and existing.range_id == -1:
+                    slab = existing
+                    break
+            if slab is None:
+                slab = machine.allocate_slab(self.config.slab_size_bytes)
+                slab.map_to(self.client_id, -1, 0)
+            handles.append(GroupHandle(machine_id=machine.id, slab_id=slab.slab_id))
+            used.add(machine.id)
+        self.groups[key] = handles
+        return handles
+
+    # -- read: fetch k whole-stripe splits ----------------------------------
+    def _read_process(self, page_id: int):
+        start = self.sim.now
+        self.events.incr("reads")
+        location = self.page_location.get(page_id)
+        if location is None:
+            return None
+        stripe_id, slot = location
+        yield self.sim.timeout(self.config.software_overhead_us)
+        handles = self.groups[-(stripe_id + 1)]
+        received: Dict[int, object] = {}
+        pending = []
+        for index, handle in enumerate(handles[: self.k]):
+            machine = self.fabric.machine(handle.machine_id)
+            qp = self.fabric.qp(self.client_id, handle.machine_id)
+            pending.append(
+                (
+                    index,
+                    qp.post_read(
+                        self.split_bytes,
+                        fetch=lambda m=machine, h=handle: m.read_split(
+                            h.slab_id, stripe_id
+                        ),
+                    ),
+                )
+            )
+        for index, event in pending:
+            try:
+                received[index] = yield event
+            except (RDMAError, RemoteAccessError):
+                pass
+        if len(received) < self.k:
+            self.events.incr("read_failures")
+            raise BackendError(f"stripe {stripe_id} unreadable")
+
+        page: Optional[bytes] = None
+        if self.payload_mode == "real":
+            stripe = self.codec.decode(
+                {i: p for i, p in received.items() if isinstance(p, np.ndarray)}
+            )
+            offset = slot * self.config.page_size
+            page = stripe[offset : offset + self.config.page_size]
+        self.read_latency.record(self.sim.now - start)
+        return page

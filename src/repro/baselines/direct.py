@@ -1,0 +1,60 @@
+"""Non-resilient whole-page remote memory (Infiniswap / Remote Regions
+primary data path, without any backup).
+
+This is the latency reference for Figure 10: a single full-page one-sided
+verb to one remote machine, plus the block-I/O software overhead that
+kernel paging (Infiniswap) or the VFS layer (Remote Regions) pays per
+request. It offers no fault tolerance — a remote failure loses the pages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import RDMAError, RemoteAccessError
+from .base import BackendError, BaselineBackend
+
+__all__ = ["DirectRemoteMemory"]
+
+
+class DirectRemoteMemory(BaselineBackend):
+    """One remote copy, no resilience."""
+
+    name = "direct"
+
+    @property
+    def memory_overhead(self) -> float:
+        return 1.0
+
+    def _write_process(self, page_id: int, data: Optional[bytes]):
+        start = self.sim.now
+        yield self.sim.timeout(self.config.software_overhead_us)
+        handle = self._ensure_group(page_id, copies=1)[0]
+        if not handle.available:
+            self.events.incr("write_failures")
+            raise BackendError(f"remote host of page {page_id} is gone")
+        version = self.versions.get(page_id, 0) + 1
+        payload = self.make_payload(data, version)
+        yield self._post_page_write(handle, self.page_offset(page_id), payload)
+        self.record_integrity(page_id, data, version)
+        self.write_latency.record(self.sim.now - start)
+        self.events.incr("writes")
+        return None
+
+    def _read_process(self, page_id: int):
+        start = self.sim.now
+        self.events.incr("reads")
+        if page_id not in self.versions:
+            return None
+        yield self.sim.timeout(self.config.software_overhead_us)
+        handle = self.groups[self.group_of(page_id)][0]
+        if not handle.available:
+            self.events.incr("read_failures")
+            raise BackendError(f"remote host of page {page_id} is gone")
+        try:
+            payload = yield self._post_page_read(handle, self.page_offset(page_id))
+        except (RDMAError, RemoteAccessError) as exc:
+            self.events.incr("read_failures")
+            raise BackendError(str(exc))
+        self.read_latency.record(self.sim.now - start)
+        return self.payload_to_bytes(payload)

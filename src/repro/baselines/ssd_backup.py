@@ -1,0 +1,159 @@
+"""Local-SSD backup — the low-overhead, high-latency extreme (Infiniswap).
+
+Each page is written to one remote machine *and* asynchronously backed up
+to the local SSD through a bounded in-memory staging buffer. The four
+§2.2 pathologies emerge naturally from this structure:
+
+1. **Remote failure/eviction** — reads of affected pages fall back to the
+   SSD (~100 µs), and the working set only recovers as pages are
+   rewritten remotely (Fig 2a's slow recovery).
+2. **Corruption** — a checksum mismatch on the remote copy forces the SSD
+   path (Fig 2b).
+3. **Background load** — a single whole-page read has no late binding, so
+   congested NICs directly inflate latency (Fig 2c).
+4. **Bursts** — when the staging buffer fills because the SSD cannot
+   drain fast enough, *page writes block on disk bandwidth* (Fig 2d).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..net import RDMAError, RemoteAccessError
+from ..sim import Store
+from .base import BackendError, BaselineBackend
+
+__all__ = ["SSDBackupBackend"]
+
+
+class SSDBackupBackend(BaselineBackend):
+    """One remote copy plus an asynchronous local-disk backup."""
+
+    name = "ssd_backup"
+
+    def __init__(self, *args, staging_pages: int = 256, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.client = self.cluster.machine(self.client_id)
+        if self.client.ssd is None:
+            raise BackendError(
+                "SSD backup requires the client machine to have an SSD "
+                "(build the cluster with with_ssd=True)"
+            )
+        self.ssd = self.client.ssd
+        # Pages known to be safely on disk (content tracked by version).
+        self.disk_pages: Dict[int, int] = {}
+        self.disk_payloads: Dict[int, object] = {}
+        self._staging: Store = Store(self.sim, capacity=staging_pages)
+        self.sim.process(self._drain_staging(), name="ssd-drain")
+
+    @property
+    def memory_overhead(self) -> float:
+        return 1.0  # the backup copy lives on disk, not in memory
+
+    # -- write ---------------------------------------------------------------
+    def _write_process(self, page_id: int, data: Optional[bytes]):
+        start = self.sim.now
+        yield self.sim.timeout(self.config.software_overhead_us)
+        handles = self._ensure_group(page_id, copies=1)
+        offset = self.page_offset(page_id)
+        version = self.versions.get(page_id, 0) + 1
+        payload = self.make_payload(data, version)
+
+        # Admission to the staging buffer can block: this is precisely the
+        # §2.2 burst bottleneck — when the SSD cannot drain, page writes
+        # slow to disk speed.
+        yield self._staging.put((page_id, version, payload))
+
+        handle = handles[0]
+        if handle.available:
+            try:
+                yield self._post_page_write(handle, offset, payload)
+            except (RDMAError, RemoteAccessError):
+                self.events.incr("remote_write_failures")
+                self._try_remap(page_id)
+        else:
+            self._try_remap(page_id)
+            new_handle = self.groups[self.group_of(page_id)][0]
+            if new_handle.available:
+                try:
+                    yield self._post_page_write(new_handle, offset, payload)
+                except (RDMAError, RemoteAccessError):
+                    self.events.incr("remote_write_failures")
+
+        self.record_integrity(page_id, data, version)
+        self.write_latency.record(self.sim.now - start)
+        self.events.incr("writes")
+        return None
+
+    def _drain_staging(self):
+        """Background flusher: staging buffer -> local SSD."""
+        while True:
+            page_id, version, payload = yield self._staging.get()
+            # The payload stays readable in buffer memory while the disk
+            # write is in flight; durability (disk_pages) lands after.
+            self.disk_payloads[page_id] = (
+                payload.copy() if isinstance(payload, np.ndarray) else payload
+            )
+            yield self.ssd.write(self.config.page_size)
+            self.disk_pages[page_id] = version
+            self.events.incr("disk_backups")
+
+    # -- read ------------------------------------------------------------------
+    def _read_process(self, page_id: int):
+        start = self.sim.now
+        self.events.incr("reads")
+        if page_id not in self.versions:
+            return None
+        yield self.sim.timeout(self.config.software_overhead_us)
+        handle = self.groups[self.group_of(page_id)][0]
+        offset = self.page_offset(page_id)
+
+        if handle.available:
+            try:
+                payload = yield self._post_page_read(handle, offset)
+            except (RDMAError, RemoteAccessError):
+                payload = None
+            if payload is not None and self.payload_ok(page_id, payload):
+                self.read_latency.record(self.sim.now - start)
+                return self.payload_to_bytes(payload)
+            if payload is not None:
+                self.events.incr("corrupt_remote_reads")
+
+        # Fallback: the local SSD backup.
+        payload = yield from self._read_from_disk(page_id)
+        self.read_latency.record(self.sim.now - start)
+        return self.payload_to_bytes(payload)
+
+    def _read_from_disk(self, page_id: int):
+        self.events.incr("disk_reads")
+        if page_id not in self.disk_pages:
+            # Still sitting in the staging buffer: scan it (memory speed).
+            for staged_page, version, payload in self._staging.items:
+                if staged_page == page_id:
+                    return payload
+            if page_id in self.disk_payloads:
+                # Drain in flight: the copy is still in buffer memory.
+                return self.disk_payloads[page_id]
+            self.events.incr("read_failures")
+            raise BackendError(f"page {page_id} on neither remote nor disk")
+        yield self.ssd.read(self.config.page_size)
+        return self.disk_payloads[page_id]
+
+    # -- failure handling -----------------------------------------------------
+    def _try_remap(self, page_id: int) -> None:
+        """Place a fresh remote slab for the page's group after a failure.
+
+        Old pages stay disk-only until rewritten — the source of Fig 2a's
+        slow post-failure recovery.
+        """
+        group_id = self.group_of(page_id)
+        handle = self.groups[group_id][0]
+        if handle.available:
+            return
+        try:
+            self.replace_handle(group_id, 0)
+            self.events.incr("remaps")
+        except BackendError:
+            pass

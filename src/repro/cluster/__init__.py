@@ -1,0 +1,22 @@
+"""Cluster substrate: machines, slabs, SSDs, failure injection."""
+
+from .builder import Cluster
+from .disk import SSD, SSDConfig
+from .failures import CorruptionInjector, FailureInjector, LocalMemoryPressure
+from .machine import Machine
+from .memory import PhantomSplit, Slab, SlabState, corrupt_payload, payloads_equal
+
+__all__ = [
+    "Cluster",
+    "SSD",
+    "SSDConfig",
+    "CorruptionInjector",
+    "FailureInjector",
+    "LocalMemoryPressure",
+    "Machine",
+    "PhantomSplit",
+    "Slab",
+    "SlabState",
+    "corrupt_payload",
+    "payloads_equal",
+]

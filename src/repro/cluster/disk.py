@@ -1,0 +1,75 @@
+"""Local SSD model — the backing device of the disk-backup baseline.
+
+Captures the three properties §2.2 blames for the baseline's collapse:
+
+* access latency two orders of magnitude above RDMA;
+* a bounded queue: once outstanding requests exceed the device queue
+  depth, callers wait in FIFO order;
+* bounded bandwidth: sustained bursts drain at the device write rate, so a
+  prolonged burst ties request latency to the disk (scenario 4, Fig 2d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Event, Resource, Simulator
+
+__all__ = ["SSDConfig", "SSD"]
+
+
+@dataclass
+class SSDConfig:
+    """Device parameters for a datacenter-class NVMe/SATA SSD.
+
+    Defaults give ~80 µs reads and ~30 µs writes at low load with
+    ~1 GB/s of sustained write bandwidth.
+    """
+
+    read_latency_us: float = 80.0
+    write_latency_us: float = 30.0
+    bandwidth_bytes_per_us: float = 1000.0  # ~1 GB/s
+    queue_depth: int = 32
+
+
+class SSD:
+    """A queued block device with distinct read/write access latencies."""
+
+    def __init__(self, sim: Simulator, config: SSDConfig = None):
+        self.sim = sim
+        self.config = config or SSDConfig()
+        self._channels = Resource(sim, capacity=self.config.queue_depth)
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, size_bytes: int) -> Event:
+        """Start a read; the returned event succeeds at completion."""
+        self.reads += 1
+        self.bytes_read += size_bytes
+        return self.sim.process(
+            self._access(size_bytes, self.config.read_latency_us), name="ssd-read"
+        )
+
+    def write(self, size_bytes: int) -> Event:
+        """Start a write; the returned event succeeds at completion."""
+        self.writes += 1
+        self.bytes_written += size_bytes
+        return self.sim.process(
+            self._access(size_bytes, self.config.write_latency_us), name="ssd-write"
+        )
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting behind the device queue (saturation signal)."""
+        return self._channels.queue_length
+
+    def _access(self, size_bytes: int, access_latency_us: float):
+        request = self._channels.request()
+        yield request
+        try:
+            transfer = size_bytes / self.config.bandwidth_bytes_per_us
+            yield self.sim.timeout(access_latency_us + transfer)
+        finally:
+            self._channels.release()

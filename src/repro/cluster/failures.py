@@ -1,0 +1,124 @@
+"""Uncertainty injectors — the four scenarios of §2.2.
+
+1. *Remote failures / evictions* — :class:`FailureInjector` crashes (and
+   optionally reboots) machines at scheduled times.
+2. *Memory corruption* — :class:`CorruptionInjector` flips bytes inside
+   stored splits (or marks phantom splits corrupt).
+3. *Background network load* — lives in :mod:`repro.net.flows`.
+4. *Request bursts* — a workload-side knob (see the workload generators).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import RandomSource, Simulator
+from .machine import Machine
+from .memory import SlabState, corrupt_payload
+
+__all__ = ["FailureInjector", "CorruptionInjector", "LocalMemoryPressure"]
+
+
+class FailureInjector:
+    """Schedules machine crashes (and optional recoveries)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.crashed: List[int] = []
+
+    def crash_at(
+        self, machine: Machine, at_us: float, recover_after_us: Optional[float] = None
+    ) -> None:
+        """Crash ``machine`` at ``at_us``; reboot after ``recover_after_us``."""
+        if at_us < self.sim.now:
+            raise ValueError(f"crash time {at_us} is in the past")
+
+        def run():
+            yield self.sim.timeout(at_us - self.sim.now)
+            machine.fail()
+            self.crashed.append(machine.id)
+            if recover_after_us is not None:
+                yield self.sim.timeout(recover_after_us)
+                machine.recover()
+
+        self.sim.process(run(), name=f"crash:{machine.id}")
+
+    def crash_fraction_at(
+        self, machines: List[Machine], fraction: float, at_us: float, rng: RandomSource
+    ) -> List[Machine]:
+        """Correlated failure: crash a random ``fraction`` of ``machines``
+        simultaneously (§5.2's power-outage scenario). Returns the victims."""
+        count = max(1, int(round(len(machines) * fraction)))
+        victims = rng.sample(machines, count)
+        for victim in victims:
+            self.crash_at(victim, at_us)
+        return victims
+
+
+class CorruptionInjector:
+    """Corrupts stored splits on a victim machine.
+
+    Corruption is applied to the *stored payloads*, so a subsequent remote
+    read returns the corrupted split and the Resilience Manager's
+    consistency check (real mode: RS verification; phantom mode: corrupt
+    flag) must catch it.
+    """
+
+    def __init__(self, sim: Simulator, rng: RandomSource):
+        self.sim = sim
+        self.rng = rng
+        self.corrupted_splits = 0
+
+    def corrupt_machine(
+        self, machine: Machine, fraction: float = 1.0, at_us: Optional[float] = None
+    ) -> None:
+        """Corrupt ``fraction`` of every mapped slab's pages on ``machine``.
+
+        When ``at_us`` is given the corruption is scheduled; otherwise it is
+        applied immediately.
+        """
+        if at_us is None:
+            self._apply(machine, fraction)
+            return
+
+        def run():
+            yield self.sim.timeout(at_us - self.sim.now)
+            self._apply(machine, fraction)
+
+        self.sim.process(run(), name=f"corrupt:{machine.id}")
+
+    def _apply(self, machine: Machine, fraction: float) -> None:
+        for slab in machine.hosted_slabs.values():
+            if slab.state != SlabState.MAPPED:
+                continue
+            for page_id in list(slab.pages):
+                if self.rng.random() < fraction:
+                    slab.pages[page_id] = corrupt_payload(slab.pages[page_id], self.rng)
+                    self.corrupted_splits += 1
+
+
+class LocalMemoryPressure:
+    """Drives a machine's local-app memory up/down over time.
+
+    Used to exercise the Resource Monitor's headroom logic (Fig 7): rising
+    local pressure must trigger slab eviction; falling pressure must
+    trigger proactive allocation.
+    """
+
+    def __init__(self, sim: Simulator, machine: Machine):
+        self.sim = sim
+        self.machine = machine
+
+    def ramp(self, target_bytes: int, over_us: float, steps: int = 20) -> None:
+        """Linearly ramp local usage to ``target_bytes`` over ``over_us``."""
+        start = self.machine.local_app_bytes
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+
+        def run():
+            for step in range(1, steps + 1):
+                yield self.sim.timeout(over_us / steps)
+                value = start + (target_bytes - start) * step // steps
+                self.machine.set_local_app_bytes(int(value))
+
+        self.sim.process(run(), name=f"pressure:{self.machine.id}")

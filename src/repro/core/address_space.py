@@ -1,0 +1,103 @@
+"""The Resilience Manager's remote address space (§3.1, Figure 4).
+
+The remote address space is divided into fixed-size *address ranges*; each
+range is backed by (k + r) slabs on (k + r) distinct machines — k at data
+split positions, r at parity positions. Page ``p`` lives in range
+``p // pages_per_range`` at offset ``p % pages_per_range``; split ``i`` of
+the page is stored at offset within the slab bound to position ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SlabHandle", "AddressRange", "RemoteAddressSpace"]
+
+
+@dataclass
+class SlabHandle:
+    """The RM's view of one remote slab binding."""
+
+    machine_id: int
+    slab_id: int
+    available: bool = True
+
+    def __str__(self) -> str:
+        marker = "" if self.available else "!"
+        return f"{marker}m{self.machine_id}/s{self.slab_id}"
+
+
+class AddressRange:
+    """One address range: (k + r) split positions, each bound to a slab."""
+
+    def __init__(self, range_id: int, handles: List[SlabHandle]):
+        self.range_id = range_id
+        self.slots: List[SlabHandle] = list(handles)
+
+    @property
+    def n(self) -> int:
+        return len(self.slots)
+
+    def handle(self, position: int) -> SlabHandle:
+        return self.slots[position]
+
+    def available_positions(self) -> List[int]:
+        """Split positions whose slab is currently usable."""
+        return [i for i, h in enumerate(self.slots) if h.available]
+
+    def positions_on_machine(self, machine_id: int) -> List[int]:
+        return [i for i, h in enumerate(self.slots) if h.machine_id == machine_id]
+
+    def machine_ids(self) -> List[int]:
+        return [h.machine_id for h in self.slots]
+
+    def mark_failed(self, position: int) -> None:
+        """Record that the slab at ``position`` is unavailable (§4.3)."""
+        self.slots[position].available = False
+
+    def replace(self, position: int, handle: SlabHandle) -> None:
+        """Install a regenerated slab at ``position`` and make it live."""
+        handle.available = True
+        self.slots[position] = handle
+
+    def __repr__(self) -> str:
+        return f"<Range {self.range_id}: {[str(h) for h in self.slots]}>"
+
+
+class RemoteAddressSpace:
+    """Page-id to (range, offset, slabs) resolution for one RM."""
+
+    def __init__(self, pages_per_range: int):
+        if pages_per_range < 1:
+            raise ValueError(f"pages_per_range must be >= 1, got {pages_per_range}")
+        self.pages_per_range = pages_per_range
+        self.ranges: Dict[int, AddressRange] = {}
+
+    def locate(self, page_id: int) -> Tuple[int, int]:
+        """(range_id, offset_within_range) for a page."""
+        if page_id < 0:
+            raise ValueError(f"negative page id: {page_id}")
+        return page_id // self.pages_per_range, page_id % self.pages_per_range
+
+    def get(self, range_id: int) -> Optional[AddressRange]:
+        return self.ranges.get(range_id)
+
+    def install(self, address_range: AddressRange) -> None:
+        if address_range.range_id in self.ranges:
+            raise ValueError(f"range {address_range.range_id} already mapped")
+        self.ranges[address_range.range_id] = address_range
+
+    def drop(self, range_id: int) -> Optional[AddressRange]:
+        return self.ranges.pop(range_id, None)
+
+    def all_ranges(self) -> List[AddressRange]:
+        return list(self.ranges.values())
+
+    def ranges_using_machine(self, machine_id: int) -> List[AddressRange]:
+        """Ranges with at least one slab hosted on ``machine_id``."""
+        return [
+            rng
+            for rng in self.ranges.values()
+            if any(h.machine_id == machine_id for h in rng.slots)
+        ]

@@ -1,0 +1,86 @@
+"""Data-path latency composition (§4.2) — the Figure 11 ablation knobs.
+
+These helpers translate the four optimization toggles of
+:class:`~repro.core.config.DatapathConfig` into simulated software
+overheads. Network time itself comes from the fabric; coding time from the
+paper's measured ISA-L constants; everything here is the *host-side* cost
+the optimizations remove:
+
+* run-to-completion removes interrupt/context-switch wakeups;
+* in-place coding removes staging-buffer allocation and per-split copies;
+* late binding and asynchronous encoding change *what* is waited on rather
+  than adding cost, so they live in the Resilience Manager's control flow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import DatapathConfig, HydraConfig
+
+__all__ = [
+    "issue_overhead_us",
+    "completion_overhead_us",
+    "encode_latency_us",
+    "decode_latency_us",
+]
+
+# Completions are polled/woken in batches of roughly this many CQ entries
+# when interrupts are taken; run-to-completion removes the wakeups entirely.
+_COMPLETIONS_PER_WAKEUP = 4
+
+
+def issue_overhead_us(dp: DatapathConfig, split_count: int) -> float:
+    """Software cost of issuing one remote I/O over ``split_count`` splits.
+
+    Always pays the request-setup cost plus one verb-posting cost per
+    split issued on the critical path; without in-place coding it also
+    pays a staging-buffer allocation plus one copy per split (§4.1 item 4).
+    """
+    if split_count < 1:
+        raise ValueError(f"split_count must be >= 1, got {split_count}")
+    overhead = dp.request_setup_us + dp.post_per_split_us * split_count
+    if not dp.in_place_coding:
+        overhead += dp.buffer_alloc_us + dp.copy_per_split_us * split_count
+    return overhead
+
+
+def completion_overhead_us(dp: DatapathConfig, completions_waited: int) -> float:
+    """Host cost of waiting for ``completions_waited`` RDMA completions.
+
+    With run-to-completion the request thread spins on the CQ: zero
+    software cost (§4.2.3). Without it, each wakeup batch costs a context
+    switch (§4.1 item 3).
+    """
+    if completions_waited <= 0:
+        return 0.0
+    if dp.run_to_completion:
+        return 0.0
+    wakeups = math.ceil(completions_waited / _COMPLETIONS_PER_WAKEUP)
+    return dp.context_switch_us * wakeups
+
+
+def encode_latency_us(config: HydraConfig) -> float:
+    """RS encode time for one page, scaled from the (8+2)/4 KB baseline.
+
+    Encoding cost is proportional to parity bytes produced:
+    r x split_size. The paper's 0.7 µs is for r=2, 512 B splits.
+    """
+    dp = config.datapath
+    baseline_parity_bytes = 2 * 512.0
+    parity_bytes = config.r * config.split_size
+    if config.r == 0:
+        return 0.0
+    return dp.encode_latency_us * (parity_bytes / baseline_parity_bytes)
+
+
+def decode_latency_us(config: HydraConfig) -> float:
+    """RS decode time for one page, scaled from the (8+2)/4 KB baseline.
+
+    Decoding reconstructs k x split_size bytes; the paper's 1.5 µs is for
+    k=8, 512 B splits (i.e. a 4 KB page).
+    """
+    dp = config.datapath
+    baseline_bytes = 8 * 512.0
+    page_bytes = config.k * config.split_size
+    return dp.decode_latency_us * (page_bytes / baseline_bytes)

@@ -1,0 +1,177 @@
+"""Decentralized, load-balanced slab placement (§4.4).
+
+Hydra avoids a central allocator: to back an address range, the Resilience
+Manager contacts ``2 x (k + r)`` randomly chosen machines ("the generalized
+power of many choices"), asks each for its current memory load, and maps
+slabs on the least-loaded ``k + r`` of them — *batch placement*. §5.3 shows
+that combining this with the k-way splitting of pages drives the cluster's
+memory-load imbalance down to O(log log n / (k log(d/k))).
+
+Placement also enforces the failure-domain rule: the slabs of one range go
+to machines in distinct racks whenever the cluster has enough racks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..sim import RandomSource
+from .address_space import SlabHandle
+from .config import HydraConfig
+from .rpc import RpcEndpoint, RpcError
+
+__all__ = ["PlacementError", "BatchPlacer"]
+
+
+class PlacementError(Exception):
+    """Not enough healthy machines/memory to place the requested slabs."""
+
+
+class BatchPlacer:
+    """Implements batch placement for one Resilience Manager.
+
+    Parameters
+    ----------
+    endpoint:
+        The local machine's RPC endpoint (queries travel as control
+        messages, keeping the mechanism decentralized).
+    peer_provider:
+        Zero-arg callable returning the ids of currently alive peers.
+        Membership is assumed known (gossip in a real deployment).
+    """
+
+    def __init__(
+        self,
+        endpoint: RpcEndpoint,
+        peer_provider,
+        config: HydraConfig,
+        rng: RandomSource,
+    ):
+        self.endpoint = endpoint
+        self.peer_provider = peer_provider
+        self.config = config
+        self.rng = rng
+
+    # -- public (generator) API ---------------------------------------------
+    def place_range(self, range_id: int):
+        """Simulation process: place (k + r) slabs for a new range.
+
+        Returns a list of ``k + r`` :class:`SlabHandle`, ordered by split
+        position. Raises :class:`PlacementError` if the cluster cannot host
+        the range on distinct machines.
+        """
+        n = self.config.n
+        loads = yield from self._survey(exclude=set(), minimum=n)
+        chosen = self._select(loads, count=n)
+        handles: List[SlabHandle] = []
+        used: Set[int] = set()
+        for position, machine_id in enumerate(chosen):
+            handle = yield from self._map_one(
+                machine_id, range_id, position, loads, used
+            )
+            handles.append(handle)
+            used.add(handle.machine_id)
+        return handles
+
+    def place_single(self, range_id: int, position: int, exclude: Set[int]):
+        """Simulation process: find one machine for a regenerated slab.
+
+        ``exclude`` holds machines already hosting slabs of this range.
+        Returns the chosen machine id (the regeneration hand-off itself is
+        done by the caller, §4.4 'Background Slab Regeneration').
+        """
+        loads = yield from self._survey(exclude=exclude, minimum=1)
+        chosen = self._select(loads, count=1)
+        return chosen[0]
+
+    # -- internals -------------------------------------------------------------
+    def _survey(self, exclude: Set[int], minimum: int):
+        """Query ``2 x (k + r)`` random candidates for their memory load."""
+        peers = [p for p in self.peer_provider() if p not in exclude]
+        if len(peers) < minimum:
+            raise PlacementError(
+                f"only {len(peers)} candidate machines, need {minimum}"
+            )
+        contact_count = min(
+            len(peers), self.config.placement_choice_factor * self.config.n
+        )
+        candidates = self.rng.sample(peers, contact_count)
+        replies = []
+        for candidate in candidates:
+            replies.append((candidate, self.endpoint.call(candidate, "query_load")))
+        loads: Dict[int, dict] = {}
+        for candidate, reply in replies:
+            try:
+                body = yield reply
+            except RpcError:
+                continue  # candidate died mid-survey; skip it
+            loads[candidate] = body
+        if len(loads) < minimum:
+            raise PlacementError(
+                f"{len(loads)} of {len(candidates)} load queries answered, "
+                f"need {minimum}"
+            )
+        return loads
+
+    def _select(self, loads: Dict[int, dict], count: int) -> List[int]:
+        """Least-loaded ``count`` machines, distinct racks when possible.
+
+        Ties are broken randomly: many managers placing concurrently with
+        deterministic tie-breaking would herd onto the same machines.
+        """
+        by_load = sorted(
+            loads, key=lambda m: (loads[m]["utilization"], self.rng.random())
+        )
+        chosen: List[int] = []
+        racks_used: Set[int] = set()
+        # First pass: respect the failure-domain constraint.
+        for machine_id in by_load:
+            if len(chosen) == count:
+                break
+            rack = loads[machine_id].get("rack")
+            if rack in racks_used:
+                continue
+            chosen.append(machine_id)
+            racks_used.add(rack)
+        # Second pass: relax rack-distinctness if the cluster is too small.
+        for machine_id in by_load:
+            if len(chosen) == count:
+                break
+            if machine_id not in chosen:
+                chosen.append(machine_id)
+        if len(chosen) < count:
+            raise PlacementError(
+                f"could not select {count} machines from {len(loads)} replies"
+            )
+        return chosen
+
+    def _map_one(
+        self,
+        machine_id: int,
+        range_id: int,
+        position: int,
+        loads: Dict[int, dict],
+        used: Set[int],
+    ):
+        """Ask one machine's Resource Monitor to map a slab; fall back to
+        the next-least-loaded unused candidate on refusal."""
+        fallbacks = [m for m in sorted(loads, key=lambda m: loads[m]["utilization"])]
+        tried: Set[int] = set()
+        order = [machine_id] + [m for m in fallbacks if m != machine_id]
+        for target in order:
+            if target in tried or target in used:
+                continue
+            tried.add(target)
+            try:
+                body = yield self.endpoint.call(
+                    target,
+                    "map_slab",
+                    {"range_id": range_id, "position": position},
+                )
+            except RpcError:
+                continue
+            return SlabHandle(machine_id=target, slab_id=body["slab_id"])
+        raise PlacementError(
+            f"no candidate machine accepted slab for range {range_id} "
+            f"position {position}"
+        )

@@ -1,0 +1,1038 @@
+"""The Hydra Resilience Manager (§3.1, §4) — the client-side data path.
+
+One Resilience Manager runs on every machine that consumes remote memory.
+It owns a remote address space (ranges of (k + r) slabs placed via batch
+placement), erasure-codes each 4 KB page individually, and implements the
+four data-path techniques of §4.2:
+
+* **asynchronously encoded writes** — data splits are written first and
+  the write returns to the application after their k acks; parities are
+  encoded and written in the background;
+* **late-binding reads** — (k + Δ) splits are requested in parallel and
+  the read completes at the k-th *valid* arrival, cutting straggler tails;
+* **run-to-completion** and **in-place coding** — modeled as host-side
+  overheads that vanish when the toggles are on (see
+  :mod:`repro.core.datapath`).
+
+It also implements the §4.3 uncertainty machinery: disconnect-driven slab
+failover, eviction notices, corruption detection/correction with
+per-machine error accounting (ErrorCorrectionLimit /
+SlabRegenerationLimit), and background slab regeneration hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..cluster import PhantomSplit
+from ..ec import CorruptionDetected, DecodeError, PageCodec
+from ..net import RdmaFabric
+from ..sim import Counter, Event, LatencyRecorder, RandomSource, Simulator
+from .address_space import AddressRange, RemoteAddressSpace, SlabHandle
+from .config import HydraConfig
+from .datapath import (
+    completion_overhead_us,
+    decode_latency_us,
+    encode_latency_us,
+    issue_overhead_us,
+)
+from .placement import BatchPlacer, PlacementError
+from .rpc import RpcEndpoint, RpcError
+
+__all__ = ["HydraError", "RemoteMemoryUnavailable", "ResilienceManager"]
+
+_WRITE_RETRY_LIMIT = 10
+_WRITE_RETRY_BACKOFF_US = 100.0
+_REGEN_TIMEOUT_US = 5_000_000.0  # give up on a silent regeneration target
+
+
+class _SplitGather:
+    """Collects split-read completions with callback accounting.
+
+    The read path posts (k + Δ) reads and needs to wake up exactly when
+    the k-th *valid* split lands (late binding) — and, for verification,
+    when everything has landed. Doing this with one callback per read and
+    one waiter event per wait keeps the event count per page read small.
+    """
+
+    __slots__ = (
+        "sim",
+        "validator",
+        "arrivals",
+        "valid",
+        "order",
+        "posted",
+        "outstanding",
+        "_need",
+        "_waiter",
+        "_all_waiter",
+    )
+
+    def __init__(self, sim: Simulator, validator):
+        self.sim = sim
+        self.validator = validator
+        self.arrivals: Dict[int, object] = {}
+        self.valid: Dict[int, object] = {}
+        self.order: List[int] = []  # valid splits in arrival order
+        self.posted: Set[int] = set()
+        self.outstanding = 0
+        self._need = 0
+        self._waiter: Optional[Event] = None
+        self._all_waiter: Optional[Event] = None
+
+    def post(self, position: int, event: Event) -> None:
+        """Track one in-flight split read."""
+        self.posted.add(position)
+        self.outstanding += 1
+
+        def on_done(done: Event, position=position) -> None:
+            self.outstanding -= 1
+            payload = done._value if done._ok else None
+            self.arrivals[position] = payload
+            if self.validator(payload):
+                self.valid[position] = payload
+                self.order.append(position)
+            self._fire()
+
+        if event.processed:
+            on_done(event)
+        else:
+            event.callbacks.append(on_done)
+
+    def wait_valid(self, need: int) -> Event:
+        """An event firing when ``need`` valid splits have arrived — or
+        when nothing is outstanding anymore (caller decides to escalate)."""
+        self._need = need
+        self._waiter = self.sim.event(name="gather-valid")
+        self._fire()
+        return self._waiter
+
+    def wait_all(self) -> Event:
+        """An event firing once every posted read has completed."""
+        self._all_waiter = self.sim.event(name="gather-all")
+        self._fire()
+        return self._all_waiter
+
+    def _fire(self) -> None:
+        if self._waiter is not None and not self._waiter.triggered:
+            if len(self.valid) >= self._need or self.outstanding == 0:
+                self._waiter.succeed()
+        if self._all_waiter is not None and not self._all_waiter.triggered:
+            if self.outstanding == 0:
+                self._all_waiter.succeed()
+
+    def first_valid(self, count: int) -> Dict[int, object]:
+        """The first ``count`` valid splits in arrival order — exactly what
+        survives the in-place buffer after MR deregistration."""
+        return {p: self.valid[p] for p in self.order[:count]}
+
+    def real_payloads(self) -> Dict[int, np.ndarray]:
+        return {
+            p: payload
+            for p, payload in self.arrivals.items()
+            if isinstance(payload, np.ndarray)
+        }
+
+
+class HydraError(Exception):
+    """Base error of the resilience layer."""
+
+
+class RemoteMemoryUnavailable(HydraError):
+    """Fewer than k splits of a page are reachable — data is lost or the
+    cluster lacks capacity."""
+
+
+class ResilienceManager:
+    """Erasure-coded remote memory for one client machine.
+
+    The public interface is the remote-memory-pool protocol shared with
+    the baselines: :meth:`write` and :meth:`read` return simulation
+    processes; ``yield`` them from workload code.
+    """
+
+    name = "hydra"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: RdmaFabric,
+        machine_id: int,
+        config: HydraConfig,
+        endpoint: RpcEndpoint,
+        placer: BatchPlacer,
+        rng: RandomSource,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.machine_id = machine_id
+        self.config = config
+        self.endpoint = endpoint
+        self.placer = placer
+        self.rng = rng
+        self.codec = PageCodec(config.k, config.r, page_size=config.page_size)
+        self.space = RemoteAddressSpace(config.pages_per_range)
+
+        # Phantom-mode page versions; also used in real mode for bookkeeping.
+        self._versions: Dict[int, int] = {}
+        # Real-mode golden copies are NOT kept: reads decode remote bytes.
+        self._inflight_writes: Dict[int, Event] = {}
+        self._placements_pending: Dict[int, Event] = {}
+        self._regenerating: Set[Tuple[int, int]] = set()
+        self._regen_waiters: Dict[Tuple[int, int], Event] = {}
+        # Pages written while a split position was unavailable: their split
+        # at that position must be re-written once the slab is back
+        # (regeneration rebuilds from a snapshot and misses them). The
+        # entry buffers the page *content* at write time so catch-up never
+        # depends on a read that could itself race other repairs.
+        self._catchup: Dict[Tuple[int, int], Dict[int, Tuple[int, object]]] = {}
+        # Per-machine suspicion scores (§4.3): +1 per localized corruption,
+        # +1/m smeared when localization was impossible.
+        self.error_scores: Dict[int, float] = {}
+        self._watched_machines: Set[int] = set()
+
+        self.read_latency = LatencyRecorder("hydra.read")
+        self.write_latency = LatencyRecorder("hydra.write")
+        self.events = Counter()
+
+        endpoint.register("evict_slab", self._on_evict_notice)
+        endpoint.register("slab_regenerated", self._on_slab_regenerated)
+
+    # ==================================================================
+    # public pool interface
+    # ==================================================================
+    def write(self, page_id: int, data: Optional[bytes] = None):
+        """Write a page to remote memory; returns a simulation process.
+
+        ``data`` must be ``page_size`` bytes in real mode and is ignored in
+        phantom mode. The process completes when the write returns to the
+        application (k data-split acks on the fast path); full (k + r)
+        durability lands shortly after via the asynchronous parity writes.
+        """
+        return self.sim.process(
+            self._write_process(page_id, data), name=f"hydra-write:{page_id}"
+        )
+
+    def read(self, page_id: int):
+        """Read a page back; the process's value is the page bytes (real
+        mode) or ``None`` (phantom mode)."""
+        return self.sim.process(
+            self._read_process(page_id), name=f"hydra-read:{page_id}"
+        )
+
+    @property
+    def memory_overhead(self) -> float:
+        return self.config.memory_overhead
+
+    def remote_pages(self) -> int:
+        """Pages currently tracked in remote memory."""
+        return len(self._versions)
+
+    # ==================================================================
+    # write path (§4.2.1)
+    # ==================================================================
+    def _write_process(self, page_id: int, data: Optional[bytes]):
+        config = self.config
+        dp = config.datapath
+        start = self.sim.now
+        # Placement can transiently fail under cluster-wide memory
+        # pressure; back off and retry before giving up.
+        address_range = None
+        for attempt in range(_WRITE_RETRY_LIMIT):
+            try:
+                address_range, offset = yield from self._resolve(page_id)
+                break
+            except PlacementError:
+                self.events.incr("placement_retries")
+                yield self.sim.timeout(_WRITE_RETRY_BACKOFF_US * 4 * (attempt + 1))
+        if address_range is None:
+            self.events.incr("write_failures")
+            raise RemoteMemoryUnavailable(
+                f"no placement for page {page_id} after {_WRITE_RETRY_LIMIT} tries"
+            )
+        version = self._versions.get(page_id, 0) + 1
+
+        if config.payload_mode == "real":
+            if data is None or len(data) != config.page_size:
+                raise HydraError(
+                    f"real mode write needs {config.page_size} bytes of data"
+                )
+            data_splits = self.codec.split(data)
+        else:
+            data_splits = None
+
+        full_done = self.sim.event(name=f"write-durable:{page_id}")
+        self._inflight_writes[page_id] = full_done
+
+        def _finish_inflight(_event: Event) -> None:
+            if self._inflight_writes.get(page_id) is full_done:
+                del self._inflight_writes[page_id]
+
+        full_done.callbacks.append(_finish_inflight)
+
+        for attempt in range(_WRITE_RETRY_LIMIT):
+            available = address_range.available_positions()
+            data_positions = list(range(config.k))
+            fast_path = dp.async_encoding and all(
+                address_range.handle(p).available for p in data_positions
+            )
+            # Only verbs on the critical path cost posting time: the fast
+            # path returns after the k data-split writes (parities are
+            # posted asynchronously).
+            critical_posts = config.k if fast_path else max(1, len(available))
+            yield self.sim.timeout(issue_overhead_us(dp, critical_posts))
+            try:
+                if fast_path:
+                    yield from self._write_fast(
+                        address_range, offset, page_id, version, data_splits, full_done
+                    )
+                else:
+                    yield from self._write_degraded(
+                        address_range, offset, page_id, version, data_splits,
+                        available, full_done,
+                    )
+            except RemoteMemoryUnavailable:
+                self.events.incr("write_retries")
+                # Probe the range: any position on an unreachable machine
+                # is marked failed here (belt and braces — the disconnect
+                # listener normally does this first).
+                for position in address_range.available_positions():
+                    handle = address_range.handle(position)
+                    if not self.fabric.reachable(self.machine_id, handle.machine_id):
+                        address_range.mark_failed(position)
+                        self._start_regeneration(address_range, position)
+                yield self.sim.timeout(_WRITE_RETRY_BACKOFF_US)
+                continue
+            self._versions[page_id] = version
+            # Positions that could not receive this write need a catch-up
+            # split once their slab is regenerated; buffer the content so
+            # the repair is self-contained. Decide by the positions that
+            # were unavailable when the splits were POSTED — if one came
+            # back while our acks were in flight, the helper posts the
+            # split directly instead of buffering.
+            for position in range(config.n):
+                posted = position in available
+                live = address_range.handle(position).available
+                if posted and live:
+                    continue  # the write itself covered this position
+                self._record_or_post_catchup(
+                    address_range, position, offset, page_id, version, data
+                )
+            self.write_latency.record(self.sim.now - start)
+            self.events.incr("writes")
+            return None
+
+        if not full_done.triggered:
+            full_done.succeed()  # give up; unblock any ordered readers
+        self.events.incr("write_failures")
+        raise RemoteMemoryUnavailable(
+            f"write of page {page_id} failed after {_WRITE_RETRY_LIMIT} attempts"
+        )
+
+    def _write_fast(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        data_splits: Optional[np.ndarray],
+        full_done: Event,
+    ):
+        """Asynchronously encoded write: data first, parity in background."""
+        config = self.config
+        dp = config.datapath
+        acks = []
+        for position in range(config.k):
+            payload = self._payload(data_splits, position, version)
+            acks.append(self._post_split_write(address_range, position, offset, payload))
+        succeeded = yield from self._await_acks(acks, need=config.k)
+        yield self.sim.timeout(completion_overhead_us(dp, config.k))
+        if succeeded < config.k:
+            raise RemoteMemoryUnavailable("data-split writes failed")
+        # Application gets its ack here; parity continues asynchronously.
+        self.sim.process(
+            self._write_parity_async(
+                address_range, offset, page_id, version, data_splits, full_done
+            ),
+            name=f"hydra-parity:{page_id}",
+        )
+        return None
+
+    def _write_parity_async(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        data_splits: Optional[np.ndarray],
+        full_done: Event,
+    ):
+        config = self.config
+        yield self.sim.timeout(encode_latency_us(config))
+        if config.payload_mode == "real":
+            parity = self.codec.code.encode(data_splits)
+        else:
+            parity = None
+        acks = []
+        for index in range(config.r):
+            position = config.k + index
+            if not address_range.handle(position).available:
+                # This parity cannot be written now; make sure the pending
+                # regeneration (or a direct post, if it races us) covers it.
+                self._record_or_post_catchup(
+                    address_range, position, offset, page_id, version,
+                    self._page_bytes_from_splits(data_splits),
+                )
+                continue
+            if parity is not None:
+                payload = parity[index]
+            else:
+                payload = PhantomSplit(version=version)
+            acks.append(self._post_split_write(address_range, position, offset, payload))
+        if acks:
+            yield from self._await_acks(acks, need=len(acks))
+        self.events.incr("parity_writes", len(acks))
+        if not full_done.triggered:
+            full_done.succeed()
+
+    def _write_degraded(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        data_splits: Optional[np.ndarray],
+        available: List[int],
+        full_done: Event,
+    ):
+        """Synchronous-encode write used when async encoding is off or some
+        data slab is unavailable: encode, write all reachable splits, return
+        after k acks (§4.3 'resends the I/O request to other machines')."""
+        config = self.config
+        dp = config.datapath
+        if len(available) < config.k:
+            raise RemoteMemoryUnavailable(
+                f"only {len(available)} slabs available, need {config.k}"
+            )
+        yield self.sim.timeout(encode_latency_us(config))
+        if config.payload_mode == "real":
+            all_splits = self.codec.code.encode_page(data_splits)
+        else:
+            all_splits = None
+        acks = []
+        for position in available:
+            if all_splits is not None:
+                payload = all_splits[position]
+            else:
+                payload = PhantomSplit(version=version)
+            acks.append(self._post_split_write(address_range, position, offset, payload))
+        wait_for = len(acks) if not dp.async_encoding else config.k
+        succeeded = yield from self._await_acks(acks, need=wait_for)
+        yield self.sim.timeout(completion_overhead_us(dp, wait_for))
+        if succeeded < min(config.k, len(acks)):
+            raise RemoteMemoryUnavailable("degraded write could not reach k acks")
+        self.events.incr("degraded_writes")
+        if not full_done.triggered:
+            full_done.succeed()
+        return None
+
+    # ==================================================================
+    # read path (§4.2.2)
+    # ==================================================================
+    def _read_process(self, page_id: int):
+        config = self.config
+        dp = config.datapath
+        start = self.sim.now
+        self.events.incr("reads")
+
+        # Per-QP ordering makes read-after-write safe for data splits, but a
+        # read racing the *asynchronous parity* writes could mix versions;
+        # the RM tracks in-flight writes and orders behind them (§4.3).
+        inflight = self._inflight_writes.get(page_id)
+        if inflight is not None and not inflight.triggered:
+            yield inflight
+
+        if page_id not in self._versions:
+            return None  # never written; nothing to read
+
+        range_id, offset = self.space.locate(page_id)
+        address_range = self.space.get(range_id)
+        if address_range is None:
+            raise HydraError(f"page {page_id} has a version but no range")
+        version = self._versions[page_id]
+
+        available = address_range.available_positions()
+        if len(available) < config.k:
+            raise RemoteMemoryUnavailable(
+                f"page {page_id}: only {len(available)} slabs reachable"
+            )
+
+        suspected = any(
+            self.error_scores.get(address_range.handle(p).machine_id, 0.0)
+            >= config.error_correction_limit
+            for p in available
+        )
+        if suspected:
+            fanout = min(config.correction_fanout(), len(available))
+            self.events.incr("suspicious_reads")
+        else:
+            fanout = min(config.read_fanout(), len(available))
+
+        yield self.sim.timeout(issue_overhead_us(dp, fanout))
+
+        positions = self.rng.sample(available, fanout)
+        gather = _SplitGather(self.sim, lambda p: self._is_valid(p, version))
+        for position in positions:
+            gather.post(position, self._post_split_read(address_range, position, offset))
+
+        while len(gather.valid) < config.k:
+            yield gather.wait_valid(config.k)
+            if len(gather.valid) >= config.k:
+                break
+            # Escalate: everything in flight has landed and we still lack
+            # k valid splits — request the untried positions.
+            escalated = False
+            for position in address_range.available_positions():
+                if position not in gather.posted:
+                    gather.post(
+                        position, self._post_split_read(address_range, position, offset)
+                    )
+                    self.events.incr("escalation_reads")
+                    escalated = True
+            if not escalated and gather.outstanding == 0:
+                break
+
+        if len(gather.valid) < config.k:
+            self.events.incr("read_failures")
+            detail = []
+            for position, payload in sorted(gather.arrivals.items()):
+                if isinstance(payload, PhantomSplit):
+                    state = f"v{payload.version}" + ("!" if payload.corrupt else "")
+                elif payload is None:
+                    state = "none"
+                else:
+                    state = "bytes"
+                detail.append(f"{position}={state}")
+            raise RemoteMemoryUnavailable(
+                f"page {page_id}: decoded {len(gather.valid)} valid splits, "
+                f"need {config.k} (want v{version}; arrivals: {', '.join(detail)})"
+            )
+
+        yield self.sim.timeout(completion_overhead_us(dp, config.k))
+
+        # In-place coding guard: the k-th valid arrival deregisters the
+        # page's memory region, so later (possibly corrupt) splits can never
+        # overwrite it — we snapshot exactly the first k valid splits.
+        first_k = gather.first_valid(config.k)
+        systematic = set(first_k) == set(range(config.k))
+        if not systematic:
+            yield self.sim.timeout(decode_latency_us(config))
+            self.events.incr("decoded_reads")
+
+        page: Optional[bytes] = None
+        if config.payload_mode == "real":
+            if suspected:
+                page = yield from self._read_with_correction(
+                    address_range, offset, page_id, version, gather
+                )
+            else:
+                page = self.codec.decode(first_k)
+                if config.verify_reads:
+                    self.sim.process(
+                        self._background_verify(
+                            address_range, offset, page_id, version, gather
+                        ),
+                        name=f"hydra-verify:{page_id}",
+                    )
+
+        self.read_latency.record(self.sim.now - start)
+        return page
+
+    def _read_with_correction(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        gather: _SplitGather,
+    ):
+        """Inline verified read for suspected machines: wait for the full
+        (k + 2Δ + 1) fanout and decode through the correction path."""
+        yield gather.wait_all()
+        try:
+            page = self.codec.decode_verified(gather.real_payloads())
+            self.events.incr("verified_reads")
+            return page
+        except CorruptionDetected:
+            pass
+        page, _corrupted = yield from self._correct_and_heal(
+            address_range, offset, page_id, version, gather.real_payloads()
+        )
+        return page
+
+    def _background_verify(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        gather: _SplitGather,
+    ):
+        """§4.3 detection path: once the Δ extra splits arrive, check
+        consistency off the critical path; on detection, correct and heal."""
+        config = self.config
+        yield gather.wait_all()
+        usable = gather.real_payloads()
+        if len(usable) <= config.k:
+            return  # not enough for detection
+        try:
+            self.codec.decode_verified(usable)
+            return  # consistent; nothing to do
+        except CorruptionDetected:
+            self.events.incr("corruption_detected")
+        yield from self._correct_and_heal(
+            address_range, offset, page_id, version, usable
+        )
+
+    def _correct_and_heal(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        splits: Dict[int, object],
+    ):
+        """Fetch Δ + 1 extra splits, locate/correct errors, rewrite the
+        corrupted splits, and update per-machine error scores."""
+        config = self.config
+        extra_needed = config.correction_fanout() - len(splits)
+        if extra_needed > 0:
+            extra_positions = [
+                p
+                for p in address_range.available_positions()
+                if p not in splits
+            ][: extra_needed + config.delta]
+            extra = _SplitGather(
+                self.sim, lambda p: isinstance(p, np.ndarray)
+            )
+            for position in extra_positions:
+                extra.post(position, self._post_split_read(address_range, position, offset))
+            if extra_positions:
+                yield extra.wait_all()
+            splits.update(extra.real_payloads())
+
+        # Best-effort localization when the k + 2Δ + 1 guarantee cannot be
+        # met with the splits that exist (e.g. r < 2Δ + 1): the unique
+        # maximal-agreement codeword localizes random corruption with
+        # overwhelming probability (§5.1 distinguishes this from the
+        # information-theoretic guarantee).
+        max_errors = max(1, (len(splits) - config.k - 1) // 2)
+        try:
+            page, corrupted = self.codec.correct(
+                splits, max_errors=max_errors, best_effort=True
+            )
+        except DecodeError:
+            # Cannot localize: smear suspicion across the machines involved.
+            for position in splits:
+                machine = address_range.handle(position).machine_id
+                self._record_error(machine, 1.0 / len(splits), address_range, position)
+            self.events.incr("uncorrectable_detections")
+            return self.codec.decode(splits), []
+
+        self.events.incr("corrected_reads")
+        data_splits = self.codec.split(page)
+        for position in corrupted:
+            machine = address_range.handle(position).machine_id
+            self._record_error(machine, 1.0, address_range, position)
+            # Heal the stored split in place.
+            payload = self.codec.code.reencode_split(data_splits, position)
+            self._post_split_write(address_range, position, offset, payload)
+            self.events.incr("healed_splits")
+        return page, corrupted
+
+    # ==================================================================
+    # failure / eviction / corruption bookkeeping (§4.3)
+    # ==================================================================
+    def _record_error(
+        self, machine_id: int, weight: float, address_range: AddressRange, position: int
+    ) -> None:
+        score = self.error_scores.get(machine_id, 0.0) + weight
+        self.error_scores[machine_id] = score
+        if score >= self.config.slab_regeneration_limit:
+            # Error rate beyond repair: regenerate this machine's slab.
+            address_range.mark_failed(position)
+            self.error_scores[machine_id] = 0.0
+            self.events.incr("regen_for_errors")
+            self._start_regeneration(address_range, position)
+
+    def _on_machine_down(self, machine_id: int) -> None:
+        """RDMA connection-manager notification: fail over every range that
+        had a slab on the dead machine and regenerate in the background."""
+        self.events.incr("disconnects")
+        for address_range in self.space.ranges_using_machine(machine_id):
+            for position in address_range.positions_on_machine(machine_id):
+                handle = address_range.handle(position)
+                if handle.available:
+                    address_range.mark_failed(position)
+                    self._start_regeneration(address_range, position)
+
+    def _on_evict_notice(self, src_id: int, body: dict) -> None:
+        """A Resource Monitor wants to evict one of our slabs (explicit
+        message, §4.3 'eviction handling is similar to failure').
+
+        Batch eviction *contacts the owners to determine* the victims
+        (§4.4): if the slab's range is already degraded (another slab
+        failed or mid-regeneration), the eviction is vetoed so correlated
+        evictions cannot silently erode a range below k survivors.
+        """
+        range_id = body["range_id"]
+        position = body["position"]
+        address_range = self.space.get(range_id)
+        if address_range is None:
+            return {"ok": True}  # stale slab; monitor may drop it
+        handle = address_range.handle(position)
+        if handle.slab_id != body["slab_id"] or not handle.available:
+            return {"ok": True}
+        if len(address_range.available_positions()) < address_range.n:
+            self.events.incr("evictions_vetoed")
+            return {"ok": False}
+        self.events.incr("evictions")
+        address_range.mark_failed(position)
+        self._start_regeneration(address_range, position)
+        return {"ok": True}
+
+    # ==================================================================
+    # background slab regeneration (§4.4)
+    # ==================================================================
+    def _start_regeneration(self, address_range: AddressRange, position: int) -> None:
+        key = (address_range.range_id, position)
+        if key in self._regenerating:
+            return
+        self._regenerating.add(key)
+        self.sim.process(
+            self._regenerate(address_range, position),
+            name=f"hydra-regen:{key}",
+        )
+
+    def _regenerate(self, address_range: AddressRange, position: int):
+        key = (address_range.range_id, position)
+        config = self.config
+        try:
+            available = address_range.available_positions()
+            if len(available) < config.k:
+                self.events.incr("regen_impossible")
+                return  # data is lost; nothing to rebuild from
+            exclude = set(address_range.machine_ids()) | {self.machine_id}
+            try:
+                target = yield from self.placer.place_single(
+                    address_range.range_id, position, exclude
+                )
+            except PlacementError:
+                # No machine can host the slab right now (cluster-wide
+                # pressure): retry after a backoff instead of leaving the
+                # range degraded forever.
+                self.events.incr("regen_no_target")
+                self._retry_regeneration_later(address_range, position)
+                return
+            # Hand the monitor *every* available position: pages missing
+            # from one source (e.g. a previously regenerated slab) can
+            # still be rebuilt from any k others.
+            sources = list(available)
+            body = {
+                "range_id": address_range.range_id,
+                "position": position,
+                "owner": self.machine_id,
+                "k": config.k,
+                "r": config.r,
+                "page_size": config.page_size,
+                "payload_mode": config.payload_mode,
+                "sources": [
+                    {
+                        "machine_id": address_range.handle(p).machine_id,
+                        "slab_id": address_range.handle(p).slab_id,
+                        "position": p,
+                    }
+                    for p in sources
+                ],
+            }
+            waiter = self.sim.event(name=f"regen-wait:{key}")
+            self._regen_waiters[key] = waiter
+            try:
+                yield self.endpoint.call(target, "regenerate_slab", body)
+            except RpcError:
+                self._regen_waiters.pop(key, None)
+                self.events.incr("regen_no_target")
+                return
+            # The monitor calls back when rebuilt; guard against it dying
+            # mid-rebuild with a timeout + retry.
+            deadline = self.sim.timeout(_REGEN_TIMEOUT_US)
+            yield self.sim.any_of([waiter, deadline])
+            if not waiter.triggered:
+                self.events.incr("regen_timeouts")
+                self._retry_regeneration_later(address_range, position, delay=1.0)
+                return
+            result = waiter.value
+            new_handle = SlabHandle(
+                machine_id=result["machine_id"], slab_id=result["slab_id"]
+            )
+            # Apply catch-up writes BEFORE the position goes live: while it
+            # is still marked failed, every concurrent write keeps landing
+            # in the catch-up buffer, so draining it to empty and then
+            # replacing the handle (no yield in between) leaves the slab
+            # exactly current.
+            yield from self._apply_catchup(address_range, position, new_handle)
+            address_range.replace(position, new_handle)
+            # The replacement may live on a machine we have never talked
+            # to: watch its connection too, or later failures of that
+            # machine would go unnoticed.
+            self._watch_machines([new_handle])
+            self.events.incr("regenerations")
+        finally:
+            self._regenerating.discard(key)
+            self._regen_waiters.pop(key, None)
+
+    def _record_or_post_catchup(
+        self,
+        address_range: AddressRange,
+        position: int,
+        offset: int,
+        page_id: int,
+        version: int,
+        data,
+    ) -> None:
+        """A write could not cover ``position``: buffer it for the pending
+        regeneration — or, if the position already came back (the write
+        raced the repair), post the split directly (later post on the same
+        QP wins over anything the repair wrote)."""
+        handle = address_range.handle(position)
+        if handle.available:
+            if self.config.payload_mode == "real" and data is not None:
+                payload = self.codec.code.reencode_split(
+                    self.codec.split(data), position
+                )
+            else:
+                payload = PhantomSplit(version=version)
+            self._post_split_write(address_range, position, offset, payload)
+            self.events.incr("catchup_direct_posts")
+            return
+        self._catchup.setdefault((address_range.range_id, position), {})[
+            page_id
+        ] = (version, data)
+
+    def _apply_catchup(
+        self, address_range: AddressRange, position: int, handle: SlabHandle
+    ):
+        """Bring a regenerated slab fully up to date before it goes live.
+
+        Re-encodes the buffered page content recorded by writes that ran
+        while the position was down and writes the splits directly to the
+        replacement slab. Loops until the buffer drains — writes landing
+        mid-drain re-enter it because the position is still marked failed.
+        """
+        config = self.config
+        key = (address_range.range_id, position)
+        while True:
+            buffered = self._catchup.pop(key, None)
+            if not buffered:
+                return
+            for page_id, (version, data) in buffered.items():
+                if self._versions.get(page_id, 0) > version:
+                    # A newer write exists; its own catch-up entry (or the
+                    # live write, once the position is available) wins.
+                    if key in self._catchup and page_id in self._catchup[key]:
+                        continue
+                    # Newer version recorded nowhere for this position can
+                    # only mean the position went live in between — which
+                    # cannot happen before replace(); skip defensively.
+                    continue
+                _range_id, offset = self.space.locate(page_id)
+                if config.payload_mode == "real" and data is not None:
+                    payload = self.codec.code.reencode_split(
+                        self.codec.split(data), position
+                    )
+                else:
+                    payload = PhantomSplit(version=version)
+                machine = self.fabric.machine(handle.machine_id)
+                qp = self.fabric.qp(self.machine_id, handle.machine_id)
+                yield qp.post_write(
+                    config.split_size,
+                    apply=lambda m=machine, h=handle, o=offset, p=payload: (
+                        m.write_split(h.slab_id, o, p)
+                    ),
+                )
+                self.events.incr("catchup_writes")
+
+    def _retry_regeneration_later(
+        self, address_range: AddressRange, position: int, delay: Optional[float] = None
+    ) -> None:
+        """Schedule another regeneration attempt after a backoff (runs
+        after the current attempt's cleanup has released the dedup key)."""
+        if delay is None:
+            delay = self.config.control_period_us
+
+        def retry():
+            yield self.sim.timeout(delay)
+            handle = address_range.handle(position)
+            if not handle.available:
+                self._start_regeneration(address_range, position)
+
+        self.sim.process(
+            retry(), name=f"regen-retry:{address_range.range_id}/{position}"
+        )
+
+    def _on_slab_regenerated(self, src_id: int, body: dict) -> None:
+        key = (body["range_id"], body["position"])
+        waiter = self._regen_waiters.get(key)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed({"machine_id": src_id, "slab_id": body["slab_id"]})
+        return {"ok": True}
+
+    # ==================================================================
+    # reclaim (Fig 7b): bring a range's pages home and release its slabs
+    # ==================================================================
+    def reclaim_range(self, range_id: int):
+        """Simulation process: read every page of a range back, unmap its
+        slabs, and return ``{page_id: bytes|None}`` to the caller (the VMM
+        absorbs them into local memory)."""
+        return self.sim.process(self._reclaim_process(range_id), name=f"reclaim:{range_id}")
+
+    def _reclaim_process(self, range_id: int):
+        address_range = self.space.get(range_id)
+        if address_range is None:
+            return {}
+        pages: Dict[int, Optional[bytes]] = {}
+        for page_id in [p for p in self._versions if self.space.locate(p)[0] == range_id]:
+            data = yield self.read(page_id)
+            pages[page_id] = data
+            del self._versions[page_id]
+        for position, handle in enumerate(address_range.slots):
+            if not handle.available:
+                continue
+            try:
+                yield self.endpoint.call(
+                    handle.machine_id, "unmap_slab", {"slab_id": handle.slab_id}
+                )
+            except RpcError:
+                pass
+        self.space.drop(range_id)
+        self.events.incr("ranges_reclaimed")
+        return pages
+
+    # ==================================================================
+    # plumbing
+    # ==================================================================
+    def _resolve(self, page_id: int):
+        """Locate (or lazily place) the address range of ``page_id``.
+
+        Raises :class:`PlacementError` when the cluster cannot host the
+        range right now; callers back off and retry.
+        """
+        range_id, offset = self.space.locate(page_id)
+        address_range = self.space.get(range_id)
+        if address_range is not None:
+            return address_range, offset
+        pending = self._placements_pending.get(range_id)
+        if pending is not None:
+            yield pending
+            address_range = self.space.get(range_id)
+            if address_range is None:
+                raise PlacementError(
+                    f"placement of range {range_id} failed while waiting"
+                )
+            return address_range, offset
+        gate = self.sim.event(name=f"placement:{range_id}")
+        self._placements_pending[range_id] = gate
+        try:
+            handles = yield from self.placer.place_range(range_id)
+            address_range = AddressRange(range_id, handles)
+            self.space.install(address_range)
+            self._watch_machines(handles)
+            self.events.incr("ranges_placed")
+        finally:
+            del self._placements_pending[range_id]
+            gate.succeed()
+        return address_range, offset
+
+    def _watch_machines(self, handles: List[SlabHandle]) -> None:
+        for handle in handles:
+            if handle.machine_id in self._watched_machines:
+                continue
+            self._watched_machines.add(handle.machine_id)
+            qp = self.fabric.qp(self.machine_id, handle.machine_id)
+            qp.on_disconnect(self._on_machine_down)
+
+    def _page_bytes_from_splits(self, data_splits) -> Optional[bytes]:
+        if data_splits is None:
+            return None
+        return self.codec.join(data_splits)
+
+    def _payload(self, data_splits, position: int, version: int):
+        if data_splits is not None:
+            return data_splits[position]
+        return PhantomSplit(version=version)
+
+    def _post_split_write(
+        self, address_range: AddressRange, position: int, offset: int, payload
+    ) -> Event:
+        handle = address_range.handle(position)
+        machine = self.fabric.machine(handle.machine_id)
+        qp = self.fabric.qp(self.machine_id, handle.machine_id)
+        return qp.post_write(
+            self.config.split_size,
+            apply=lambda: machine.write_split(handle.slab_id, offset, payload),
+        )
+
+    def _post_split_read(
+        self, address_range: AddressRange, position: int, offset: int
+    ) -> Event:
+        handle = address_range.handle(position)
+        machine = self.fabric.machine(handle.machine_id)
+        qp = self.fabric.qp(self.machine_id, handle.machine_id)
+        return qp.post_read(
+            self.config.split_size,
+            fetch=lambda: machine.read_split(handle.slab_id, offset),
+        )
+
+    def _is_valid(self, payload, version: int) -> bool:
+        if payload is None:
+            return False
+        if isinstance(payload, PhantomSplit):
+            # Phantom corruption models *detectable* (integrity-checked)
+            # corruption; silent corruption needs real mode.
+            return not payload.corrupt and payload.version == version
+        return isinstance(payload, np.ndarray)
+
+    def _await_acks(self, events: List[Event], need: int):
+        """Wait until ``need`` of ``events`` succeed (or all finish);
+        failures just reduce the achievable count. Returns the success
+        count. Implemented with completion callbacks — one waiter event
+        total, however many acks are in flight."""
+        if not events:
+            return 0
+        need = min(need, len(events))
+        waiter = self.sim.event(name="acks")
+        state = {"succeeded": 0, "finished": 0}
+        total = len(events)
+
+        def on_done(event: Event) -> None:
+            state["finished"] += 1
+            if event._ok:
+                state["succeeded"] += 1
+            if not waiter.triggered and (
+                state["succeeded"] >= need or state["finished"] == total
+            ):
+                waiter.succeed()
+
+        for event in events:
+            if event.processed:
+                on_done(event)
+            else:
+                event.callbacks.append(on_done)
+        if not waiter.triggered and (
+            state["succeeded"] >= need or state["finished"] == total
+        ):
+            waiter.succeed()
+        yield waiter
+        return state["succeeded"]

@@ -1,0 +1,119 @@
+"""Control-plane RPC over two-sided RDMA SEND/RECV.
+
+The Resource Monitor is a user-space program exchanging control messages
+(§6): load queries, slab map/unmap, eviction notices, regeneration
+hand-offs. This module provides a tiny request/reply layer on top of the
+fabric's SEND verb: a request carries a correlation id; the target's
+registered handler computes a reply, which is SENT back and completes the
+caller's event.
+
+Handlers run at message-delivery time and must be non-blocking; long
+operations (e.g. slab regeneration) spawn their own simulation process and
+reply immediately with an acknowledgement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from ..net import RdmaFabric, RemoteAccessError
+from ..sim import Event
+
+__all__ = ["RpcError", "RpcEndpoint"]
+
+_MESSAGE_BYTES = 256  # control messages are small; one MTU
+
+
+class RpcError(Exception):
+    """The remote handler raised, or the target is unreachable."""
+
+
+class RpcEndpoint:
+    """Request/reply messaging for one machine.
+
+    One endpoint per machine; both the Resilience Manager and the Resource
+    Monitor of that machine share it. Handlers are registered per message
+    type::
+
+        endpoint.register("query_load", lambda src, body: {"free": ...})
+        reply = yield endpoint.call(peer_id, "query_load", {})
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, fabric: RdmaFabric, machine_id: int):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.machine_id = machine_id
+        self._handlers: Dict[str, Callable[[int, dict], Any]] = {}
+        self._pending: Dict[int, Event] = {}
+        fabric.machine(machine_id).add_message_handler(self._on_message)
+
+    def register(self, message_type: str, handler: Callable[[int, dict], Any]) -> None:
+        """Register the handler for ``message_type`` (one per type)."""
+        if message_type in self._handlers:
+            raise ValueError(f"handler for {message_type!r} already registered")
+        self._handlers[message_type] = handler
+
+    def call(self, target_id: int, message_type: str, body: Optional[dict] = None) -> Event:
+        """Issue a request; the returned event yields the reply body.
+
+        Fails with :class:`RpcError` when the target is unreachable or its
+        handler raises.
+        """
+        request_id = next(self._ids)
+        event = self.sim.event(name=f"rpc:{message_type}->{target_id}")
+        self._pending[request_id] = event
+        message = {
+            "kind": "request",
+            "type": message_type,
+            "id": request_id,
+            "body": body or {},
+        }
+        qp = self.fabric.qp(self.machine_id, target_id)
+        send = qp.post_send(message, size_bytes=_MESSAGE_BYTES)
+
+        def on_send(send_event: Event) -> None:
+            if not send_event.ok and not event.triggered:
+                self._pending.pop(request_id, None)
+                event.fail(RpcError(f"rpc {message_type} to {target_id} failed: "
+                                    f"{send_event.exception}"))
+
+        send.callbacks.append(on_send)
+        return event
+
+    # -- delivery ------------------------------------------------------------
+    def _on_message(self, src_id: int, message: Any) -> None:
+        if not isinstance(message, dict) or "kind" not in message:
+            return  # not an RPC frame; other subsystems may use raw sends
+        if message["kind"] == "request":
+            self._serve(src_id, message)
+        elif message["kind"] == "reply":
+            self._complete(message)
+
+    def _serve(self, src_id: int, message: dict) -> None:
+        handler = self._handlers.get(message["type"])
+        reply: Dict[str, Any] = {"kind": "reply", "id": message["id"]}
+        if handler is None:
+            reply["error"] = f"no handler for {message['type']!r} on {self.machine_id}"
+        else:
+            try:
+                reply["body"] = handler(src_id, message["body"])
+            except Exception as exc:  # noqa: BLE001 - errors cross the wire
+                reply["error"] = f"{type(exc).__name__}: {exc}"
+        try:
+            self.fabric.qp(self.machine_id, src_id).post_send(
+                reply, size_bytes=_MESSAGE_BYTES
+            )
+        except RemoteAccessError:
+            pass  # requester died; nothing to do
+
+    def _complete(self, message: dict) -> None:
+        event = self._pending.pop(message["id"], None)
+        if event is None or event.triggered:
+            return
+        if "error" in message:
+            event.fail(RpcError(message["error"]))
+        else:
+            event.succeed(message.get("body"))

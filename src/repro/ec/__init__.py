@@ -1,0 +1,36 @@
+"""Erasure coding: GF(2^8) Reed-Solomon codes and the per-page codec."""
+
+from .galois import gf_add, gf_div, gf_inv, gf_mul, gf_mul_slice, gf_pow, gf_sub
+from .matrix import (
+    SingularMatrixError,
+    cauchy_parity_matrix,
+    gf_mat_inverse,
+    gf_matmul,
+    systematic_generator,
+)
+from .pagecodec import PAGE_SIZE, PageCodec
+from .rs import CorruptionDetected, DecodeError, ReedSolomonCode
+from .vectorized import encode_pages, rebuild_position, rebuild_transform
+
+__all__ = [
+    "gf_add",
+    "gf_sub",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_mul_slice",
+    "SingularMatrixError",
+    "gf_matmul",
+    "gf_mat_inverse",
+    "cauchy_parity_matrix",
+    "systematic_generator",
+    "PAGE_SIZE",
+    "PageCodec",
+    "CorruptionDetected",
+    "DecodeError",
+    "ReedSolomonCode",
+    "encode_pages",
+    "rebuild_position",
+    "rebuild_transform",
+]

@@ -1,0 +1,111 @@
+"""Page-level codec: 4 KB pages <-> (k + r) erasure-coded splits.
+
+Hydra codes each page *individually* (§4) rather than batching pages, so
+the codec here is purely per-page: split a page into ``k`` equal shards
+(zero-padded when ``k`` does not divide the page size), encode ``r``
+parities, and reassemble from any ``k`` shards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .rs import ReedSolomonCode
+
+__all__ = ["PAGE_SIZE", "PageCodec"]
+
+PAGE_SIZE = 4096  # bytes; the x86 base page the paper codes over
+
+
+class PageCodec:
+    """Splits pages into ``k`` shards and erasure-codes them with RS(k, r).
+
+    Split length is ``ceil(page_size / k)``; the final shard is zero-padded.
+    The paper's (8+2) default turns a 4 KB page into ten 512 B splits.
+    """
+
+    def __init__(self, k: int, r: int, page_size: int = PAGE_SIZE):
+        if page_size < 1:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        if k > page_size:
+            raise ValueError(f"k={k} exceeds page_size={page_size}")
+        self.code = ReedSolomonCode(k, r)
+        self.page_size = page_size
+        self.split_size = -(-page_size // k)  # ceil division
+        self.padded_size = self.split_size * k
+
+    @property
+    def k(self) -> int:
+        return self.code.k
+
+    @property
+    def r(self) -> int:
+        return self.code.r
+
+    @property
+    def n(self) -> int:
+        return self.code.n
+
+    # ------------------------------------------------------------------
+    def split(self, page: bytes) -> np.ndarray:
+        """Divide a page into the (k, split_size) data-split matrix."""
+        if len(page) != self.page_size:
+            raise ValueError(
+                f"page must be exactly {self.page_size} bytes, got {len(page)}"
+            )
+        buffer = np.zeros(self.padded_size, dtype=np.uint8)
+        buffer[: self.page_size] = np.frombuffer(page, dtype=np.uint8)
+        return buffer.reshape(self.k, self.split_size)
+
+    def join(self, data_splits: np.ndarray) -> bytes:
+        """Reassemble a page from its k data splits (dropping padding)."""
+        data_splits = np.asarray(data_splits, dtype=np.uint8)
+        if data_splits.shape != (self.k, self.split_size):
+            raise ValueError(
+                f"expected shape {(self.k, self.split_size)}, got {data_splits.shape}"
+            )
+        return data_splits.reshape(-1)[: self.page_size].tobytes()
+
+    # ------------------------------------------------------------------
+    def encode(self, page: bytes) -> np.ndarray:
+        """Page -> all (k + r) splits, data first then parity."""
+        return self.code.encode_page(self.split(page))
+
+    def decode(self, splits: Dict[int, np.ndarray]) -> bytes:
+        """Any k splits -> original page bytes."""
+        return self.join(self.code.decode(splits))
+
+    def decode_verified(self, splits: Dict[int, np.ndarray]) -> bytes:
+        """Decode with consistency checking (raises CorruptionDetected)."""
+        return self.join(self.code.decode_verified(splits))
+
+    def correct(
+        self,
+        splits: Dict[int, np.ndarray],
+        max_errors: Optional[int] = None,
+        best_effort: bool = False,
+    ) -> Tuple[bytes, List[int]]:
+        """Locate/fix up to ``max_errors`` corruptions; see Table 1."""
+        data, corrupted = self.code.correct(
+            splits, max_errors=max_errors, best_effort=best_effort
+        )
+        return self.join(data), corrupted
+
+    # ------------------------------------------------------------------
+    def splits_required(
+        self, detect_errors: int = 0, correct_errors: int = 0
+    ) -> int:
+        """Minimum splits per Table 1 for the requested guarantee."""
+        if correct_errors:
+            return self.k + 2 * correct_errors + 1
+        if detect_errors:
+            return self.k + detect_errors
+        return self.k
+
+    def __repr__(self) -> str:
+        return (
+            f"PageCodec(k={self.k}, r={self.r}, page_size={self.page_size}, "
+            f"split_size={self.split_size})"
+        )

@@ -1,0 +1,270 @@
+"""Systematic Reed-Solomon codes over GF(2^8).
+
+This is the algebraic heart of Hydra (§4): every 4 KB page is divided into
+``k`` data splits, encoded into ``r`` additional parity splits, and any
+``k`` of the ``k + r`` splits reconstruct the page. On top of plain erasure
+decoding, the paper's corruption story (§4.3, §5.1) needs two more
+operations, both implemented here:
+
+* **detect** — with ``k + d`` splits, verify consistency and detect up to
+  ``d`` corrupted splits;
+* **correct** — with ``k + 2d + 1`` splits, locate and repair up to ``d``
+  corrupted splits (majority decoding over k-subsets).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import SingularMatrixError, gf_mat_inverse, gf_matmul, systematic_generator
+
+__all__ = [
+    "DecodeError",
+    "CorruptionDetected",
+    "ReedSolomonCode",
+]
+
+
+class DecodeError(ValueError):
+    """Raised when reconstruction is impossible (too few splits, etc.)."""
+
+
+class CorruptionDetected(DecodeError):
+    """Raised when split consistency checking finds corrupted splits.
+
+    ``suspect_indices`` lists split indices implicated by the check; with
+    only ``k + d`` splits the code can prove corruption exists but cannot
+    always localize it — in that case the list holds every received index.
+    """
+
+    def __init__(self, message: str, suspect_indices: Sequence[int] = ()):
+        super().__init__(message)
+        self.suspect_indices = list(suspect_indices)
+
+
+class ReedSolomonCode:
+    """A systematic RS(k, r) code with any-k-of-(k+r) reconstruction.
+
+    Parameters
+    ----------
+    k:
+        Number of data splits a page is divided into.
+    r:
+        Number of parity splits appended.
+
+    Instances are immutable and cheap to share; decode matrices are cached
+    per received-index tuple because a Resilience Manager sees the same few
+    combinations over and over.
+    """
+
+    def __init__(self, k: int, r: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if r < 0:
+            raise ValueError(f"r must be >= 0, got {r}")
+        if k + r > 256:
+            raise ValueError(f"k + r must be <= 256, got {k + r}")
+        self.k = k
+        self.r = r
+        self.n = k + r
+        self.generator = systematic_generator(k, r)
+        self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def encode(self, data_splits: np.ndarray) -> np.ndarray:
+        """Compute the ``r`` parity splits for ``k`` data splits.
+
+        ``data_splits`` is a (k, split_len) uint8 array. Returns an
+        (r, split_len) uint8 array. With ``r == 0`` returns an empty array.
+        """
+        data_splits = self._check_splits(data_splits, expected_rows=self.k)
+        if self.r == 0:
+            return np.zeros((0, data_splits.shape[1]), dtype=np.uint8)
+        return gf_matmul(self.generator[self.k :], data_splits)
+
+    def encode_page(self, data_splits: np.ndarray) -> np.ndarray:
+        """All ``k + r`` splits (data stacked above parity)."""
+        parity = self.encode(data_splits)
+        return np.vstack([np.asarray(data_splits, dtype=np.uint8), parity])
+
+    # ------------------------------------------------------------------
+    def decode(self, splits: Dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the ``k`` data splits from any ``k`` received splits.
+
+        ``splits`` maps split index (0..n-1; indices >= k are parity) to its
+        payload. Exactly the first ``k`` received (sorted by index) are used;
+        extra entries are ignored — use :meth:`decode_verified` when the
+        extras should participate in consistency checking.
+        """
+        received = sorted(splits.items())
+        if len(received) < self.k:
+            raise DecodeError(
+                f"need {self.k} splits to decode, got {len(received)}"
+            )
+        use = received[: self.k]
+        indices = tuple(index for index, _ in use)
+        payloads = np.stack([self._check_vector(split) for _, split in use])
+        if indices == tuple(range(self.k)):
+            return payloads  # all-systematic fast path
+        return gf_matmul(self._decode_matrix(indices), payloads)
+
+    def reencode_split(self, data_splits: np.ndarray, index: int) -> np.ndarray:
+        """Regenerate the single split ``index`` from the k data splits."""
+        data_splits = self._check_splits(data_splits, expected_rows=self.k)
+        if not 0 <= index < self.n:
+            raise DecodeError(f"split index {index} out of range 0..{self.n - 1}")
+        if index < self.k:
+            return data_splits[index].copy()
+        return gf_matmul(self.generator[index : index + 1], data_splits)[0]
+
+    # ------------------------------------------------------------------
+    def verify(self, splits: Dict[int, np.ndarray]) -> bool:
+        """True when all received splits are mutually consistent.
+
+        Requires at least ``k + 1`` splits to say anything beyond trivially
+        True; per Table 1, ``k + d`` splits detect up to ``d`` corruptions.
+        """
+        if len(splits) <= self.k:
+            return True
+        decoded = self.decode(dict(sorted(splits.items())[: self.k]))
+        for index, payload in splits.items():
+            expected = self.reencode_split(decoded, index)
+            if not np.array_equal(expected, self._check_vector(payload)):
+                return False
+        return True
+
+    def decode_verified(self, splits: Dict[int, np.ndarray]) -> np.ndarray:
+        """Decode and verify; raises :class:`CorruptionDetected` on mismatch.
+
+        This is the §5.1 'error detection' read: with ``k + d`` splits the
+        caller learns corruption happened and must fetch more splits before
+        correction is possible.
+        """
+        decoded = self.decode(splits)
+        suspects = []
+        for index, payload in splits.items():
+            expected = self.reencode_split(decoded, index)
+            if not np.array_equal(expected, self._check_vector(payload)):
+                suspects.append(index)
+        if suspects:
+            raise CorruptionDetected(
+                f"inconsistent splits detected (indices {sorted(splits)})",
+                suspect_indices=sorted(splits),
+            )
+        return decoded
+
+    def correct(
+        self,
+        splits: Dict[int, np.ndarray],
+        max_errors: Optional[int] = None,
+        best_effort: bool = False,
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Locate and correct up to ``max_errors`` corrupted splits.
+
+        Per Table 1, correcting ``d`` errors *with a guarantee* requires
+        ``k + 2d + 1`` received splits. The implementation is majority
+        decoding: each k-subset of the received splits proposes a decoding,
+        and a proposal is accepted when it is consistent with at least
+        ``len(splits) - max_errors`` received splits — a threshold only the
+        true codeword can reach when at most ``max_errors`` splits are
+        corrupted.
+
+        With ``best_effort=True`` the split-count precondition is relaxed:
+        the method returns the *unique* candidate codeword with maximal
+        agreement, provided that agreement covers at least ``k + 1``
+        splits. This localizes (say) one corruption from ``k + 2`` splits
+        with overwhelming probability for random corruption, but is not an
+        information-theoretic guarantee — exactly the distinction §5.1
+        draws.
+
+        Returns ``(data_splits, corrupted_indices)``.
+
+        Complexity is C(m, k) decodings in the worst case, which is fine
+        for the paper's operating points (e.g. m=11, k=8, d=1 -> 165
+        subsets); the common no-corruption case returns after one decode.
+        """
+        m = len(splits)
+        if max_errors is None:
+            max_errors = max(0, (m - self.k - 1) // 2)
+        needed = self.k + 2 * max_errors + 1
+        guaranteed = m >= needed
+        if not guaranteed and not best_effort:
+            raise DecodeError(
+                f"correcting {max_errors} errors needs {needed} splits, got {m}"
+            )
+        if m < self.k + 1:
+            raise DecodeError(
+                f"localization needs at least k + 1 = {self.k + 1} splits, got {m}"
+            )
+        items = sorted(splits.items())
+        payloads = {idx: self._check_vector(p) for idx, p in items}
+        agreement_threshold = m - max_errors if guaranteed else m
+
+        # Distinct candidate codewords, keyed by content, with the set of
+        # splits each disagrees with.
+        candidates: Dict[bytes, Tuple[np.ndarray, List[int]]] = {}
+        for subset in combinations(payloads.keys(), self.k):
+            try:
+                candidate = self.decode({idx: payloads[idx] for idx in subset})
+            except SingularMatrixError:  # pragma: no cover - Cauchy prevents this
+                continue
+            key = candidate.tobytes()
+            if key in candidates:
+                continue
+            corrupted = [
+                idx
+                for idx, payload in payloads.items()
+                if not np.array_equal(self.reencode_split(candidate, idx), payload)
+            ]
+            if guaranteed and m - len(corrupted) >= agreement_threshold:
+                return candidate, corrupted
+            candidates[key] = (candidate, corrupted)
+
+        if best_effort and candidates:
+            ranked = sorted(candidates.values(), key=lambda cc: len(cc[1]))
+            best, best_bad = ranked[0]
+            best_agreement = m - len(best_bad)
+            unique = len(ranked) == 1 or len(ranked[1][1]) > len(best_bad)
+            if unique and best_agreement >= self.k + 1:
+                return best, best_bad
+        raise DecodeError(
+            f"more than {max_errors} corrupted splits; correction impossible"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_overhead(self) -> float:
+        """Memory overhead factor 1 + r/k (Table 1, failure row)."""
+        return 1.0 + self.r / self.k
+
+    def __repr__(self) -> str:
+        return f"ReedSolomonCode(k={self.k}, r={self.r})"
+
+    # -- internals -------------------------------------------------------
+    def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
+        cached = self._decode_cache.get(indices)
+        if cached is None:
+            rows = self.generator[list(indices)]
+            cached = gf_mat_inverse(rows)
+            self._decode_cache[indices] = cached
+        return cached
+
+    def _check_splits(self, splits: np.ndarray, expected_rows: int) -> np.ndarray:
+        splits = np.asarray(splits, dtype=np.uint8)
+        if splits.ndim != 2:
+            raise DecodeError(f"splits must be 2-D (rows, bytes), got {splits.shape}")
+        if splits.shape[0] != expected_rows:
+            raise DecodeError(
+                f"expected {expected_rows} splits, got {splits.shape[0]}"
+            )
+        return splits
+
+    @staticmethod
+    def _check_vector(split: np.ndarray) -> np.ndarray:
+        split = np.asarray(split, dtype=np.uint8)
+        if split.ndim != 1:
+            raise DecodeError(f"each split must be 1-D, got shape {split.shape}")
+        return split

@@ -1,0 +1,111 @@
+"""Vectorized multi-page Reed-Solomon operations.
+
+Slab regeneration re-encodes one split position for *every* page of a
+slab (§4.4); doing that page-by-page through the scalar codec would cost
+a Python-level matrix solve per page. These helpers batch pages that
+share a source-position set into a single GF(2^8) matmul:
+
+    target_split = G[t] @ inv(G[rows]) @ stacked_sources
+
+They are exact: every output equals what the per-page codec would
+produce (tested against it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import gf_mat_inverse, gf_matmul
+from .rs import DecodeError, ReedSolomonCode
+
+__all__ = ["rebuild_transform", "rebuild_position", "encode_pages"]
+
+
+def rebuild_transform(
+    code: ReedSolomonCode, source_positions: Sequence[int], target_position: int
+) -> np.ndarray:
+    """The 1 x k GF matrix mapping k source splits to the target split."""
+    positions = list(source_positions)
+    if len(positions) != code.k:
+        raise DecodeError(
+            f"need exactly k={code.k} source positions, got {len(positions)}"
+        )
+    if not 0 <= target_position < code.n:
+        raise DecodeError(f"target position {target_position} out of range")
+    rows = code.generator[positions]
+    return gf_matmul(
+        code.generator[target_position : target_position + 1],
+        gf_mat_inverse(rows),
+    )
+
+
+def rebuild_position(
+    code: ReedSolomonCode,
+    sources: Dict[int, Dict[int, np.ndarray]],
+    target_position: int,
+    split_size: int,
+) -> Dict[int, np.ndarray]:
+    """Rebuild the target split of every recoverable page.
+
+    ``sources`` maps split position -> {page_id -> split payload}. A page
+    is recoverable when at least ``k`` positions hold it; pages are
+    grouped by their (first k) source-position tuple so each group costs
+    one matmul.
+
+    Returns {page_id -> rebuilt split}.
+    """
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    universe: set = set()
+    for snapshot in sources.values():
+        universe.update(snapshot)
+    for page_id in universe:
+        positions = tuple(
+            sorted(
+                position
+                for position, snapshot in sources.items()
+                if isinstance(snapshot.get(page_id), np.ndarray)
+                and len(snapshot[page_id]) == split_size
+            )[: code.k]
+        )
+        if len(positions) == code.k:
+            groups.setdefault(positions, []).append(page_id)
+
+    rebuilt: Dict[int, np.ndarray] = {}
+    for positions, pages in groups.items():
+        transform = rebuild_transform(code, positions, target_position)
+        stacked = np.zeros((code.k, len(pages) * split_size), dtype=np.uint8)
+        for row, position in enumerate(positions):
+            snapshot = sources[position]
+            for column, page_id in enumerate(pages):
+                stacked[
+                    row, column * split_size : (column + 1) * split_size
+                ] = snapshot[page_id]
+        out = gf_matmul(transform, stacked)[0]
+        for column, page_id in enumerate(pages):
+            rebuilt[page_id] = out[
+                column * split_size : (column + 1) * split_size
+            ].copy()
+    return rebuilt
+
+
+def encode_pages(
+    code: ReedSolomonCode, data_splits_stack: np.ndarray
+) -> np.ndarray:
+    """Encode many pages at once.
+
+    ``data_splits_stack`` has shape (pages, k, split_size); the result has
+    shape (pages, n, split_size) with data splits first, parity after —
+    identical to calling ``encode_page`` per page.
+    """
+    stack = np.asarray(data_splits_stack, dtype=np.uint8)
+    if stack.ndim != 3 or stack.shape[1] != code.k:
+        raise DecodeError(
+            f"expected (pages, k={code.k}, split) stack, got {stack.shape}"
+        )
+    pages, _k, split_size = stack.shape
+    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+    parity_flat = gf_matmul(code.generator[code.k :], flat)
+    parity = parity_flat.reshape(code.r, pages, split_size).transpose(1, 0, 2)
+    return np.concatenate([stack, parity], axis=1)

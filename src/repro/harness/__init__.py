@@ -1,0 +1,54 @@
+"""Experiment harness: builders, microbenchmarks, scenarios, reports."""
+
+from .builders import (
+    BACKEND_KINDS,
+    HydraCluster,
+    NamespacedPool,
+    build_backend,
+    build_hydra_cluster,
+)
+from .cluster_run import ClusterExperiment, ClusterRunResult, ContainerSpec
+from .microbench import LatencyResult, measure_latency, page_generator, run_process
+from .report import ascii_timeline, banner, format_series, format_table
+from .scenarios import (
+    SCENARIOS,
+    WORKLOADS,
+    AppResult,
+    ScenarioResult,
+    build_pool,
+    run_app,
+    run_uncertainty_scenario,
+    victim_machines,
+)
+from .tradeoff import SCHEMES, TradeoffPoint, measure_tradeoff_point, tradeoff_sweep
+
+__all__ = [
+    "BACKEND_KINDS",
+    "HydraCluster",
+    "NamespacedPool",
+    "build_backend",
+    "build_hydra_cluster",
+    "ClusterExperiment",
+    "ClusterRunResult",
+    "ContainerSpec",
+    "LatencyResult",
+    "measure_latency",
+    "page_generator",
+    "run_process",
+    "ascii_timeline",
+    "banner",
+    "format_series",
+    "format_table",
+    "SCENARIOS",
+    "WORKLOADS",
+    "AppResult",
+    "ScenarioResult",
+    "build_pool",
+    "run_app",
+    "run_uncertainty_scenario",
+    "victim_machines",
+    "SCHEMES",
+    "TradeoffPoint",
+    "measure_tradeoff_point",
+    "tradeoff_sweep",
+]

@@ -1,0 +1,104 @@
+"""Latency microbenchmarks — the instrument behind Figs 1, 10, 11, 12, 14.
+
+All measurements are taken at the call site (around the pool's
+``write``/``read`` processes) so every backend is timed identically,
+whatever it records internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..sim import DistributionSummary, RandomSource, Simulator, summarize
+
+__all__ = ["LatencyResult", "measure_latency", "run_process", "page_generator"]
+
+
+@dataclass
+class LatencyResult:
+    """Read/write latency summaries for one backend configuration."""
+
+    label: str
+    read: DistributionSummary
+    write: DistributionSummary
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: read p50={self.read.p50:.2f}us "
+            f"p99={self.read.p99:.2f}us | write p50={self.write.p50:.2f}us "
+            f"p99={self.write.p99:.2f}us"
+        )
+
+
+def page_generator(page_size: int = 4096, seed: int = 1234) -> Callable[[int], bytes]:
+    """Deterministic per-page content for real-payload runs."""
+    def make(page_id: int) -> bytes:
+        rng = np.random.default_rng((seed, page_id))
+        return rng.integers(0, 256, page_size, dtype=np.uint8).tobytes()
+
+    return make
+
+
+def run_process(sim: Simulator, process, until: Optional[float] = None):
+    """Run the simulator until ``process`` completes; re-raise its failure.
+
+    Stops at the process's completion even when daemon processes (Resource
+    Monitors, background flows) keep the event queue non-empty.
+    """
+    sim.run_until_triggered(process, until=until)
+    if not process.triggered:
+        raise RuntimeError(
+            f"process {process.name!r} did not finish by t={sim.now}"
+        )
+    return process.value  # raises the process's exception if it failed
+
+
+def measure_latency(
+    pool,
+    sim: Simulator,
+    label: str = "",
+    n_pages: int = 64,
+    writes: int = 300,
+    reads: int = 300,
+    payload_mode: str = "real",
+    page_size: int = 4096,
+    seed: int = 7,
+    until: float = 500_000_000.0,
+) -> LatencyResult:
+    """Measure write-then-read latency distributions of a pool.
+
+    First writes every page once (warm-up/placement), then performs
+    ``writes`` random overwrites and ``reads`` random reads, timing each.
+    """
+    rng = RandomSource(seed, f"microbench/{label}")
+    make_page = page_generator(page_size, seed) if payload_mode == "real" else None
+    write_samples = []
+    read_samples = []
+
+    def driver():
+        for page_id in range(n_pages):
+            data = make_page(page_id) if make_page else None
+            yield pool.write(page_id, data)
+        for _ in range(writes):
+            page_id = rng.randint(0, n_pages - 1)
+            data = make_page(page_id) if make_page else None
+            start = sim.now
+            yield pool.write(page_id, data)
+            write_samples.append(sim.now - start)
+        for _ in range(reads):
+            page_id = rng.randint(0, n_pages - 1)
+            start = sim.now
+            yield pool.read(page_id)
+            read_samples.append(sim.now - start)
+        return None
+
+    process = sim.process(driver(), name=f"microbench:{label}")
+    run_process(sim, process, until=until)
+    return LatencyResult(
+        label=label,
+        read=summarize(read_samples, name=f"{label}.read"),
+        write=summarize(write_samples, name=f"{label}.write"),
+    )

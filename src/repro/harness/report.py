@@ -1,0 +1,85 @@
+"""Plain-text table/series renderers for benchmark output.
+
+Every benchmark prints the rows/series of its paper table or figure
+through these helpers, so `pytest benchmarks/ --benchmark-only` output can
+be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_timeline", "banner"]
+
+
+def banner(title: str) -> str:
+    """A section header for benchmark output."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".2f") -> str:
+    """Render an aligned plain-text table."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, floatfmt: str = ".1f") -> str:
+    """Render an (x, y) series compactly: ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(
+        f"{format(float(x), '.0f')}={format(float(y), floatfmt)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def ascii_timeline(
+    series: Dict[str, tuple],
+    width: int = 60,
+    height: int = 8,
+) -> str:
+    """A rough ASCII plot of throughput timelines (one char per bucket).
+
+    ``series`` maps label -> (times, values). All series share the y-scale
+    so relative drops (the point of Figs 2/15) are visible in test logs.
+    """
+    all_values = np.concatenate([np.asarray(v) for _t, v in series.values() if len(v)])
+    if all_values.size == 0:
+        return "(empty timeline)"
+    top = float(all_values.max()) or 1.0
+    lines: List[str] = []
+    for label, (times, values) in series.items():
+        values = np.asarray(values, dtype=np.float64)
+        if values.size > width:
+            # Downsample by averaging buckets.
+            chunks = np.array_split(values, width)
+            values = np.array([c.mean() for c in chunks])
+        bars = "".join(_spark(v / top) for v in values)
+        lines.append(f"{label:>12} |{bars}|")
+    lines.append(f"{'':>12}  (y-max = {top:.0f} ops/s)")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def _spark(fraction: float) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    index = int(round(fraction * (len(_SPARK_CHARS) - 1)))
+    return _SPARK_CHARS[index]

@@ -1,0 +1,386 @@
+"""Scenario runners: applications over remote memory under uncertainties.
+
+These drive the evaluation's application-level experiments:
+
+* :func:`run_app` — one application at one memory fit on one backend
+  (Table 2, Fig 13, Fig 16 with ``fail_at_us``);
+* :func:`run_uncertainty_scenario` — the §2.2 quartet (remote failure,
+  corruption, background load, request burst) as throughput timelines
+  (Figs 2 and 15).
+
+Runs default to phantom payloads: these experiments measure timing and
+resilience control flow, not byte transport (the codec is exercised by
+real-mode tests and microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import Cluster, CorruptionInjector, SSDConfig
+from ..core import DatapathConfig
+from ..net import NetworkConfig, start_background_load
+from ..sim import DistributionSummary, RandomSource, summarize
+from ..vmm import PagedMemory
+from ..workloads import MemcachedWorkload, PageRankWorkload, TpccWorkload
+from .builders import build_backend, build_hydra_cluster
+from .microbench import run_process
+
+__all__ = [
+    "ScenarioResult",
+    "AppResult",
+    "SCENARIOS",
+    "WORKLOADS",
+    "build_pool",
+    "victim_machines",
+    "run_uncertainty_scenario",
+    "run_app",
+]
+
+SCENARIOS = ("failure", "corruption", "background", "burst")
+WORKLOADS = ("voltdb", "etc", "sys", "powergraph", "graphx")
+
+
+@dataclass
+class ScenarioResult:
+    """Throughput timeline of one backend under one uncertainty."""
+
+    backend: str
+    scenario: str
+    times_us: np.ndarray
+    throughput_ops: np.ndarray
+    event_time_us: float
+    op_latency: DistributionSummary
+    events: Dict[str, int] = field(default_factory=dict)
+
+    def throughput_drop(self) -> float:
+        """Fractional drop of post-event vs pre-event mean throughput."""
+        before = self.throughput_ops[self.times_us < self.event_time_us]
+        after = self.throughput_ops[self.times_us >= self.event_time_us]
+        if len(before) == 0 or len(after) == 0 or before.mean() == 0:
+            return 0.0
+        return float(1.0 - after.mean() / before.mean())
+
+
+@dataclass
+class AppResult:
+    """One application run: completion time, throughput, latency."""
+
+    backend: str
+    workload: str
+    fit: float
+    completion_us: float
+    ops: int
+    op_latency: DistributionSummary
+
+    @property
+    def throughput_ops_per_sec(self) -> float:
+        if self.completion_us <= 0:
+            return 0.0
+        return self.ops / (self.completion_us / 1e6)
+
+
+# ----------------------------------------------------------------------
+def scaled_network(time_scale: float) -> NetworkConfig:
+    """A fabric whose every latency constant is multiplied by
+    ``time_scale`` (bandwidth divided), preserving all latency *ratios*.
+
+    Timeline experiments use time dilation to keep event counts tractable:
+    a closed-loop, paging-dominated workload issues operations at a rate
+    inversely proportional to the latency scale, so dilating time by 50x
+    cuts the simulated event volume 50x while leaving every relative
+    result (drops, crossovers, who wins) untouched.
+    """
+    base = NetworkConfig()
+    return NetworkConfig(
+        bandwidth_gbps=base.bandwidth_gbps / time_scale,
+        base_latency_us=base.base_latency_us * time_scale,
+        jitter_sigma=base.jitter_sigma,
+        straggler_prob=base.straggler_prob,
+        straggler_shape=base.straggler_shape,
+        straggler_scale_us=base.straggler_scale_us * time_scale,
+        congestion_per_flow=base.congestion_per_flow,
+        failure_detect_us=base.failure_detect_us * time_scale,
+        send_recv_overhead_us=base.send_recv_overhead_us * time_scale,
+    )
+
+
+def scaled_ssd(time_scale: float) -> SSDConfig:
+    # Queue depth 4 models the effective parallelism of synchronous 4 KB
+    # backup writes (Infiniswap's write-through path), not the device's
+    # advertised QD32 — the §2.2 burst bottleneck depends on it.
+    base = SSDConfig()
+    return SSDConfig(
+        read_latency_us=base.read_latency_us * time_scale,
+        write_latency_us=base.write_latency_us * time_scale,
+        bandwidth_bytes_per_us=base.bandwidth_bytes_per_us / time_scale,
+        queue_depth=4,
+    )
+
+
+def scaled_datapath(time_scale: float, **toggles) -> DatapathConfig:
+    base = DatapathConfig(**toggles)
+    base.encode_latency_us *= time_scale
+    base.decode_latency_us *= time_scale
+    base.context_switch_us *= time_scale
+    base.copy_per_split_us *= time_scale
+    base.buffer_alloc_us *= time_scale
+    base.request_setup_us *= time_scale
+    base.post_per_split_us *= time_scale
+    return base
+
+
+def build_pool(
+    kind: str,
+    machines: int,
+    seed: int,
+    payload_mode: str = "phantom",
+    slab_size_bytes: int = 1 << 20,
+    r_override: Optional[int] = None,
+    memory_per_machine: int = 1 << 30,
+    time_scale: float = 1.0,
+) -> Tuple[Cluster, object]:
+    """A (cluster, pool) pair for any backend kind."""
+    network = scaled_network(time_scale) if time_scale != 1.0 else None
+    if kind == "hydra":
+        hydra = build_hydra_cluster(
+            machines=machines,
+            r=r_override if r_override is not None else 2,
+            seed=seed,
+            slab_size_bytes=slab_size_bytes,
+            memory_per_machine=memory_per_machine,
+            payload_mode=payload_mode,
+            with_ssd=False,
+            network=network,
+            datapath=scaled_datapath(time_scale) if time_scale != 1.0 else None,
+        )
+        return hydra.cluster, hydra.remote_memory(0)
+    cluster = Cluster(
+        machines=machines,
+        memory_per_machine=memory_per_machine,
+        with_ssd=(kind == "ssd_backup"),
+        ssd_config=scaled_ssd(time_scale) if kind == "ssd_backup" else None,
+        network=network,
+        seed=seed,
+    )
+    pool = build_backend(
+        kind, cluster, client=0, slab_size_bytes=slab_size_bytes,
+        payload_mode=payload_mode,
+    )
+    if time_scale != 1.0:
+        pool.config.software_overhead_us *= time_scale
+    return cluster, pool
+
+
+def victim_machines(pool, count: int = 1) -> List[int]:
+    """Remote machines holding the pool's data, heaviest host first.
+
+    Failing the top host maximizes the affected working-set share, which
+    is how the paper's single-failure experiments are set up (the failed
+    machine holds a large part of the remote working set).
+    """
+    weights: Dict[int, int] = {}
+    if hasattr(pool, "space"):  # Hydra Resilience Manager
+        for address_range in pool.space.all_ranges():
+            for handle in address_range.slots:
+                if handle.available:
+                    weights[handle.machine_id] = weights.get(handle.machine_id, 0) + 1
+    else:
+        for handles in pool.groups.values():
+            for handle in handles:
+                if handle.available:
+                    weights[handle.machine_id] = weights.get(handle.machine_id, 0) + 1
+    ranked = sorted(weights, key=lambda m: -weights[m])
+    return ranked[:count]
+
+
+# ----------------------------------------------------------------------
+def _make_workload(
+    workload: str, pager: PagedMemory, rng: RandomSource, n_pages: int, clients: int,
+    window_us: float,
+):
+    if workload == "voltdb":
+        return TpccWorkload(
+            pager, rng, n_pages, clients=clients, window_us=window_us
+        )
+    if workload == "etc":
+        return MemcachedWorkload.etc(
+            pager, rng, n_pages, clients=clients, window_us=window_us
+        )
+    if workload == "sys":
+        return MemcachedWorkload.sys(
+            pager, rng, n_pages, clients=clients, window_us=window_us
+        )
+    if workload in ("powergraph", "graphx"):
+        return PageRankWorkload(
+            pager, rng, n_pages, engine=workload, window_us=window_us
+        )
+    raise ValueError(f"unknown workload {workload!r}; choose from {WORKLOADS}")
+
+
+def run_app(
+    backend: str,
+    workload: str = "voltdb",
+    fit: float = 0.5,
+    machines: int = 12,
+    seed: int = 0,
+    n_pages: int = 2000,
+    total_ops: int = 1500,
+    clients: int = 4,
+    fail_at_us: Optional[float] = None,
+    payload_mode: str = "phantom",
+    until: float = 10_000_000_000.0,
+) -> AppResult:
+    """Run one application at a given memory fit; optionally kill a remote
+    machine mid-run (Fig 16)."""
+    if not 0 < fit <= 1:
+        raise ValueError(f"fit must be in (0, 1], got {fit}")
+    cluster, pool = build_pool(backend, machines, seed, payload_mode=payload_mode)
+    sim = cluster.sim
+    rng = RandomSource(seed, f"app/{backend}/{workload}")
+    resident = max(1, int(n_pages * fit))
+    pager = PagedMemory(pool, resident_pages=resident)
+    run_process(sim, pager.preload(range(n_pages)), until=until)
+
+    work = _make_workload(workload, pager, rng, n_pages, clients, window_us=250_000.0)
+    if workload in ("powergraph", "graphx"):
+        total_ops = work.total_steps
+
+    start = sim.now
+    if fail_at_us is not None:
+        def killer():
+            yield sim.timeout(fail_at_us)
+            victims = victim_machines(pool, 1)
+            if victims:
+                cluster.machine(victims[0]).fail()
+
+        sim.process(killer(), name="scenario-killer")
+
+    proc = work.run(total_ops=total_ops)
+    run_process(sim, proc, until=until)
+    return AppResult(
+        backend=backend,
+        workload=workload,
+        fit=fit,
+        completion_us=sim.now - start,
+        ops=work.stats["ops"],
+        op_latency=summarize(work.latency.samples, name=f"{backend}/{workload}"),
+    )
+
+
+# ----------------------------------------------------------------------
+def run_uncertainty_scenario(
+    backend: str,
+    scenario: str,
+    machines: int = 12,
+    seed: int = 0,
+    n_pages: int = 1500,
+    fit: float = 0.5,
+    duration_us: float = 6_000_000.0,
+    event_us: float = 2_500_000.0,
+    event_duration_us: float = 3_000_000.0,
+    clients: int = 2,
+    compute_us: Optional[float] = None,
+    window_us: float = 300_000.0,
+    payload_mode: str = "phantom",
+    time_scale: float = 50.0,
+    warmup_us: float = 1_500_000.0,
+    until: float = 100_000_000_000.0,
+) -> ScenarioResult:
+    """One §2.2 uncertainty against one backend, as a throughput timeline.
+
+    For the corruption scenario Hydra runs with r=3, matching §7.3.2
+    ("except for the corruption scenario where we set r=3").
+
+    ``time_scale`` dilates every latency constant (network, SSD, coding,
+    CPU) by a common factor, so the closed-loop transaction rate -- and
+    with it the simulated event count -- shrinks proportionally while
+    every *relative* outcome (drop magnitudes, recovery shape, who wins)
+    is preserved. Timeline throughput values are in dilated ops/s.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+    r_override = 3 if (backend == "hydra" and scenario == "corruption") else None
+    cluster, pool = build_pool(
+        backend, machines, seed, payload_mode=payload_mode,
+        r_override=r_override, time_scale=time_scale,
+    )
+    sim = cluster.sim
+    rng = RandomSource(seed, f"scenario/{backend}/{scenario}")
+    pager = PagedMemory(
+        pool,
+        resident_pages=max(1, int(n_pages * fit)),
+        hit_cost_us=0.05 * time_scale,
+    )
+    run_process(sim, pager.preload(range(n_pages)), until=until)
+
+    if compute_us is None:
+        # ~5 us of CPU per transaction: paging-dominated, like the
+        # paper's 50%-fit VoltDB where remote access time rules.
+        compute_us = 5.0 * time_scale
+
+    # Read-heavy mix with moderate locality: pages lost to a failure stay
+    # disk-bound (SSD backup) for a long time instead of being instantly
+    # re-written to a fresh remote slab, which is what gives Fig 2a its
+    # slow recovery.
+    work = TpccWorkload(
+        pager, rng, n_pages, clients=clients, window_us=window_us,
+        compute_us=compute_us, reads_per_txn=10, writes_per_txn=1,
+        zipf_alpha=0.7, write_zipf_alpha=1.1,
+    )
+
+    # Warm-up: let the resident set converge to the workload's hot set
+    # before measuring, then clear the recorders so the timeline starts
+    # from steady state.
+    if warmup_us > 0:
+        run_process(sim, work.run(duration_us=warmup_us), until=until)
+        work.latency.samples.clear()
+        work.throughput._buckets.clear()
+
+    event_wall_time = sim.now + event_us
+
+    def injector():
+        yield sim.timeout(event_us)
+        if scenario == "failure":
+            victims = victim_machines(pool, 1)
+            if victims:
+                cluster.machine(victims[0]).fail()
+        elif scenario == "corruption":
+            victims = victim_machines(pool, 1)
+            if victims:
+                CorruptionInjector(sim, rng.child("corrupt")).corrupt_machine(
+                    cluster.machine(victims[0]), fraction=1.0
+                )
+        elif scenario == "background":
+            # §7.3.1: bulk flows hammer the remote machines holding the
+            # working set; late binding lets Hydra dodge them.
+            # §2.2: network load fluctuates across the whole cluster —
+            # every machine holding remote data sees bulk flows.
+            victims = victim_machines(pool, 99)
+            start_background_load(
+                cluster.fabric, victims, flows_per_target=2,
+                duration_us=event_duration_us,
+            )
+        elif scenario == "burst":
+            work.begin_burst(write_multiplier=4)
+            yield sim.timeout(event_duration_us)
+            work.end_burst()
+
+    sim.process(injector(), name=f"inject:{scenario}")
+    proc = work.run(duration_us=duration_us)
+    run_process(sim, proc, until=until)
+
+    times, tput = work.throughput_series()
+    pool_events = dict(getattr(pool, "events", None).counts) if hasattr(pool, "events") else {}
+    return ScenarioResult(
+        backend=backend,
+        scenario=scenario,
+        times_us=times,
+        throughput_ops=tput,
+        event_time_us=event_wall_time,
+        op_latency=summarize(work.latency.samples, name=f"{backend}/{scenario}"),
+        events=pool_events,
+    )

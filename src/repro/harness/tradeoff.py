@@ -1,0 +1,142 @@
+"""Figure 1: the performance-vs-efficiency tradeoff space.
+
+For each resilience scheme, measure 4 KB remote read latency *in the
+presence of a failure* (one remote machine hosting data is dead) against
+the scheme's memory overhead:
+
+* SSD backup — 1x overhead, disk-bound latency under failure;
+* 2x / 3x replication — fast but 2-3x overhead;
+* compressed + replicated — ~1.3x overhead, >10 µs latency;
+* naive RS over RDMA — Hydra's coding with all four data-path
+  optimizations disabled (the ~20 µs point);
+* Hydra — 1.25x overhead, single-µs latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import RandomSource
+from .builders import build_backend, build_hydra_cluster
+from .microbench import page_generator, run_process
+from .scenarios import build_pool, victim_machines
+
+__all__ = ["TradeoffPoint", "measure_tradeoff_point", "tradeoff_sweep", "SCHEMES"]
+
+SCHEMES = (
+    "ssd_backup",
+    "replication_2x",
+    "replication_3x",
+    "compressed",
+    "rs_naive",
+    "hydra",
+)
+
+
+@dataclass
+class TradeoffPoint:
+    """One scheme's position in the Figure 1 plane."""
+
+    scheme: str
+    memory_overhead: float
+    read_p50_us: float
+    read_p99_us: float
+    write_p50_us: float
+    write_p99_us: float
+
+
+def _build(scheme: str, machines: int, seed: int):
+    if scheme == "hydra":
+        hydra = build_hydra_cluster(machines=machines, seed=seed)
+        return hydra.cluster, hydra.remote_memory(0)
+    if scheme == "rs_naive":
+        from ..core import DatapathConfig
+
+        hydra = build_hydra_cluster(
+            machines=machines, seed=seed, datapath=DatapathConfig().all_off()
+        )
+        return hydra.cluster, hydra.remote_memory(0)
+    if scheme == "replication_2x":
+        cluster, pool = build_pool("replication", machines, seed, payload_mode="real")
+        return cluster, pool
+    if scheme == "replication_3x":
+        from ..cluster import Cluster
+
+        cluster = Cluster(machines=machines, memory_per_machine=1 << 30, seed=seed)
+        pool = build_backend(
+            "replication", cluster, payload_mode="real", copies=3
+        )
+        return cluster, pool
+    if scheme in ("ssd_backup", "compressed"):
+        cluster, pool = build_pool(scheme, machines, seed, payload_mode="real")
+        return cluster, pool
+    raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def measure_tradeoff_point(
+    scheme: str,
+    machines: int = 12,
+    seed: int = 0,
+    n_pages: int = 48,
+    ops: int = 250,
+    with_failure: bool = True,
+) -> TradeoffPoint:
+    """Latency/overhead of one scheme, optionally with a dead remote host."""
+    cluster, pool = _build(scheme, machines, seed)
+    sim = cluster.sim
+    make_page = page_generator()
+
+    def warm():
+        for page_id in range(n_pages):
+            yield pool.write(page_id, make_page(page_id))
+
+    run_process(sim, sim.process(warm(), name="warm"), until=1e9)
+
+    if with_failure:
+        victims = victim_machines(pool, 1)
+        if victims:
+            cluster.machine(victims[0]).fail()
+        sim.run(until=sim.now + 1000.0)  # let disconnects propagate
+
+    rng = RandomSource(seed, f"tradeoff/{scheme}")
+    reads, writes = [], []
+
+    def bench():
+        for i in range(ops):
+            page_id = rng.randint(0, n_pages - 1)
+            start = sim.now
+            yield pool.read(page_id)
+            reads.append(sim.now - start)
+        for i in range(ops):
+            page_id = rng.randint(0, n_pages - 1)
+            start = sim.now
+            yield pool.write(page_id, make_page(page_id))
+            writes.append(sim.now - start)
+
+    run_process(sim, sim.process(bench(), name="bench"), until=1e9)
+    from ..sim import summarize
+
+    read_summary = summarize(reads, name=f"{scheme}.read")
+    write_summary = summarize(writes, name=f"{scheme}.write")
+    return TradeoffPoint(
+        scheme=scheme,
+        memory_overhead=pool.memory_overhead,
+        read_p50_us=read_summary.p50,
+        read_p99_us=read_summary.p99,
+        write_p50_us=write_summary.p50,
+        write_p99_us=write_summary.p99,
+    )
+
+
+def tradeoff_sweep(
+    schemes: Optional[List[str]] = None,
+    machines: int = 12,
+    seed: int = 0,
+    with_failure: bool = True,
+) -> List[TradeoffPoint]:
+    """Figure 1's full point set."""
+    return [
+        measure_tradeoff_point(s, machines=machines, seed=seed, with_failure=with_failure)
+        for s in (schemes or SCHEMES)
+    ]

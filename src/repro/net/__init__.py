@@ -1,0 +1,24 @@
+"""RDMA network model: NICs, reliable connections, one-sided verbs, flows."""
+
+from .config import NetworkConfig
+from .flows import BackgroundFlow, start_background_load
+from .rdma import (
+    Nic,
+    QueuePair,
+    RDMADisconnect,
+    RDMAError,
+    RdmaFabric,
+    RemoteAccessError,
+)
+
+__all__ = [
+    "NetworkConfig",
+    "BackgroundFlow",
+    "start_background_load",
+    "Nic",
+    "QueuePair",
+    "RDMADisconnect",
+    "RDMAError",
+    "RdmaFabric",
+    "RemoteAccessError",
+]

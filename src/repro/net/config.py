@@ -1,0 +1,66 @@
+"""Network model parameters, calibrated from the paper's testbed.
+
+The evaluation cluster is 50 machines on 56 Gbps InfiniBand (§7). The
+latency constants below are chosen so that a one-sided 4 KB verb lands in
+the low single-µs range the paper reports for the raw fabric, and so that
+dividing a page into k splits shrinks per-message latency the way §4.2
+describes (smaller messages -> lower serialization delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkConfig"]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable constants of the RDMA fabric model.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Per-NIC line rate. 56 Gbps InfiniBand FDR as in the paper.
+    base_latency_us:
+        Fixed one-way cost of a one-sided verb (PCIe + NIC + switch).
+    jitter_sigma:
+        Sigma of the multiplicative lognormal jitter applied to every op.
+        Models ordinary fabric noise (not stragglers).
+    straggler_prob:
+        Per-op probability of hitting a straggler event (switch queueing,
+        background incast). §2.2's 'tail at scale'.
+    straggler_shape / straggler_scale_us:
+        Pareto tail for straggler delay: delay = scale * pareto(shape).
+        Defaults give a multi-10s-of-µs tail.
+    congestion_per_flow:
+        Fractional latency inflation per active background flow on the
+        *remote* NIC (e.g. 0.6 -> one bulk flow makes ops 1.6x slower).
+    failure_detect_us:
+        Delay between a machine dying and its peers' RDMA connection
+        managers reporting the disconnect (RC retry timeout). Real RC
+        timeouts are ms-scale; we default lower to keep simulations short
+        while preserving the ordering failure-detection >> normal-op.
+    send_recv_overhead_us:
+        Extra cost of two-sided SEND/RECV (control plane) over one-sided
+        verbs — the remote CPU is involved.
+    """
+
+    bandwidth_gbps: float = 56.0
+    base_latency_us: float = 0.9
+    jitter_sigma: float = 0.06
+    straggler_prob: float = 0.004
+    straggler_shape: float = 1.8
+    straggler_scale_us: float = 12.0
+    congestion_per_flow: float = 0.6
+    failure_detect_us: float = 50.0
+    send_recv_overhead_us: float = 1.5
+
+    @property
+    def bytes_per_us(self) -> float:
+        """Line rate converted to bytes per microsecond."""
+        return self.bandwidth_gbps * 1e9 / 8.0 / 1e6
+
+    def transfer_us(self, size_bytes: int) -> float:
+        """Serialization delay for a payload of ``size_bytes``."""
+        return size_bytes / self.bytes_per_us

@@ -1,0 +1,328 @@
+"""RDMA fabric model: NICs, reliable-connection queue pairs, verbs.
+
+What is modeled (and why it matters to Hydra):
+
+* **One-sided READ/WRITE** verbs that touch remote memory without remote
+  CPU involvement — the data path (§6: "all RDMA operations use reliable
+  connection and one-sided RDMA verbs").
+* **Two-sided SEND/RECV** for control messages (Resource Monitor traffic).
+* **Strict per-QP ordering**: completions on a queue pair occur in post
+  order. This is the property §4.3 leans on for read-after-write safety
+  ("read requests will arrive at the same RDMA dispatch queue after write
+  requests; hence, read requests will not be served with stale data").
+* **Disconnect notification**: when a machine dies or the network
+  partitions, pending verbs fail after a detection delay and the local
+  side is notified — Hydra's failure-handling entry point.
+* **Congestion and stragglers**: background flows inflate latency on the
+  NICs they cross; a small per-op probability draws a Pareto-tailed
+  straggler delay (§2.2 'tail at scale').
+
+Remote memory itself lives on machine objects (see
+:class:`repro.cluster.Machine`), which expose ``read_split``/``write_split``
+callbacks the fabric invokes *at completion time*, preserving ordering
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Event, RandomSource, Simulator
+from .config import NetworkConfig
+
+__all__ = [
+    "RDMAError",
+    "RDMADisconnect",
+    "RemoteAccessError",
+    "Nic",
+    "QueuePair",
+    "RdmaFabric",
+]
+
+
+class RDMAError(Exception):
+    """Base class for fabric errors."""
+
+
+class RDMADisconnect(RDMAError):
+    """The reliable connection broke (machine failure / partition)."""
+
+    def __init__(self, message: str, machine_id: Optional[int] = None):
+        super().__init__(message)
+        self.machine_id = machine_id
+
+
+class RemoteAccessError(RDMAError):
+    """The remote access target (slab/page) was invalid or unavailable."""
+
+
+class Nic:
+    """Per-machine NIC state: line rate, congestion level, traffic totals.
+
+    Byte counters feed the §7.4 network-overhead comparison (Hydra's
+    291 Mbps vs replication's >1 Gbps per machine in the paper).
+    """
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self.background_flows = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.ops_sent = 0
+
+    def inflation(self) -> float:
+        """Latency multiplier from active background flows on this NIC."""
+        return 1.0 + self.config.congestion_per_flow * self.background_flows
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+
+class QueuePair:
+    """A reliable connection between two machines.
+
+    One QP per (initiator, target) machine pair, matching the paper's "one
+    connection for each active remote machine". All verbs posted on a QP
+    complete in post order.
+    """
+
+    def __init__(
+        self,
+        fabric: "RdmaFabric",
+        local_id: int,
+        remote_id: int,
+        rng: RandomSource,
+    ):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.config = fabric.config
+        self.local_id = local_id
+        self.remote_id = remote_id
+        self.rng = rng
+        self.connected = True
+        self._last_completion = 0.0
+        self._pending: List[Event] = []
+        self._disconnect_listeners: List[Callable[[int], None]] = []
+
+    # -- public verbs ------------------------------------------------------
+    def post_read(
+        self,
+        size_bytes: int,
+        fetch: Callable[[], Any],
+    ) -> Event:
+        """One-sided RDMA READ.
+
+        ``fetch`` is invoked at completion time against the remote memory
+        and its return value becomes the event's value. Raising
+        :class:`RemoteAccessError` from ``fetch`` fails the event.
+        """
+        return self._post(size_bytes, action=fetch, one_sided=True)
+
+    def post_write(
+        self,
+        size_bytes: int,
+        apply: Callable[[], Any],
+    ) -> Event:
+        """One-sided RDMA WRITE; ``apply`` mutates remote memory at
+        completion time. Event value is ``apply``'s return (usually None)."""
+        return self._post(size_bytes, action=apply, one_sided=True)
+
+    def post_send(self, message: Any, size_bytes: int = 64) -> Event:
+        """Two-sided SEND: delivers ``message`` to the remote inbox."""
+
+        def deliver():
+            self.fabric.deliver_message(self.remote_id, self.local_id, message)
+            return None
+
+        return self._post(size_bytes, action=deliver, one_sided=False)
+
+    # -- notifications -----------------------------------------------------
+    def on_disconnect(self, callback: Callable[[int], None]) -> None:
+        """Register a connection-manager callback (receives remote id)."""
+        self._disconnect_listeners.append(callback)
+
+    def disconnect(self, reason: str) -> None:
+        """Tear the connection down: fail all pending verbs after the
+        detection delay and notify listeners."""
+        if not self.connected:
+            return
+        self.connected = False
+        pending, self._pending = self._pending, []
+        detect = self.config.failure_detect_us
+
+        def fail_pending():
+            for event in pending:
+                if not event.triggered:
+                    event.fail(RDMADisconnect(reason, machine_id=self.remote_id))
+            for listener in self._disconnect_listeners:
+                listener(self.remote_id)
+
+        self.sim.call_later(detect, fail_pending)
+
+    def reconnect(self) -> None:
+        """Re-establish the RC after the remote recovers."""
+        self.connected = True
+        self._last_completion = self.sim.now
+
+    # -- internals -----------------------------------------------------------
+    def _post(self, size_bytes: int, action: Callable[[], Any], one_sided: bool) -> Event:
+        event = self.sim.event(name=f"rdma:{self.local_id}->{self.remote_id}")
+        if not self.connected or not self.fabric.reachable(self.local_id, self.remote_id):
+            # Immediately broken: fail after the RC retry timeout.
+            def fail_later():
+                if not event.triggered:
+                    event.fail(
+                        RDMADisconnect(
+                            f"machine {self.remote_id} unreachable",
+                            machine_id=self.remote_id,
+                        )
+                    )
+
+            self.sim.call_later(self.config.failure_detect_us, fail_later)
+            return event
+
+        # Traffic accounting (a verb moves size_bytes across both NICs).
+        local_nic_acct = self.fabric.nic(self.local_id)
+        remote_nic_acct = self.fabric.nic(self.remote_id)
+        local_nic_acct.bytes_sent += size_bytes
+        local_nic_acct.ops_sent += 1
+        remote_nic_acct.bytes_received += size_bytes
+
+        latency = self._op_latency(size_bytes, one_sided)
+        completion = max(self.sim.now + latency, self._last_completion)
+        self._last_completion = completion
+        self._pending.append(event)
+
+        def complete():
+            if event.triggered:
+                return  # already failed by a disconnect
+            try:
+                self._pending.remove(event)
+            except ValueError:
+                # The QP disconnected before this op's completion time:
+                # the data never arrived; fail_pending will fail it.
+                return
+            try:
+                result = action()
+            except RemoteAccessError as exc:
+                event.fail(exc)
+                return
+            event.succeed(result)
+
+        self.sim.call_later(completion - self.sim.now, complete)
+        return event
+
+    def _op_latency(self, size_bytes: int, one_sided: bool) -> float:
+        cfg = self.config
+        transfer = cfg.transfer_us(size_bytes)
+        latency = cfg.base_latency_us + transfer
+        if not one_sided:
+            latency += cfg.send_recv_overhead_us
+        # Congestion from background flows on either endpoint NIC. Queuing
+        # delay grows with the *bytes* this op must push through the busy
+        # link (plus a small fixed queue-entry cost) — small split-sized
+        # messages interleave past bulk flows far better than whole pages,
+        # which is part of why Hydra divides pages (§4.1).
+        local_nic = self.fabric.nic(self.local_id)
+        remote_nic = self.fabric.nic(self.remote_id)
+        inflation = max(local_nic.inflation(), remote_nic.inflation())
+        if inflation > 1.0:
+            latency += (inflation - 1.0) * (transfer + 0.2 * cfg.base_latency_us)
+        # Ordinary fabric jitter.
+        latency *= self.rng.lognormal(0.0, cfg.jitter_sigma)
+        # Rare straggler events with a heavy tail.
+        if cfg.straggler_prob > 0 and self.rng.bernoulli(cfg.straggler_prob):
+            latency += self.rng.pareto(cfg.straggler_shape, cfg.straggler_scale_us)
+        return latency
+
+
+class RdmaFabric:
+    """The cluster interconnect: machine registry, QPs, partitions.
+
+    Machines register themselves with :meth:`register`; they must provide
+    ``id`` (int), ``nic`` (:class:`Nic`), ``alive`` (bool) and an
+    ``deliver_message(src_id, message)`` method for SEND/RECV delivery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[RandomSource] = None,
+    ):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.rng = rng or RandomSource(0, "fabric")
+        self._machines: Dict[int, Any] = {}
+        self._qps: Dict[Tuple[int, int], QueuePair] = {}
+        self._partitions: set = set()
+
+    # -- registry ------------------------------------------------------------
+    def register(self, machine: Any) -> None:
+        if machine.id in self._machines:
+            raise ValueError(f"machine id {machine.id} already registered")
+        self._machines[machine.id] = machine
+
+    def machine(self, machine_id: int) -> Any:
+        return self._machines[machine_id]
+
+    def machine_ids(self) -> List[int]:
+        return sorted(self._machines)
+
+    def nic(self, machine_id: int) -> Nic:
+        return self._machines[machine_id].nic
+
+    # -- connections -----------------------------------------------------------
+    def qp(self, local_id: int, remote_id: int) -> QueuePair:
+        """The (cached) queue pair from ``local_id`` to ``remote_id``."""
+        if local_id == remote_id:
+            raise ValueError("no loopback queue pairs: local_id == remote_id")
+        key = (local_id, remote_id)
+        pair = self._qps.get(key)
+        if pair is None:
+            pair = QueuePair(self, local_id, remote_id, self.rng.child(f"qp{key}"))
+            self._qps[key] = pair
+        return pair
+
+    def reachable(self, a: int, b: int) -> bool:
+        """True when both endpoints are alive and not partitioned."""
+        if not self._machines[a].alive or not self._machines[b].alive:
+            return False
+        return frozenset((a, b)) not in self._partitions
+
+    # -- failure / partition events -----------------------------------------
+    def on_machine_failed(self, machine_id: int) -> None:
+        """Disconnect every QP touching the failed machine."""
+        for (local, remote), pair in self._qps.items():
+            if remote == machine_id:
+                pair.disconnect(f"machine {machine_id} failed")
+            elif local == machine_id:
+                pair.disconnect(f"local machine {machine_id} failed")
+
+    def on_machine_recovered(self, machine_id: int) -> None:
+        for (local, remote), pair in self._qps.items():
+            if machine_id in (local, remote) and self.reachable(local, remote):
+                pair.reconnect()
+
+    def partition(self, a: int, b: int) -> None:
+        """Make machines ``a`` and ``b`` mutually unreachable."""
+        self._partitions.add(frozenset((a, b)))
+        for key in ((a, b), (b, a)):
+            pair = self._qps.get(key)
+            if pair is not None:
+                pair.disconnect(f"network partition between {a} and {b}")
+
+    def heal(self, a: int, b: int) -> None:
+        self._partitions.discard(frozenset((a, b)))
+        for key in ((a, b), (b, a)):
+            pair = self._qps.get(key)
+            if pair is not None and self.reachable(*key):
+                pair.reconnect()
+
+    # -- messaging ------------------------------------------------------------
+    def deliver_message(self, dst_id: int, src_id: int, message: Any) -> None:
+        machine = self._machines.get(dst_id)
+        if machine is None or not machine.alive:
+            raise RemoteAccessError(f"machine {dst_id} cannot receive messages")
+        machine.deliver_message(src_id, message)

@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel (time unit: microseconds)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store
+from .rng import RandomSource
+from .trace import (
+    Counter,
+    DistributionSummary,
+    LatencyRecorder,
+    ThroughputWindow,
+    TimeSeries,
+    coefficient_of_variation,
+    imbalance_ratio,
+    summarize,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Resource",
+    "Store",
+    "RandomSource",
+    "Counter",
+    "DistributionSummary",
+    "LatencyRecorder",
+    "ThroughputWindow",
+    "TimeSeries",
+    "coefficient_of_variation",
+    "imbalance_ratio",
+    "summarize",
+]

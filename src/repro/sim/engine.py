@@ -1,0 +1,436 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free event engine in the style of SimPy. The rest of
+the repository models physical time (RDMA verbs, SSD accesses, erasure
+coding) on top of this kernel; the time unit everywhere is the
+**microsecond**, carried as a float.
+
+Core concepts
+-------------
+``Event``
+    A one-shot occurrence. It can *succeed* with a value or *fail* with an
+    exception. Callbacks attached to the event run when the simulator
+    processes it.
+``Timeout``
+    An event that succeeds after a fixed simulated delay.
+``Process``
+    A generator wrapped as a coroutine. Each ``yield event`` suspends the
+    process until the event triggers; the event's value is returned from the
+    ``yield`` expression (or its exception is thrown into the generator).
+``AnyOf`` / ``AllOf``
+    Composite conditions over several events.
+``Simulator``
+    Owns the event queue and the clock.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(5.0)
+...     return sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, available via
+    ``exc.cause`` in the interrupted process.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0  # not yet triggered
+_TRIGGERED = 1  # scheduled for processing, value/exception set
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`Simulator`.
+
+    Events move through three states: pending, triggered (value set and
+    scheduled on the queue), and processed (callbacks executed).
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+        self.name = name
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (may not be processed yet)."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result; raises its exception if the event failed."""
+        if self._state == _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None if pending/succeeded."""
+        if self._state != _PENDING and not self._ok:
+            return self._value
+        return None
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._state = _TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = _PROCESSED
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}[
+            self._state
+        ]
+        return f"<{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"Timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running coroutine. The Process *is* an event that triggers when
+    the generator returns (success, value = return value) or raises
+    (failure)."""
+
+    __slots__ = ("generator", "_waiting_on", "is_alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.is_alive = True
+        # Kick off the process at the current simulation time.
+        bootstrap = Event(sim, name=f"bootstrap:{self.name}")
+        bootstrap._ok = True
+        bootstrap._state = _TRIGGERED
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None:
+            # Detach from whatever we were waiting for.
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        failer = Event(self.sim, name=f"interrupt:{self.name}")
+        failer._ok = False
+        failer._value = Interrupt(cause)
+        failer._state = _TRIGGERED
+        failer.callbacks.append(self._resume)
+        self.sim._schedule(failer)
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if trigger._ok:
+                    target = self.generator.send(trigger._value)
+                else:
+                    target = self.generator.throw(trigger._value)
+            except StopIteration as stop:
+                self.is_alive = False
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process crash propagates
+                self.is_alive = False
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.is_alive = False
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded {target!r}, expected an Event"
+                    )
+                )
+                return
+
+            if target._state == _PROCESSED:
+                # Already done: resume immediately with its outcome.
+                trigger = target
+                continue
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"{name} requires Events, got {ev!r}")
+        self._pending_count = sum(1 for ev in self.events if ev._state != _PROCESSED)
+        if self._check_immediate():
+            return
+        for ev in self.events:
+            if ev._state != _PROCESSED:
+                ev.callbacks.append(self._on_child)
+            # Already-processed children were accounted in _pending_count.
+
+    def _check_immediate(self) -> bool:
+        raise NotImplementedError
+
+    def _on_child(self, child: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._state != _PENDING and ev._ok and ev.triggered
+        }
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child event succeeds (or any child fails)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _check_immediate(self) -> bool:
+        if not self.events:
+            self.succeed({})
+            return True
+        for ev in self.events:
+            if ev._state == _PROCESSED:
+                if ev._ok:
+                    self.succeed(self._results())
+                else:
+                    self.fail(ev._value)
+                return True
+        return False
+
+    def _on_child(self, child: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if child._ok:
+            self.succeed(self._results())
+        else:
+            self.fail(child._value)
+
+
+class AllOf(_Condition):
+    """Triggers once every child succeeds; fails fast on any child failure."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AllOf")
+
+    def _check_immediate(self) -> bool:
+        if self._pending_count == 0:
+            for ev in self.events:
+                if not ev._ok:
+                    self.fail(ev._value)
+                    return True
+            self.succeed(self._results())
+            return True
+        return False
+
+    def _on_child(self, child: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not child._ok:
+            self.fail(child._value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed(self._results())
+
+
+class Simulator:
+    """Owns the clock and the event queue.
+
+    The simulator advances time only through :meth:`run` / :meth:`step`;
+    events scheduled at the same instant are processed in FIFO order of
+    scheduling (a monotonically increasing sequence number breaks ties).
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._active = 0  # number of events ever scheduled (diagnostics)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        self._active += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` — one queue entry, no process.
+
+        The cheap primitive behind high-volume completions (RDMA verbs);
+        use processes for anything that needs to wait again afterwards.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        event = Event(self, name="callback")
+        event._ok = True
+        event._state = _TRIGGERED
+        event.callbacks.append(lambda _event: fn())
+        self._schedule(event, delay=delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds after ``delay`` simulated microseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting now."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_triggered(self, event: Event, until: Optional[float] = None) -> None:
+        """Run just until ``event`` triggers (or the queue/deadline ends).
+
+        Preferred over ``run()`` when daemon processes (e.g. periodic
+        monitors) keep the queue permanently non-empty.
+        """
+        while not event.triggered and self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()

@@ -1,0 +1,223 @@
+"""Measurement primitives: latency recorders, time series, throughput windows.
+
+These are the instruments behind every figure and table in the evaluation:
+latency percentiles (Figs 10-12, 14, Tables 2-3), throughput timelines
+(Figs 2, 15), and distribution summaries (Fig 17).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LatencyRecorder",
+    "TimeSeries",
+    "ThroughputWindow",
+    "Counter",
+    "DistributionSummary",
+    "summarize",
+]
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports percentiles.
+
+    All latencies are in microseconds, matching the kernel's time unit.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency: {latency_us}")
+        self.samples.append(latency_us)
+
+    def extend(self, latencies: Sequence[float]) -> None:
+        for value in latencies:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, pct: float) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return float(np.percentile(self.samples, pct))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return float(np.mean(self.samples))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.samples))
+
+    def summary(self) -> "DistributionSummary":
+        return summarize(self.samples, name=self.name)
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number-style summary of a sample set."""
+
+    name: str
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or 'latency'}: n={self.count} mean={self.mean:.2f} "
+            f"p50={self.p50:.2f} p90={self.p90:.2f} p99={self.p99:.2f} "
+            f"max={self.max:.2f}"
+        )
+
+
+def summarize(samples: Sequence[float], name: str = "") -> DistributionSummary:
+    """Build a :class:`DistributionSummary` from raw samples."""
+    if len(samples) == 0:
+        raise ValueError(f"cannot summarize empty sample set {name!r}")
+    arr = np.asarray(samples, dtype=np.float64)
+    return DistributionSummary(
+        name=name,
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. instantaneous memory usage per machine."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(self.values))
+
+    def as_arrays(self):
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class ThroughputWindow:
+    """Counts completions in fixed windows — throughput-over-time figures.
+
+    ``window_us`` is the bucket width. ``series()`` returns
+    (window_start_times, ops_per_second).
+    """
+
+    def __init__(self, window_us: float, name: str = ""):
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        self.window_us = window_us
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, time_us: float, count: int = 1) -> None:
+        bucket = int(time_us // self.window_us)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+
+    def series(self):
+        """(start_times_us, throughput_ops_per_sec) over the covered span."""
+        if not self._buckets:
+            return np.array([]), np.array([])
+        lo, hi = min(self._buckets), max(self._buckets)
+        starts = np.arange(lo, hi + 1) * self.window_us
+        per_window = np.array(
+            [self._buckets.get(b, 0) for b in range(lo, hi + 1)], dtype=np.float64
+        )
+        ops_per_sec = per_window * (1e6 / self.window_us)
+        return starts, ops_per_sec
+
+    def total(self) -> int:
+        return sum(self._buckets.values())
+
+
+@dataclass
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    def __getitem__(self, key: str) -> int:
+        return self.counts.get(key, 0)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"Counter({inner})"
+
+
+def imbalance_ratio(values: Sequence[float]) -> float:
+    """max/min ratio used for Fig 17's memory-usage skew metric.
+
+    A zero minimum yields ``inf`` — callers should ensure all machines saw
+    some load before calling, or handle inf.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("imbalance_ratio of empty sequence")
+    lo = arr.min()
+    if lo <= 0:
+        return math.inf
+    return float(arr.max() / lo)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """stddev/mean — the 'memory usage variation' percentage in §7.4."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("coefficient_of_variation of empty sequence")
+    mean = arr.mean()
+    if mean == 0:
+        return math.inf
+    return float(arr.std() / mean)

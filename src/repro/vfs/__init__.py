@@ -1,0 +1,6 @@
+"""Disaggregated VFS front-end (Remote Regions-style)."""
+
+from .block_device import RemoteBlockDevice
+from .file import RemoteFile
+
+__all__ = ["RemoteBlockDevice", "RemoteFile"]

@@ -1,0 +1,75 @@
+"""A byte-addressed file abstraction over the remote block device.
+
+Remote Regions presents remote memory as files; this class provides the
+read/write-at-offset interface on top of :class:`RemoteBlockDevice`,
+handling block straddling and read-modify-write of partial blocks (real
+payload mode only — phantom mode carries no bytes to splice).
+"""
+
+from __future__ import annotations
+
+from .block_device import RemoteBlockDevice
+
+__all__ = ["RemoteFile"]
+
+
+class RemoteFile:
+    """A file of bytes stored in remote memory, block by block."""
+
+    def __init__(self, device: RemoteBlockDevice, base_block: int = 0):
+        self.device = device
+        self.sim = device.sim
+        self.base_block = base_block
+        self.size = 0
+
+    def write(self, offset: int, data: bytes):
+        """Simulation process: write ``data`` at byte ``offset``."""
+        return self.sim.process(self._write(offset, data), name="file-write")
+
+    def read(self, offset: int, length: int):
+        """Simulation process: read ``length`` bytes at ``offset``."""
+        return self.sim.process(self._read(offset, length), name="file-read")
+
+    def _write(self, offset: int, data: bytes):
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        block_size = self.device.block_size
+        position = offset
+        remaining = data
+        while remaining:
+            block_id = self.base_block + position // block_size
+            within = position % block_size
+            chunk = remaining[: block_size - within]
+            if within == 0 and len(chunk) == block_size:
+                block = chunk
+            else:
+                # Partial block: read-modify-write.
+                current = yield self.device.read_block(block_id)
+                if current is None:
+                    current = b"\x00" * block_size
+                block = (
+                    current[:within] + chunk + current[within + len(chunk):]
+                )
+            yield self.device.write_block(block_id, block)
+            position += len(chunk)
+            remaining = remaining[len(chunk):]
+        self.size = max(self.size, offset + len(data))
+        return None
+
+    def _read(self, offset: int, length: int):
+        if offset < 0 or length < 0:
+            raise ValueError(f"invalid read range ({offset}, {length})")
+        block_size = self.device.block_size
+        out = bytearray()
+        position = offset
+        end = offset + length
+        while position < end:
+            block_id = self.base_block + position // block_size
+            within = position % block_size
+            take = min(block_size - within, end - position)
+            block = yield self.device.read_block(block_id)
+            if block is None:
+                block = b"\x00" * block_size
+            out += block[within : within + take]
+            position += take
+        return bytes(out)

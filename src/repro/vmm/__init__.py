@@ -1,0 +1,5 @@
+"""Disaggregated VMM front-end (Infiniswap/LegoOS-style paging)."""
+
+from .pager import PagedMemory
+
+__all__ = ["PagedMemory"]

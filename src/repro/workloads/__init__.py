@@ -1,0 +1,17 @@
+"""Workload models: TPC-C/VoltDB, Memcached ETC/SYS, PageRank, fio."""
+
+from .base import ClosedLoopWorkload
+from .fio import FioWorkload
+from .graph import PageRankWorkload
+from .memcached import ETC_GET_FRACTION, SYS_GET_FRACTION, MemcachedWorkload
+from .tpcc import TpccWorkload
+
+__all__ = [
+    "ClosedLoopWorkload",
+    "FioWorkload",
+    "PageRankWorkload",
+    "ETC_GET_FRACTION",
+    "SYS_GET_FRACTION",
+    "MemcachedWorkload",
+    "TpccWorkload",
+]

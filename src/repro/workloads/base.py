@@ -1,0 +1,94 @@
+"""Common scaffolding for application workload models.
+
+The paper's applications (VoltDB/TPC-C, Memcached/Facebook, PowerGraph &
+GraphX/PageRank) only interact with remote memory through their *page
+access streams*; the workload models here generate streams with the same
+statistics — transaction page touches, zipfian key popularity, iterative
+graph sweeps — over the :class:`~repro.vmm.PagedMemory` front-end.
+
+Simulated time is compressed relative to the paper's wall-clock runs
+(compute constants are scaled so a run finishes in millions, not
+trillions, of simulated microseconds); all comparisons are within the same
+compression, so relative results are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Counter, LatencyRecorder, Process, ThroughputWindow
+
+__all__ = ["ClosedLoopWorkload"]
+
+
+class ClosedLoopWorkload:
+    """Base for closed-loop, multi-client workloads.
+
+    Subclasses implement :meth:`_one_operation` (a generator performing a
+    single logical operation — a transaction, a GET/SET, an iteration
+    step). ``clients`` concurrent client loops run operations back to
+    back until the op budget or the deadline is exhausted.
+    """
+
+    name = "workload"
+
+    def __init__(self, sim, clients: int = 1, window_us: float = 500_000.0):
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        self.sim = sim
+        self.clients = clients
+        self.latency = LatencyRecorder(f"{self.name}.op")
+        self.throughput = ThroughputWindow(window_us, name=f"{self.name}.tput")
+        self.stats = Counter()
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        total_ops: Optional[int] = None,
+        duration_us: Optional[float] = None,
+    ) -> Process:
+        """Start the workload; the returned process completes when every
+        client finishes. At least one stopping condition is required."""
+        if total_ops is None and duration_us is None:
+            raise ValueError("need total_ops and/or duration_us")
+        self._stop = False
+        deadline = self.sim.now + duration_us if duration_us is not None else None
+        budget = [total_ops]  # shared mutable op budget across clients
+
+        def client_loop(client_id: int):
+            while not self._stop:
+                if deadline is not None and self.sim.now >= deadline:
+                    break
+                if budget[0] is not None:
+                    if budget[0] <= 0:
+                        break
+                    budget[0] -= 1
+                start = self.sim.now
+                yield from self._one_operation(client_id)
+                self.latency.record(self.sim.now - start)
+                self.throughput.record(self.sim.now)
+                self.stats.incr("ops")
+
+        def supervisor():
+            procs = [
+                self.sim.process(client_loop(i), name=f"{self.name}-client{i}")
+                for i in range(self.clients)
+            ]
+            yield self.sim.all_of(procs)
+            return self.stats["ops"]
+
+        return self.sim.process(supervisor(), name=f"{self.name}-run")
+
+    def stop(self) -> None:
+        """Ask all clients to stop after their current operation."""
+        self._stop = True
+
+    # ------------------------------------------------------------------
+    def _one_operation(self, client_id: int):
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator
+
+    def throughput_series(self):
+        """(window_start_us, ops_per_second) arrays for timeline figures."""
+        return self.throughput.series()

@@ -1,0 +1,73 @@
+"""Memcached with the Facebook production mixes (ETC and SYS).
+
+From the SIGMETRICS'12 workload analysis the paper cites [18]:
+
+* **ETC** is the general-purpose pool and is overwhelmingly GET-dominant
+  (GET:SET around 30:1) — we use a 97 % GET ratio;
+* **SYS** is the server-side system-data pool and is SET-intensive —
+  we use a 60 % SET ratio.
+
+Key popularity is zipfian; each value occupies one page. Memcached's slab
+allocator keeps values resident until the container memory limit forces
+them out to remote memory via the pager.
+"""
+
+from __future__ import annotations
+
+from ..sim import RandomSource
+from ..vmm import PagedMemory
+from .base import ClosedLoopWorkload
+
+__all__ = ["MemcachedWorkload", "ETC_GET_FRACTION", "SYS_GET_FRACTION"]
+
+ETC_GET_FRACTION = 0.97
+SYS_GET_FRACTION = 0.40
+
+
+class MemcachedWorkload(ClosedLoopWorkload):
+    """Closed-loop GET/SET traffic over paged memory."""
+
+    name = "memcached"
+
+    def __init__(
+        self,
+        memory: PagedMemory,
+        rng: RandomSource,
+        n_keys: int,
+        get_fraction: float = ETC_GET_FRACTION,
+        clients: int = 8,
+        compute_us: float = 5.0,
+        zipf_alpha: float = 0.99,
+        window_us: float = 500_000.0,
+    ):
+        super().__init__(memory.sim, clients=clients, window_us=window_us)
+        if not 0 <= get_fraction <= 1:
+            raise ValueError(f"get_fraction must be in [0,1], got {get_fraction}")
+        self.memory = memory
+        self.rng = rng
+        self.n_keys = n_keys
+        self.get_fraction = get_fraction
+        self.compute_us = compute_us
+        self._zipf = rng.zipf_sampler(n_keys, zipf_alpha)
+
+    @classmethod
+    def etc(cls, memory: PagedMemory, rng: RandomSource, n_keys: int, **kwargs):
+        """The GET-dominant ETC pool."""
+        return cls(memory, rng, n_keys, get_fraction=ETC_GET_FRACTION, **kwargs)
+
+    @classmethod
+    def sys(cls, memory: PagedMemory, rng: RandomSource, n_keys: int, **kwargs):
+        """The SET-intensive SYS pool."""
+        return cls(memory, rng, n_keys, get_fraction=SYS_GET_FRACTION, **kwargs)
+
+    def _one_operation(self, client_id: int):
+        key = self._zipf.sample()
+        page = (key * 2654435761) % self.n_keys
+        is_get = self.rng.random() < self.get_fraction
+        if is_get:
+            yield self.memory.access(page, write=False)
+            self.stats.incr("gets")
+        else:
+            yield self.memory.access(page, write=True)
+            self.stats.incr("sets")
+        yield self.sim.timeout(self.compute_us)

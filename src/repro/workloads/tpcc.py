@@ -1,0 +1,99 @@
+"""TPC-C-style transactional workload on a VoltDB-like in-memory store.
+
+VoltDB partitions tables in memory and executes transactions serially per
+partition; what remote memory sees is each transaction touching a handful
+of hot-ish pages (warehouse/district rows are hot, customer/order rows
+follow a skewed distribution). The model:
+
+* a working set of ``n_pages`` pages (the database);
+* each transaction reads ``reads_per_txn`` and writes ``writes_per_txn``
+  pages drawn from a zipfian popularity distribution (locality knob);
+* ``compute_us`` of CPU work per transaction (scaled down from real
+  VoltDB so simulations stay tractable — see workloads.base docstring).
+
+A *burst* mode multiplies the write count and removes think time,
+reproducing §2.2's scenario 4.
+"""
+
+from __future__ import annotations
+
+from ..sim import RandomSource
+from ..vmm import PagedMemory
+from .base import ClosedLoopWorkload
+
+__all__ = ["TpccWorkload"]
+
+
+class TpccWorkload(ClosedLoopWorkload):
+    """Closed-loop TPC-C-like transactions over paged memory."""
+
+    name = "tpcc"
+
+    def __init__(
+        self,
+        memory: PagedMemory,
+        rng: RandomSource,
+        n_pages: int,
+        clients: int = 4,
+        reads_per_txn: int = 8,
+        writes_per_txn: int = 4,
+        compute_us: float = 40.0,
+        think_us: float = 0.0,
+        zipf_alpha: float = 0.85,
+        write_zipf_alpha: float = None,
+        window_us: float = 500_000.0,
+    ):
+        super().__init__(memory.sim, clients=clients, window_us=window_us)
+        self.memory = memory
+        self.rng = rng
+        self.n_pages = n_pages
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.compute_us = compute_us
+        self.think_us = think_us
+        self._zipf = rng.zipf_sampler(n_pages, zipf_alpha)
+        # Writes may be more concentrated than reads (hot rows get updated;
+        # cold rows are mostly scanned) — separate sampler when requested.
+        if write_zipf_alpha is None:
+            self._write_zipf = self._zipf
+        else:
+            self._write_zipf = rng.zipf_sampler(n_pages, write_zipf_alpha)
+        self._burst_multiplier = 1
+        self._bursting = False
+
+    def begin_burst(self, write_multiplier: int = 4) -> None:
+        """Enter a prolonged write burst (§2.2 scenario 4).
+
+        Burst writes also spread across the whole page space (bulk loads /
+        log flushes touch cold data), which is what pressures the page-out
+        path rather than re-dirtying resident hot pages.
+        """
+        self._burst_multiplier = write_multiplier
+        self._bursting = True
+
+    def end_burst(self) -> None:
+        self._burst_multiplier = 1
+        self._bursting = False
+
+    def _one_operation(self, client_id: int):
+        # Read set, then write set, like a NewOrder touching stock rows.
+        for _ in range(self.reads_per_txn):
+            page = self._sample_page()
+            yield self.memory.access(page, write=False)
+        writes = self.writes_per_txn * self._burst_multiplier
+        for _ in range(writes):
+            if self._bursting:
+                page = self.rng.randint(0, self.n_pages - 1)
+            else:
+                page = self._sample_page(write=True)
+            yield self.memory.access(page, write=True)
+        yield self.sim.timeout(self.compute_us)
+        if self.think_us:
+            yield self.sim.timeout(self.think_us)
+
+    def _sample_page(self, write: bool = False) -> int:
+        # Scatter the zipf ranks across the page space so hot pages are not
+        # physically clustered in one slab.
+        sampler = self._write_zipf if write else self._zipf
+        rank = sampler.sample()
+        return (rank * 2654435761) % self.n_pages

@@ -1,0 +1,122 @@
+"""The batch-coded ablation backend (the design §4 argues against)."""
+
+import pytest
+
+from repro.baselines import BaselineConfig, BatchCodedBackend
+from repro.cluster import Cluster
+from repro.net import NetworkConfig
+from repro.sim import RandomSource
+
+from .conftest import drive, make_page
+
+
+def build(batch_pages=4, k=4, r=2, machines=14, timeout_us=30.0):
+    cluster = Cluster(
+        machines=machines,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+        seed=4,
+    )
+    backend = BatchCodedBackend(
+        cluster, 0, BaselineConfig(slab_size_bytes=1 << 20),
+        rng=RandomSource(4, "batch"),
+        k=k, r=r, batch_pages=batch_pages, batch_timeout_us=timeout_us,
+    )
+    return cluster, backend
+
+
+class TestBatchCoded:
+    def test_roundtrip(self):
+        cluster, backend = build()
+        pages = {pid: make_page(pid) for pid in range(10)}
+
+        def proc():
+            for pid, data in pages.items():
+                yield backend.write(pid, data)
+            good = 0
+            for pid, data in pages.items():
+                good += (yield backend.read(pid)) == data
+            return good
+
+        assert drive(cluster.sim, proc()) == 10
+
+    def test_concurrent_writes_share_a_stripe(self):
+        cluster, backend = build(batch_pages=4)
+        sim = cluster.sim
+
+        def proc():
+            writes = [backend.write(pid, make_page(pid)) for pid in range(4)]
+            yield sim.all_of(writes)
+            return backend.events["stripes_written"]
+
+        assert drive(sim, proc()) == 1  # one stripe for the whole batch
+
+    def test_batch_waiting_dominates_solo_writes(self):
+        """A lone writer pays the flush timeout — §4's 'batch waiting'."""
+        cluster, backend = build(batch_pages=8, timeout_us=40.0)
+        sim = cluster.sim
+
+        def proc():
+            start = sim.now
+            yield backend.write(0, make_page(0))
+            return sim.now - start
+
+        latency = drive(sim, proc())
+        assert latency >= 40.0
+
+    def test_update_goes_to_new_stripe_leaving_garbage(self):
+        cluster, backend = build(batch_pages=1, timeout_us=1.0)
+
+        def proc():
+            yield backend.write(0, make_page(1))
+            yield backend.write(0, make_page(2))
+            return (yield backend.read(0))
+
+        assert drive(cluster.sim, proc()) == make_page(2)
+        assert backend.events["garbage_pages"] == 1
+        assert backend.events["stripes_written"] == 2
+
+    def test_read_survives_r_failures(self):
+        cluster, backend = build(batch_pages=2, timeout_us=1.0)
+
+        def proc():
+            yield backend.write(0, make_page(0))
+            yield backend.write(1, make_page(1))
+            stripe_handles = backend.groups[-1]
+            for handle in stripe_handles[-2:]:  # kill two parity hosts
+                cluster.machine(handle.machine_id).fail()
+            yield cluster.sim.timeout(200)
+            return (yield backend.read(0))
+
+        assert drive(cluster.sim, proc()) == make_page(0)
+
+    def test_read_moves_stripe_sized_bytes(self):
+        """Reading one 4 KB page costs ~batch_pages x 4 KB of traffic."""
+        def traffic(batch_pages):
+            cluster, backend = build(batch_pages=batch_pages, timeout_us=1.0)
+
+            def proc():
+                yield backend.write(0, make_page(0))
+                before = sum(m.nic.bytes_sent for m in cluster.machines)
+                yield backend.read(0)
+                return sum(m.nic.bytes_sent for m in cluster.machines) - before
+
+            return drive(cluster.sim, proc())
+
+        assert traffic(8) > 3 * traffic(1)
+
+    def test_overhead_property(self):
+        _, backend = build(k=8, r=2)
+        assert backend.memory_overhead == 1.25
+
+    def test_invalid_batch_pages(self):
+        with pytest.raises(ValueError):
+            build(batch_pages=0)
+
+    def test_unwritten_page_reads_none(self):
+        cluster, backend = build()
+
+        def proc():
+            return (yield backend.read(99))
+
+        assert drive(cluster.sim, proc()) is None

@@ -1,0 +1,229 @@
+"""Machine, slab, SSD, and failure-injector tests."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CorruptionInjector,
+    FailureInjector,
+    LocalMemoryPressure,
+    PhantomSplit,
+    SlabState,
+    SSDConfig,
+    corrupt_payload,
+    payloads_equal,
+)
+from repro.net import RemoteAccessError
+from repro.sim import RandomSource
+
+from .conftest import drive
+
+
+class TestMachineMemory:
+    def test_allocation_accounting(self):
+        cluster = Cluster(machines=2, memory_per_machine=10 << 20, seed=0)
+        machine = cluster.machine(0)
+        slab = machine.allocate_slab(4 << 20)
+        assert machine.slab_bytes == 4 << 20
+        assert machine.free_bytes == 6 << 20
+        machine.release_slab(slab.slab_id)
+        assert machine.free_bytes == 10 << 20
+
+    def test_over_allocation_rejected(self):
+        cluster = Cluster(machines=1, memory_per_machine=1 << 20, seed=0)
+        with pytest.raises(MemoryError):
+            cluster.machine(0).allocate_slab(2 << 20)
+
+    def test_local_app_memory_counts(self):
+        cluster = Cluster(machines=1, memory_per_machine=10 << 20, seed=0)
+        machine = cluster.machine(0)
+        machine.set_local_app_bytes(8 << 20)
+        with pytest.raises(MemoryError):
+            machine.allocate_slab(4 << 20)
+
+    def test_negative_local_usage_rejected(self):
+        cluster = Cluster(machines=1, seed=0)
+        with pytest.raises(ValueError):
+            cluster.machine(0).set_local_app_bytes(-1)
+
+    def test_utilization(self):
+        cluster = Cluster(machines=1, memory_per_machine=10 << 20, seed=0)
+        machine = cluster.machine(0)
+        machine.set_local_app_bytes(5 << 20)
+        assert machine.memory_utilization == pytest.approx(0.5)
+
+
+class TestSlabLifecycle:
+    def _slab(self):
+        cluster = Cluster(machines=1, seed=0)
+        return cluster.machine(0), cluster.machine(0).allocate_slab(1 << 20)
+
+    def test_map_unmap(self):
+        machine, slab = self._slab()
+        slab.map_to(owner_id=9, range_id=3, split_index=2)
+        assert slab.state == SlabState.MAPPED
+        assert slab.owner_id == 9 and slab.split_index == 2
+        slab.unmap()
+        assert slab.state == SlabState.FREE
+        assert slab.pages == {}
+
+    def test_double_map_rejected(self):
+        _machine, slab = self._slab()
+        slab.map_to(1, 1, 0)
+        with pytest.raises(ValueError):
+            slab.map_to(2, 2, 1)
+
+    def test_regeneration_disables_writes(self):
+        machine, slab = self._slab()
+        slab.map_to(1, 1, 0)
+        slab.begin_regeneration()
+        with pytest.raises(RemoteAccessError):
+            machine.write_split(slab.slab_id, 0, b"x")
+        # Reads still served during regeneration (§4.4).
+        machine.read_split(slab.slab_id, 0)
+        slab.finish_regeneration()
+        machine.write_split(slab.slab_id, 0, b"x")
+
+    def test_access_to_free_slab_faults(self):
+        machine, slab = self._slab()
+        with pytest.raises(RemoteAccessError):
+            machine.read_split(slab.slab_id, 0)
+
+    def test_access_counters(self):
+        machine, slab = self._slab()
+        slab.map_to(1, 1, 0)
+        machine.write_split(slab.slab_id, 0, b"x")
+        machine.read_split(slab.slab_id, 0)
+        assert slab.access_count == 2
+        assert slab.touched_pages == 1
+
+
+class TestPayloads:
+    def test_phantom_corruption(self):
+        rng = RandomSource(0)
+        split = PhantomSplit(version=3)
+        corrupted = corrupt_payload(split, rng)
+        assert corrupted.corrupt and corrupted.version == 3
+        assert not payloads_equal(split, corrupted)
+
+    def test_real_corruption_changes_bytes(self):
+        import numpy as np
+
+        rng = RandomSource(1)
+        payload = np.zeros(64, dtype=np.uint8)
+        corrupted = corrupt_payload(payload, rng)
+        assert not np.array_equal(payload, corrupted)
+        assert payloads_equal(payload, payload.copy())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            corrupt_payload("not a payload", RandomSource(2))
+
+
+class TestSSD:
+    def test_read_write_latency(self):
+        cluster = Cluster(machines=1, with_ssd=True, seed=0)
+        sim = cluster.sim
+        ssd = cluster.machine(0).ssd
+
+        def proc():
+            start = sim.now
+            yield ssd.write(4096)
+            write_time = sim.now - start
+            start = sim.now
+            yield ssd.read(4096)
+            read_time = sim.now - start
+            return write_time, read_time
+
+        write_time, read_time = drive(sim, proc())
+        config = ssd.config
+        assert write_time == pytest.approx(
+            config.write_latency_us + 4096 / config.bandwidth_bytes_per_us
+        )
+        assert read_time > write_time  # reads slower on this profile
+
+    def test_queue_saturation_slows_requests(self):
+        """Beyond queue depth, requests wait — the §2.2 burst bottleneck."""
+        config = SSDConfig(queue_depth=2, write_latency_us=100.0)
+        cluster = Cluster(machines=1, with_ssd=True, ssd_config=config, seed=0)
+        sim = cluster.sim
+        ssd = cluster.machine(0).ssd
+
+        def proc():
+            events = [ssd.write(4096) for _ in range(6)]
+            yield sim.all_of(events)
+            return sim.now
+
+        finish = drive(sim, proc())
+        # 6 writes, 2 channels -> 3 serialized rounds.
+        assert finish >= 3 * config.write_latency_us
+
+    def test_stats(self):
+        cluster = Cluster(machines=1, with_ssd=True, seed=0)
+        ssd = cluster.machine(0).ssd
+
+        def proc():
+            yield ssd.write(100)
+            yield ssd.read(50)
+
+        drive(cluster.sim, proc())
+        assert ssd.writes == 1 and ssd.reads == 1
+        assert ssd.bytes_written == 100 and ssd.bytes_read == 50
+
+
+class TestInjectors:
+    def test_scheduled_crash_and_recovery(self):
+        cluster = Cluster(machines=2, seed=0)
+        sim = cluster.sim
+        injector = FailureInjector(sim)
+        injector.crash_at(cluster.machine(1), at_us=100.0, recover_after_us=50.0)
+
+        def proc():
+            yield sim.timeout(120)
+            down = cluster.machine(1).alive
+            yield sim.timeout(50)
+            up = cluster.machine(1).alive
+            return down, up
+
+        down, up = drive(sim, proc())
+        assert down is False and up is True
+
+    def test_crash_in_past_rejected(self):
+        cluster = Cluster(machines=1, seed=0)
+        cluster.sim.now = 100.0
+        with pytest.raises(ValueError):
+            FailureInjector(cluster.sim).crash_at(cluster.machine(0), at_us=50.0)
+
+    def test_correlated_crash_fraction(self):
+        cluster = Cluster(machines=20, seed=0)
+        injector = FailureInjector(cluster.sim)
+        victims = injector.crash_fraction_at(
+            cluster.machines, fraction=0.25, at_us=10.0, rng=RandomSource(5)
+        )
+        assert len(victims) == 5
+        cluster.sim.run(until=20)
+        assert sum(not m.alive for m in cluster.machines) == 5
+
+    def test_corruption_injector_marks_pages(self):
+        cluster = Cluster(machines=1, seed=0)
+        machine = cluster.machine(0)
+        slab = machine.allocate_slab(1 << 20)
+        slab.map_to(1, 0, 0)
+        for page in range(10):
+            slab.pages[page] = PhantomSplit(version=1)
+        injector = CorruptionInjector(cluster.sim, RandomSource(3))
+        injector.corrupt_machine(machine, fraction=1.0)
+        assert all(p.corrupt for p in slab.pages.values())
+        assert injector.corrupted_splits == 10
+
+    def test_memory_pressure_ramp(self):
+        cluster = Cluster(machines=1, memory_per_machine=100 << 20, seed=0)
+        sim = cluster.sim
+        machine = cluster.machine(0)
+        pressure = LocalMemoryPressure(sim, machine)
+        pressure.ramp(target_bytes=50 << 20, over_us=1000.0, steps=10)
+        sim.run(until=500)
+        halfway = machine.local_app_bytes
+        sim.run(until=2000)
+        assert 0 < halfway < 50 << 20
+        assert machine.local_app_bytes == 50 << 20

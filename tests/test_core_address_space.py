@@ -1,0 +1,69 @@
+"""Address-space bookkeeping: ranges, slots, failure marking."""
+
+import pytest
+
+from repro.core import AddressRange, RemoteAddressSpace, SlabHandle
+
+
+def make_range(range_id=0, n=6):
+    return AddressRange(
+        range_id, [SlabHandle(machine_id=i + 1, slab_id=100 + i) for i in range(n)]
+    )
+
+
+class TestAddressRange:
+    def test_available_positions(self):
+        rng = make_range()
+        assert rng.available_positions() == list(range(6))
+        rng.mark_failed(2)
+        assert rng.available_positions() == [0, 1, 3, 4, 5]
+
+    def test_positions_on_machine(self):
+        rng = make_range()
+        assert rng.positions_on_machine(3) == [2]
+        assert rng.positions_on_machine(99) == []
+
+    def test_replace_restores_availability(self):
+        rng = make_range()
+        rng.mark_failed(1)
+        rng.replace(1, SlabHandle(machine_id=9, slab_id=900))
+        assert rng.available_positions() == list(range(6))
+        assert rng.handle(1).machine_id == 9
+
+    def test_machine_ids(self):
+        assert make_range().machine_ids() == [1, 2, 3, 4, 5, 6]
+
+
+class TestRemoteAddressSpace:
+    def test_locate(self):
+        space = RemoteAddressSpace(pages_per_range=100)
+        assert space.locate(0) == (0, 0)
+        assert space.locate(99) == (0, 99)
+        assert space.locate(100) == (1, 0)
+        assert space.locate(250) == (2, 50)
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteAddressSpace(10).locate(-1)
+
+    def test_invalid_pages_per_range(self):
+        with pytest.raises(ValueError):
+            RemoteAddressSpace(0)
+
+    def test_install_and_drop(self):
+        space = RemoteAddressSpace(10)
+        rng = make_range(range_id=3)
+        space.install(rng)
+        assert space.get(3) is rng
+        with pytest.raises(ValueError):
+            space.install(make_range(range_id=3))
+        assert space.drop(3) is rng
+        assert space.get(3) is None
+
+    def test_ranges_using_machine(self):
+        space = RemoteAddressSpace(10)
+        space.install(make_range(0))
+        other = AddressRange(1, [SlabHandle(machine_id=42, slab_id=7)])
+        space.install(other)
+        assert space.ranges_using_machine(42) == [other]
+        assert len(space.ranges_using_machine(1)) == 1

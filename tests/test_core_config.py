@@ -1,0 +1,97 @@
+"""HydraConfig / DatapathConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core import DatapathConfig, HydraConfig
+from repro.core.datapath import (
+    completion_overhead_us,
+    decode_latency_us,
+    encode_latency_us,
+    issue_overhead_us,
+)
+
+
+class TestHydraConfig:
+    def test_paper_defaults(self):
+        config = HydraConfig()
+        assert (config.k, config.r, config.delta) == (8, 2, 1)
+        assert config.memory_overhead == 1.25
+        assert config.split_size == 512
+        assert config.slab_size_bytes == 1 << 30
+        assert config.headroom_fraction == 0.25
+
+    def test_fanouts(self):
+        config = HydraConfig(k=8, r=2, delta=1)
+        assert config.read_fanout() == 9  # k + delta
+        assert config.correction_fanout() == 10  # k + 2d + 1 = 11, capped at n
+
+    def test_fanout_without_late_binding(self):
+        config = HydraConfig(datapath=DatapathConfig(late_binding=False))
+        assert config.read_fanout() == config.k
+
+    def test_pages_per_range(self):
+        config = HydraConfig(k=4, r=2, slab_size_bytes=1 << 20, page_size=4096)
+        assert config.pages_per_range == (1 << 20) // 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HydraConfig(k=0)
+        with pytest.raises(ValueError):
+            HydraConfig(r=-1)
+        with pytest.raises(ValueError):
+            HydraConfig(delta=3, r=2)  # delta cannot exceed r
+        with pytest.raises(ValueError):
+            HydraConfig(payload_mode="imaginary")
+        with pytest.raises(ValueError):
+            HydraConfig(headroom_fraction=1.5)
+
+    def test_split_size_rounds_up(self):
+        config = HydraConfig(k=3, r=1, page_size=100)
+        assert config.split_size == 34
+
+
+class TestDatapathCosts:
+    def test_all_off_toggles(self):
+        off = DatapathConfig().all_off()
+        assert not off.run_to_completion
+        assert not off.in_place_coding
+        assert not off.late_binding
+        assert not off.async_encoding
+
+    def test_issue_overhead_in_place_vs_copies(self):
+        on = DatapathConfig()
+        off = on.all_off()
+        base = on.request_setup_us + 10 * on.post_per_split_us
+        assert issue_overhead_us(on, 10) == pytest.approx(base)
+        assert issue_overhead_us(off, 10) == pytest.approx(
+            base + off.buffer_alloc_us + 10 * off.copy_per_split_us
+        )
+
+    def test_issue_overhead_scales_with_splits(self):
+        on = DatapathConfig()
+        assert issue_overhead_us(on, 17) > issue_overhead_us(on, 3)
+
+    def test_issue_overhead_validates(self):
+        with pytest.raises(ValueError):
+            issue_overhead_us(DatapathConfig(), 0)
+
+    def test_completion_overhead_run_to_completion_free(self):
+        on = DatapathConfig()
+        assert completion_overhead_us(on, 8) == 0.0
+
+    def test_completion_overhead_context_switches(self):
+        off = DatapathConfig().all_off()
+        # 8 completions, batches of 4 -> 2 wakeups.
+        assert completion_overhead_us(off, 8) == pytest.approx(
+            2 * off.context_switch_us
+        )
+        assert completion_overhead_us(off, 0) == 0.0
+
+    def test_coding_latency_scales(self):
+        base = HydraConfig(k=8, r=2)
+        assert encode_latency_us(base) == pytest.approx(0.7)
+        assert decode_latency_us(base) == pytest.approx(1.5)
+        double_parity = HydraConfig(k=8, r=4, delta=1)
+        assert encode_latency_us(double_parity) == pytest.approx(1.4)
+        no_parity = HydraConfig(k=8, r=0, delta=0)
+        assert encode_latency_us(no_parity) == 0.0

@@ -1,0 +1,122 @@
+"""GF(2^8) field arithmetic tests, including field-axiom properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.galois import (
+    EXP_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_slice,
+    gf_pow,
+    gf_sub,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_log_inverse_relation(self):
+        for value in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[value]] == value
+
+    def test_exp_table_duplicated(self):
+        assert np.array_equal(EXP_TABLE[0:255], EXP_TABLE[255:510])
+
+    def test_mul_table_against_scalar(self):
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            assert MUL_TABLE[a][b] == gf_mul(a, b)
+
+
+class TestAxioms:
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+        assert gf_sub(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    @given(nonzero, st.integers(min_value=0, max_value=300))
+    def test_pow_matches_repeated_mul(self, a, exponent):
+        expected = 1
+        for _ in range(exponent):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, exponent) == expected
+
+
+class TestEdgeCases:
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gf_pow(2, -1)
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1  # convention
+
+
+class TestMulSlice:
+    def test_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        for coefficient in (0, 1, 2, 37, 255):
+            out = gf_mul_slice(coefficient, data)
+            expected = np.array(
+                [gf_mul(coefficient, int(x)) for x in data], dtype=np.uint8
+            )
+            assert np.array_equal(out, expected)
+
+    def test_requires_uint8(self):
+        with pytest.raises(TypeError):
+            gf_mul_slice(3, np.arange(4, dtype=np.int32))
+
+    def test_returns_copy_for_identity(self):
+        data = np.zeros(8, dtype=np.uint8)
+        out = gf_mul_slice(1, data)
+        out[0] = 1
+        assert data[0] == 0

@@ -1,0 +1,108 @@
+"""Matrix algebra over GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ec.matrix import (
+    SingularMatrixError,
+    cauchy_parity_matrix,
+    gf_mat_inverse,
+    gf_matmul,
+    systematic_generator,
+)
+
+
+class TestMatmul:
+    def test_identity(self):
+        identity = np.eye(4, dtype=np.uint8)
+        matrix = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert np.array_equal(gf_matmul(identity, matrix), matrix)
+
+    def test_shape_mismatch(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        b = np.zeros((4, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf_matmul(a, b)
+
+    def test_needs_2d(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros(3, dtype=np.uint8), np.zeros((3, 1), dtype=np.uint8))
+
+    @given(
+        arrays(np.uint8, (3, 3)),
+        arrays(np.uint8, (3, 3)),
+        arrays(np.uint8, (3, 2)),
+    )
+    @settings(max_examples=30)
+    def test_associativity(self, a, b, c):
+        left = gf_matmul(gf_matmul(a, b), c)
+        right = gf_matmul(a, gf_matmul(b, c))
+        assert np.array_equal(left, right)
+
+
+class TestInverse:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_inverse_roundtrip_on_cauchy_squares(self, seed):
+        # Square submatrices of the systematic generator are the exact
+        # matrices decode inverts; they are always invertible.
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 8))
+        r = int(rng.integers(1, 5))
+        generator = systematic_generator(k, r)
+        rows = rng.choice(k + r, size=k, replace=False)
+        square = generator[np.sort(rows)]
+        inverse = gf_mat_inverse(square)
+        assert np.array_equal(gf_matmul(inverse, square), np.eye(k, dtype=np.uint8))
+        assert np.array_equal(gf_matmul(square, inverse), np.eye(k, dtype=np.uint8))
+
+    def test_singular_rejected(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gf_mat_inverse(singular)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            gf_mat_inverse(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_identity_is_self_inverse(self):
+        identity = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf_mat_inverse(identity), identity)
+
+
+class TestGeneratorConstruction:
+    def test_systematic_top_is_identity(self):
+        generator = systematic_generator(4, 2)
+        assert np.array_equal(generator[:4], np.eye(4, dtype=np.uint8))
+
+    def test_cauchy_entries_nonzero(self):
+        block = cauchy_parity_matrix(8, 3)
+        assert (block != 0).all()
+
+    def test_every_k_subset_invertible(self):
+        """The MDS property: any k rows of the generator decode."""
+        from itertools import combinations
+
+        k, r = 4, 3
+        generator = systematic_generator(k, r)
+        for rows in combinations(range(k + r), k):
+            gf_mat_inverse(generator[list(rows)])  # must not raise
+
+    def test_r_zero_gives_identity_only(self):
+        generator = systematic_generator(5, 0)
+        assert generator.shape == (5, 5)
+
+    def test_too_large_field_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy_parity_matrix(200, 100)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy_parity_matrix(0, 1)

@@ -1,0 +1,93 @@
+"""Page-level codec: split/join, padding, end-to-end page recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import PAGE_SIZE, CorruptionDetected, PageCodec
+
+from .conftest import make_page
+
+
+class TestSplitJoin:
+    def test_roundtrip(self):
+        codec = PageCodec(8, 2)
+        page = make_page(1)
+        assert codec.join(codec.split(page)) == page
+
+    def test_split_size_default(self):
+        codec = PageCodec(8, 2)
+        assert codec.split_size == 512
+        assert codec.padded_size == 4096
+
+    def test_padding_when_k_does_not_divide(self):
+        codec = PageCodec(3, 1, page_size=100)
+        assert codec.split_size == 34  # ceil(100/3)
+        page = bytes(range(100))
+        splits = codec.split(page)
+        assert splits.shape == (3, 34)
+        assert codec.join(splits) == page
+
+    def test_wrong_page_size_rejected(self):
+        codec = PageCodec(4, 2)
+        with pytest.raises(ValueError):
+            codec.split(b"short")
+
+    def test_wrong_shape_join_rejected(self):
+        codec = PageCodec(4, 2)
+        with pytest.raises(ValueError):
+            codec.join(np.zeros((2, 10), dtype=np.uint8))
+
+    def test_k_larger_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            PageCodec(10, 1, page_size=5)
+
+
+class TestEndToEnd:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_encode_decode_any_k(self, k, r, seed):
+        codec = PageCodec(k, r, page_size=256)
+        rng = np.random.default_rng(seed)
+        page = rng.integers(0, 256, 256, dtype=np.uint8).tobytes()
+        splits = codec.encode(page)
+        chosen = rng.choice(k + r, size=k, replace=False)
+        assert codec.decode({int(i): splits[int(i)] for i in chosen}) == page
+
+    def test_decode_verified_detects(self):
+        codec = PageCodec(4, 2)
+        splits = codec.encode(make_page(2))
+        received = {i: splits[i].copy() for i in range(5)}
+        received[3][9] ^= 0x80
+        with pytest.raises(CorruptionDetected):
+            codec.decode_verified(received)
+
+    def test_correct_repairs_page(self):
+        codec = PageCodec(4, 3)
+        page = make_page(3)
+        splits = codec.encode(page)
+        received = {i: splits[i].copy() for i in range(7)}
+        received[1][0] ^= 0x11
+        fixed, corrupted = codec.correct(received, max_errors=1)
+        assert fixed == page
+        assert corrupted == [1]
+
+    def test_default_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+
+class TestRequirements:
+    def test_table1_rows(self):
+        codec = PageCodec(8, 2)
+        assert codec.splits_required() == 8
+        assert codec.splits_required(detect_errors=1) == 9
+        assert codec.splits_required(correct_errors=1) == 11
+
+    def test_properties(self):
+        codec = PageCodec(8, 2)
+        assert codec.k == 8 and codec.r == 2 and codec.n == 10

@@ -1,0 +1,203 @@
+"""Reed-Solomon codec: reconstruction, detection, correction properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import CorruptionDetected, DecodeError, ReedSolomonCode
+
+
+def _splits(code, seed=0, length=64):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (code.k, length), dtype=np.uint8)
+    return data, code.encode_page(data)
+
+
+class TestEncode:
+    def test_parity_shape(self):
+        code = ReedSolomonCode(4, 2)
+        data, _all = _splits(code)
+        parity = code.encode(data)
+        assert parity.shape == (2, 64)
+
+    def test_systematic_layout(self):
+        code = ReedSolomonCode(4, 2)
+        data, everything = _splits(code)
+        assert np.array_equal(everything[:4], data)
+
+    def test_r_zero(self):
+        code = ReedSolomonCode(3, 0)
+        data, _ = _splits(code)
+        assert code.encode(data).shape == (0, 64)
+
+    def test_wrong_row_count_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(DecodeError):
+            code.encode(np.zeros((3, 10), dtype=np.uint8))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(1, -1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(200, 100)
+
+    def test_storage_overhead(self):
+        assert ReedSolomonCode(8, 2).storage_overhead == 1.25
+
+
+class TestDecode:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60)
+    def test_any_k_subset_reconstructs(self, k, r, seed):
+        """The MDS property exercised with random subsets and payloads."""
+        code = ReedSolomonCode(k, r)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, (k, 16), dtype=np.uint8)
+        everything = code.encode_page(data)
+        chosen = rng.choice(k + r, size=k, replace=False)
+        subset = {int(i): everything[int(i)] for i in chosen}
+        assert np.array_equal(code.decode(subset), data)
+
+    def test_too_few_splits(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        with pytest.raises(DecodeError):
+            code.decode({0: everything[0], 1: everything[1]})
+
+    def test_extra_splits_ignored(self):
+        code = ReedSolomonCode(3, 2)
+        data, everything = _splits(code)
+        full = {i: everything[i] for i in range(5)}
+        assert np.array_equal(code.decode(full), data)
+
+    def test_parity_only_decode(self):
+        code = ReedSolomonCode(2, 2)
+        data, everything = _splits(code)
+        assert np.array_equal(code.decode({2: everything[2], 3: everything[3]}), data)
+
+    def test_reencode_split_matches(self):
+        code = ReedSolomonCode(4, 3)
+        data, everything = _splits(code)
+        for index in range(7):
+            assert np.array_equal(code.reencode_split(data, index), everything[index])
+
+    def test_reencode_bad_index(self):
+        code = ReedSolomonCode(2, 1)
+        data, _ = _splits(code)
+        with pytest.raises(DecodeError):
+            code.reencode_split(data, 5)
+
+
+class TestDetection:
+    def test_verify_consistent(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        assert code.verify({i: everything[i] for i in range(6)})
+
+    def test_verify_catches_corruption(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        tampered = {i: everything[i].copy() for i in range(5)}  # k + 1
+        tampered[1][3] ^= 0x40
+        assert not code.verify(tampered)
+
+    def test_verify_with_k_splits_trivially_true(self):
+        """Table 1: detection needs k + delta splits; k alone cannot see."""
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        tampered = {i: everything[i].copy() for i in range(4)}
+        tampered[0][0] ^= 0xFF
+        assert code.verify(tampered)  # undetectable
+
+    def test_decode_verified_raises(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        tampered = {i: everything[i].copy() for i in range(5)}
+        tampered[4][0] ^= 0x01
+        with pytest.raises(CorruptionDetected):
+            code.decode_verified(tampered)
+
+    def test_decode_verified_clean(self):
+        code = ReedSolomonCode(4, 2)
+        data, everything = _splits(code)
+        out = code.decode_verified({i: everything[i] for i in range(5)})
+        assert np.array_equal(out, data)
+
+
+class TestCorrection:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_corrects_single_error_with_guarantee(self, k, seed):
+        """With k + 3 splits (k + 2*1 + 1), one corruption is always fixed."""
+        code = ReedSolomonCode(k, 3)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, (k, 16), dtype=np.uint8)
+        everything = code.encode_page(data)
+        received = {i: everything[i].copy() for i in range(k + 3)}
+        victim = int(rng.integers(0, k + 3))
+        received[victim][int(rng.integers(16))] ^= int(rng.integers(1, 256))
+        fixed, corrupted = code.correct(received, max_errors=1)
+        assert np.array_equal(fixed, data)
+        assert corrupted == [victim]
+
+    def test_corrects_two_errors(self):
+        code = ReedSolomonCode(3, 5)  # k + 2*2 + 1 = 8 = n
+        data, everything = _splits(code)
+        received = {i: everything[i].copy() for i in range(8)}
+        received[0][0] ^= 0xAA
+        received[5][1] ^= 0x55
+        fixed, corrupted = code.correct(received, max_errors=2)
+        assert np.array_equal(fixed, data)
+        assert sorted(corrupted) == [0, 5]
+
+    def test_no_corruption_fast_path(self):
+        code = ReedSolomonCode(4, 3)
+        data, everything = _splits(code)
+        received = {i: everything[i] for i in range(7)}
+        fixed, corrupted = code.correct(received, max_errors=1)
+        assert np.array_equal(fixed, data)
+        assert corrupted == []
+
+    def test_insufficient_splits_rejected_without_best_effort(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        received = {i: everything[i] for i in range(6)}  # < k + 2 + 1
+        with pytest.raises(DecodeError):
+            code.correct(received, max_errors=1)
+
+    def test_best_effort_localizes_from_k_plus_2(self):
+        """Best-effort mode: unique max-agreement codeword wins."""
+        code = ReedSolomonCode(4, 2)
+        data, everything = _splits(code)
+        received = {i: everything[i].copy() for i in range(6)}  # k + 2
+        received[2][7] ^= 0x3C
+        fixed, corrupted = code.correct(received, max_errors=1, best_effort=True)
+        assert np.array_equal(fixed, data)
+        assert corrupted == [2]
+
+    def test_too_many_errors_raise(self):
+        code = ReedSolomonCode(4, 3)
+        _, everything = _splits(code)
+        received = {i: everything[i].copy() for i in range(7)}
+        for i in (0, 2, 4):  # 3 errors, only 1 correctable
+            received[i][0] ^= 0xFF
+        with pytest.raises(DecodeError):
+            code.correct(received, max_errors=1)
+
+    def test_correct_needs_more_than_k(self):
+        code = ReedSolomonCode(4, 2)
+        _, everything = _splits(code)
+        with pytest.raises(DecodeError):
+            code.correct(
+                {i: everything[i] for i in range(4)}, max_errors=0, best_effort=True
+            )

@@ -1,0 +1,112 @@
+"""Vectorized multi-page RS operations vs the scalar codec (oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    DecodeError,
+    ReedSolomonCode,
+    encode_pages,
+    rebuild_position,
+    rebuild_transform,
+)
+
+
+def _random_pages(code, n_pages, split_size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        0, 256, (n_pages, code.k, split_size), dtype=np.uint8
+    )
+
+
+class TestEncodePages:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_matches_per_page_encode(self, k, r, n_pages, seed):
+        code = ReedSolomonCode(k, r)
+        stack = _random_pages(code, n_pages, split_size=16, seed=seed)
+        batched = encode_pages(code, stack)
+        assert batched.shape == (n_pages, k + r, 16)
+        for page_index in range(n_pages):
+            expected = code.encode_page(stack[page_index])
+            assert np.array_equal(batched[page_index], expected)
+
+    def test_shape_validation(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(DecodeError):
+            encode_pages(code, np.zeros((3, 3, 8), dtype=np.uint8))
+
+
+class TestRebuildTransform:
+    def test_systematic_rows_give_selector(self):
+        code = ReedSolomonCode(4, 2)
+        transform = rebuild_transform(code, [0, 1, 2, 3], 2)
+        expected = np.zeros((1, 4), dtype=np.uint8)
+        expected[0, 2] = 1
+        assert np.array_equal(transform, expected)
+
+    def test_wrong_source_count_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(DecodeError):
+            rebuild_transform(code, [0, 1, 2], 5)
+
+    def test_target_out_of_range(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(DecodeError):
+            rebuild_transform(code, [0, 1, 2, 3], 6)
+
+
+class TestRebuildPosition:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_rebuilds_exactly_what_the_codec_would(self, seed):
+        code = ReedSolomonCode(4, 2)
+        split_size = 16
+        stack = _random_pages(code, 6, split_size, seed=seed)
+        full = encode_pages(code, stack)
+        target = 1
+        # Sources: every position except the target (like a live regen).
+        sources = {
+            position: {page: full[page, position] for page in range(6)}
+            for position in range(code.n)
+            if position != target
+        }
+        rebuilt = rebuild_position(code, sources, target, split_size)
+        for page in range(6):
+            assert np.array_equal(rebuilt[page], full[page, target])
+
+    def test_pages_with_too_few_sources_skipped(self):
+        code = ReedSolomonCode(4, 2)
+        split_size = 8
+        stack = _random_pages(code, 2, split_size, seed=3)
+        full = encode_pages(code, stack)
+        sources = {
+            position: {0: full[0, position]} for position in range(4)
+        }
+        # Page 1 exists at only 3 positions: unrecoverable.
+        for position in range(3):
+            sources[position][1] = full[1, position]
+        rebuilt = rebuild_position(code, sources, 5, split_size)
+        assert 0 in rebuilt and 1 not in rebuilt
+
+    def test_mixed_source_sets_grouped_correctly(self):
+        """Pages available at different position subsets still rebuild."""
+        code = ReedSolomonCode(3, 2)
+        split_size = 8
+        stack = _random_pages(code, 4, split_size, seed=4)
+        full = encode_pages(code, stack)
+        sources = {position: {} for position in range(code.n) if position != 0}
+        # Page 0: positions 1,2,3; page 1: positions 2,3,4; page 2: all.
+        for page, positions in ((0, (1, 2, 3)), (1, (2, 3, 4)), (2, (1, 2, 3, 4))):
+            for position in positions:
+                sources[position][page] = full[page, position]
+        rebuilt = rebuild_position(code, sources, 0, split_size)
+        for page in (0, 1, 2):
+            assert np.array_equal(rebuilt[page], full[page, 0])

@@ -1,0 +1,147 @@
+"""Harness: builders, microbench, tradeoff, reports (fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    NamespacedPool,
+    build_backend,
+    build_hydra_cluster,
+    format_series,
+    format_table,
+    ascii_timeline,
+    banner,
+    measure_latency,
+    measure_tradeoff_point,
+    page_generator,
+    run_process,
+)
+from repro.cluster import Cluster
+
+from .conftest import drive
+
+
+class TestBuilders:
+    def test_hydra_cluster_roundtrip(self):
+        hydra = build_hydra_cluster(machines=8, k=4, r=2, seed=7)
+        rm = hydra.remote_memory(0)
+        page = page_generator()(0)
+
+        def proc():
+            yield rm.write(0, page)
+            return (yield rm.read(0))
+
+        assert drive(hydra.sim, proc()) == page
+
+    def test_backend_factory_kinds(self):
+        for kind in ("replication", "compressed", "direct"):
+            cluster = Cluster(machines=6, memory_per_machine=1 << 26, seed=1)
+            backend = build_backend(kind, cluster)
+            assert backend.name in ("replication", "compressed", "direct")
+
+    def test_backend_factory_rejects_unknown(self):
+        cluster = Cluster(machines=4, seed=1)
+        with pytest.raises(ValueError):
+            build_backend("floppy_backup", cluster)
+        with pytest.raises(ValueError):
+            build_backend("hydra", cluster)
+
+    def test_namespaced_pool_separates_pages(self):
+        hydra = build_hydra_cluster(
+            machines=8, k=2, r=1, seed=7, payload_mode="phantom"
+        )
+        rm = hydra.remote_memory(0)
+        a = NamespacedPool(rm, base_page=0)
+        b = NamespacedPool(rm, base_page=1 << 20)
+
+        def proc():
+            yield a.write(0)
+            yield b.write(0)
+            return rm.remote_pages()
+
+        assert drive(hydra.sim, proc()) == 2
+
+
+class TestMicrobench:
+    def test_measure_latency_summaries(self):
+        hydra = build_hydra_cluster(machines=8, k=4, r=2, seed=3)
+        result = measure_latency(
+            hydra.remote_memory(0),
+            hydra.sim,
+            label="hydra",
+            n_pages=16,
+            writes=40,
+            reads=40,
+        )
+        assert result.read.count == 40
+        assert result.write.count == 40
+        assert 0 < result.read.p50 < 50
+        assert "read p50" in str(result)
+
+    def test_run_process_reports_failure(self):
+        hydra = build_hydra_cluster(machines=4, k=2, r=1, seed=3)
+        sim = hydra.sim
+
+        def boom():
+            yield sim.timeout(1)
+            raise RuntimeError("exploded")
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_process(sim, sim.process(boom()))
+
+    def test_run_process_detects_stall(self):
+        hydra = build_hydra_cluster(machines=4, k=2, r=1, seed=3)
+        sim = hydra.sim
+
+        def forever():
+            yield sim.event()  # never triggers
+
+        with pytest.raises(RuntimeError, match="did not finish"):
+            run_process(sim, sim.process(forever()), until=100.0)
+
+
+class TestTradeoff:
+    def test_hydra_point(self):
+        # Default hydra tradeoff config is (8+2): needs 10 peers + client.
+        point = measure_tradeoff_point(
+            "hydra", machines=12, n_pages=16, ops=60, with_failure=False
+        )
+        assert point.memory_overhead == 1.25
+        assert point.read_p50_us < 10
+
+    def test_ssd_backup_under_failure_is_disk_bound(self):
+        point = measure_tradeoff_point(
+            "ssd_backup", machines=10, n_pages=16, ops=60, with_failure=True
+        )
+        assert point.memory_overhead == 1.0
+        assert point.read_p50_us > 50  # disk latency dominates
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            measure_tradeoff_point("raid0")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["hydra", 1.25], ["replication", 2.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.25" in lines[2]
+
+    def test_format_series(self):
+        text = format_series("tput", [0, 1], [10.0, 20.0])
+        assert text == "tput: 0=10.0, 1=20.0"
+
+    def test_ascii_timeline(self):
+        series = {
+            "a": (np.arange(10), np.linspace(0, 100, 10)),
+            "b": (np.arange(10), np.full(10, 50.0)),
+        }
+        art = ascii_timeline(series)
+        assert "a |" in art and "b |" in art
+
+    def test_banner(self):
+        assert "Fig 1" in banner("Fig 1")

@@ -1,0 +1,114 @@
+"""Harness units: time dilation, scenario wiring, cluster-run specs."""
+
+import pytest
+
+from repro.core import DatapathConfig
+from repro.harness import ClusterExperiment
+from repro.harness.scenarios import (
+    SCENARIOS,
+    build_pool,
+    run_uncertainty_scenario,
+    scaled_datapath,
+    scaled_network,
+    scaled_ssd,
+    victim_machines,
+)
+from repro.net import NetworkConfig
+
+from .conftest import drive
+
+
+class TestTimeDilation:
+    def test_network_ratios_preserved(self):
+        base = NetworkConfig()
+        scaled = scaled_network(50.0)
+        # Every latency x50, bandwidth /50 -> transfer time x50.
+        assert scaled.base_latency_us == base.base_latency_us * 50
+        assert scaled.transfer_us(4096) == pytest.approx(
+            base.transfer_us(4096) * 50
+        )
+        assert scaled.failure_detect_us == base.failure_detect_us * 50
+        # Dimensionless knobs untouched.
+        assert scaled.jitter_sigma == base.jitter_sigma
+        assert scaled.straggler_prob == base.straggler_prob
+        assert scaled.congestion_per_flow == base.congestion_per_flow
+        # The key invariant: latency *ratios* are unchanged.
+        ratio = lambda c: c.transfer_us(4096) / c.base_latency_us
+        assert ratio(scaled) == pytest.approx(ratio(base))
+
+    def test_ssd_ratios_preserved(self):
+        scaled = scaled_ssd(10.0)
+        base_ratio = 80.0 / 30.0
+        assert scaled.read_latency_us / scaled.write_latency_us == pytest.approx(
+            base_ratio
+        )
+
+    def test_datapath_scaling(self):
+        base = DatapathConfig()
+        scaled = scaled_datapath(10.0)
+        assert scaled.encode_latency_us == base.encode_latency_us * 10
+        assert scaled.decode_latency_us == base.decode_latency_us * 10
+        assert scaled.post_per_split_us == base.post_per_split_us * 10
+        assert scaled.run_to_completion == base.run_to_completion
+
+
+class TestScenarioWiring:
+    def test_build_pool_kinds(self):
+        for kind in ("hydra", "replication", "ssd_backup", "direct"):
+            cluster, pool = build_pool(kind, machines=12, seed=1)
+            assert pool is not None
+            assert len(cluster) == 12
+
+    def test_victim_ranking_prefers_heavy_hosts(self):
+        cluster, pool = build_pool("hydra", machines=12, seed=2)
+
+        def proc():
+            for page in range(10):
+                yield pool.write(page)
+
+        drive(cluster.sim, proc(), until=1e9)
+        victims = victim_machines(pool, count=3)
+        assert len(victims) == 3
+        assert all(isinstance(v, int) for v in victims)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_uncertainty_scenario("hydra", "meteor_strike")
+
+    def test_scenarios_constant(self):
+        assert set(SCENARIOS) == {"failure", "corruption", "background", "burst"}
+
+
+class TestClusterExperimentSpecs:
+    def test_fit_mix_matches_paper(self):
+        experiment = ClusterExperiment("hydra", machines=50, containers=250)
+        specs = experiment.build_specs()
+        assert len(specs) == 250
+        fits = [s.fit for s in specs]
+        assert fits.count(1.0) == 125  # 50 %
+        assert fits.count(0.75) == 75  # 30 %
+        assert fits.count(0.5) == 50  # 20 %
+
+    def test_apps_equally_represented(self):
+        experiment = ClusterExperiment("hydra", machines=50, containers=240)
+        specs = experiment.build_specs()
+        workloads = [s.workload for s in specs]
+        assert workloads.count("voltdb") == 80
+        assert workloads.count("etc") == 80
+        assert workloads.count("sys") == 80
+
+    def test_specs_identical_across_backends(self):
+        """Fairness: placement/fits must not depend on the backend."""
+        a = ClusterExperiment("hydra", seed=3).build_specs()
+        b = ClusterExperiment("ssd_backup", seed=3).build_specs()
+        assert [(s.host_id, s.fit, s.workload) for s in a] == [
+            (s.host_id, s.fit, s.workload) for s in b
+        ]
+
+    def test_memory_budget_derivation(self):
+        experiment = ClusterExperiment(
+            "hydra", machines=10, containers=10, pages_per_container=100,
+            footprint_fraction=0.5,
+        )
+        footprint = 10 * 100 * 4096
+        assert experiment.memory_per_machine == int(footprint / 0.5 / 10)

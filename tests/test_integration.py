@@ -1,0 +1,169 @@
+"""Cross-module integration tests: the full stack under combined stress."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, CorruptionInjector, FailureInjector
+from repro.core import HydraConfig, HydraDeployment
+from repro.net import NetworkConfig, start_background_load
+from repro.sim import RandomSource
+from repro.vmm import PagedMemory
+from repro.workloads import TpccWorkload
+
+from .conftest import drive, make_page
+
+
+def build(machines=12, k=4, r=2, payload_mode="real", seed=21, **kwargs):
+    cluster = Cluster(
+        machines=machines,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.02, straggler_prob=0.002),
+        seed=seed,
+    )
+    config = HydraConfig(
+        k=k, r=r, delta=1, slab_size_bytes=1 << 20,
+        payload_mode=payload_mode, control_period_us=100_000, **kwargs,
+    )
+    return cluster, HydraDeployment(cluster, config, seed=seed)
+
+
+class TestMultiTenant:
+    def test_many_resilience_managers_share_the_cluster(self):
+        """Every machine acts as client and server simultaneously (Fig 3)."""
+        cluster, deployment = build(machines=10, payload_mode="phantom")
+        sim = cluster.sim
+
+        def client(machine_id):
+            rm = deployment.manager(machine_id)
+            for page in range(40):
+                yield rm.write(page)
+            for page in range(40):
+                yield rm.read(page)
+            return rm.events["read_failures"]
+
+        def everyone():
+            procs = [
+                sim.process(client(m.id), name=f"client{m.id}")
+                for m in cluster.machines
+            ]
+            results = yield sim.all_of(procs)
+            return sum(results.values())
+
+        failures = drive(sim, everyone(), until=1e9)
+        assert failures == 0
+        # Slabs must be spread over many machines, not piled on a few.
+        hosting = [len(m.mapped_slabs()) for m in cluster.machines]
+        assert min(hosting) >= 1
+
+    def test_workload_through_vmm_over_hydra_survives_chaos(self):
+        """TPC-C over the pager over Hydra with a failure AND corruption
+        AND background flows, all at once — no lost pages, no stalls."""
+        cluster, deployment = build(machines=12, payload_mode="phantom")
+        sim = cluster.sim
+        rm = deployment.manager(0)
+        pager = PagedMemory(rm, resident_pages=300)
+        drive(sim, _as_gen(pager.preload(range(600))), until=1e9)
+
+        work = TpccWorkload(
+            pager, RandomSource(5), 600, clients=2, compute_us=20.0
+        )
+
+        def chaos():
+            yield sim.timeout(30_000)
+            hosts = [
+                h.machine_id
+                for rng_ in rm.space.all_ranges()
+                for h in rng_.slots
+                if h.available
+            ]
+            cluster.machine(hosts[0]).fail()
+            CorruptionInjector(sim, RandomSource(6)).corrupt_machine(
+                cluster.machine(hosts[1]), fraction=0.5
+            )
+            start_background_load(cluster.fabric, [hosts[2]], flows_per_target=2,
+                                  duration_us=50_000)
+
+        sim.process(chaos(), name="chaos")
+        proc = work.run(total_ops=1000)
+        drive(sim, _as_gen(proc), until=1e10)
+        assert work.stats["ops"] == 1000
+        assert rm.events["read_failures"] == 0
+
+    def test_correlated_failure_within_tolerance(self):
+        """r=2 tolerates two *specific* machine losses; §5.2's correlated
+        event stays safe when it kills at most r of a range's hosts."""
+        cluster, deployment = build(machines=14, k=4, r=2)
+        sim = cluster.sim
+        rm = deployment.manager(0)
+        pages = {pid: make_page(pid) for pid in range(10)}
+
+        def driver():
+            for pid, data in pages.items():
+                yield rm.write(pid, data)
+            hosts = rm.space.get(0).machine_ids()
+            cluster.machine(hosts[0]).fail()
+            cluster.machine(hosts[-1]).fail()  # one data, one parity host
+            yield sim.timeout(500)
+            for pid, data in pages.items():
+                got = yield rm.read(pid)
+                assert got == data
+            return "ok"
+
+        assert drive(sim, driver(), until=1e9) == "ok"
+
+
+class TestRecoveryDynamics:
+    def test_regeneration_time_scales_with_slab_fill(self):
+        """§7.1.2 measures 274 ms to regenerate a 1 GB slab; the rebuild
+        time must scale with the amount of data in the slab."""
+
+        def regen_time(pages):
+            cluster, deployment = build(machines=12, seed=33)
+            sim = cluster.sim
+            rm = deployment.manager(0)
+
+            def run():
+                for pid in range(pages):
+                    yield rm.write(pid, make_page(pid))
+                victim = rm.space.get(0).handle(0).machine_id
+                start = sim.now
+                cluster.machine(victim).fail()
+                while rm.events["regenerations"] == 0:
+                    yield sim.timeout(5.0)  # fine-grained poll
+                return sim.now - start
+
+            return drive(sim, run(), until=1e10)
+
+        fast = regen_time(4)
+        slow = regen_time(512)  # a fuller slab: more bytes to move+decode
+        assert slow > fast
+
+    def test_phantom_and_real_agree_on_resilience_outcomes(self):
+        """The phantom fast path must preserve control-flow outcomes:
+        same number of regenerations for the same failure schedule."""
+
+        def run(payload_mode):
+            cluster, deployment = build(machines=12, payload_mode=payload_mode)
+            sim = cluster.sim
+            rm = deployment.manager(0)
+
+            def driver():
+                for pid in range(20):
+                    data = make_page(pid) if payload_mode == "real" else None
+                    yield rm.write(pid, data)
+                victim = rm.space.get(0).handle(2).machine_id
+                cluster.machine(victim).fail()
+                yield sim.timeout(5_000_000)
+                for pid in range(20):
+                    yield rm.read(pid)
+                return rm.events["regenerations"], rm.events["read_failures"]
+
+            return drive(sim, driver(), until=1e10)
+
+        assert run("real") == run("phantom") == (1, 0)
+
+
+def _as_gen(process):
+    def wait():
+        yield process
+    return wait()

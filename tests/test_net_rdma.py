@@ -1,0 +1,275 @@
+"""RDMA fabric tests: verbs, ordering, congestion, failures, partitions."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net import (
+    NetworkConfig,
+    RDMADisconnect,
+    RemoteAccessError,
+)
+
+from .conftest import drive
+
+
+def quiet_config(**overrides):
+    """A deterministic network: no jitter, no stragglers."""
+    defaults = dict(jitter_sigma=0.0, straggler_prob=0.0)
+    defaults.update(overrides)
+    return NetworkConfig(**defaults)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(machines=4, network=quiet_config(), seed=1)
+
+
+class TestVerbs:
+    def test_write_then_read(self, cluster):
+        sim = cluster.sim
+        remote = cluster.machine(1)
+        slab = remote.allocate_slab(1 << 20)
+        slab.map_to(owner_id=0, range_id=0, split_index=0)
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            yield qp.post_write(512, apply=lambda: remote.write_split(slab.slab_id, 7, b"x"))
+            value = yield qp.post_read(512, fetch=lambda: remote.read_split(slab.slab_id, 7))
+            return value
+
+        assert drive(sim, proc()) == b"x"
+
+    def test_latency_scales_with_size(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+
+        def timed(size):
+            start = sim.now
+            yield qp.post_read(size, fetch=lambda: None)
+            return sim.now - start
+
+        small = drive(sim, timed(512))
+        large = drive(sim, timed(1 << 20))
+        assert large > small
+        # 512 B at 56 Gbps ~ base latency + ~0.07 us.
+        assert small == pytest.approx(
+            cluster.fabric.config.base_latency_us + 512 / cluster.fabric.config.bytes_per_us
+        )
+
+    def test_per_qp_ordering_read_after_write(self, cluster):
+        """A read posted after a write on the same QP never sees stale
+        data, even though its raw latency would complete it earlier."""
+        sim = cluster.sim
+        remote = cluster.machine(1)
+        slab = remote.allocate_slab(1 << 20)
+        slab.map_to(0, 0, 0)
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            # Big write (slow), then small read (fast): order must hold.
+            qp.post_write(
+                1 << 20, apply=lambda: remote.write_split(slab.slab_id, 0, "new")
+            )
+            value = yield qp.post_read(
+                64, fetch=lambda: remote.read_split(slab.slab_id, 0)
+            )
+            return value
+
+        assert drive(sim, proc()) == "new"
+
+    def test_send_delivers_message(self, cluster):
+        sim = cluster.sim
+        inbox = []
+        cluster.machine(2).add_message_handler(lambda src, msg: inbox.append((src, msg)))
+        qp = cluster.fabric.qp(0, 2)
+
+        def proc():
+            yield qp.post_send({"hello": 1})
+
+        drive(sim, proc())
+        assert inbox == [(0, {"hello": 1})]
+
+    def test_send_has_extra_overhead(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+
+        def timed():
+            start = sim.now
+            yield qp.post_read(64, fetch=lambda: None)
+            one_sided = sim.now - start
+            start = sim.now
+            yield qp.post_send("ping", size_bytes=64)
+            two_sided = sim.now - start
+            return one_sided, two_sided
+
+        one_sided, two_sided = drive(sim, timed())
+        assert two_sided > one_sided
+
+    def test_remote_access_error_fails_event(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            with pytest.raises(RemoteAccessError):
+                yield qp.post_read(
+                    64, fetch=lambda: cluster.machine(1).read_split(999, 0)
+                )
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+
+    def test_no_loopback_qp(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.fabric.qp(1, 1)
+
+
+class TestCongestionAndStragglers:
+    def test_background_flow_inflates_latency(self):
+        cluster = Cluster(machines=3, network=quiet_config(), seed=2)
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+        config = cluster.fabric.config
+
+        def timed(size):
+            start = sim.now
+            yield qp.post_read(size, fetch=lambda: None)
+            baseline = sim.now - start
+            cluster.machine(1).nic.background_flows = 2
+            start = sim.now
+            yield qp.post_read(size, fetch=lambda: None)
+            congested = sim.now - start
+            cluster.machine(1).nic.background_flows = 0
+            return baseline, congested
+
+        baseline, congested = drive(sim, timed(512))
+        inflation = 2 * config.congestion_per_flow
+        expected_extra = inflation * (
+            config.transfer_us(512) + 0.2 * config.base_latency_us
+        )
+        assert congested == pytest.approx(baseline + expected_extra)
+
+    def test_congestion_penalizes_large_messages_more(self):
+        """Queuing delay scales with message bytes: split-sized messages
+        dodge bulk flows far better than whole pages (§4.1)."""
+        cluster = Cluster(machines=3, network=quiet_config(), seed=2)
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+        cluster.machine(1).nic.background_flows = 3
+
+        def timed(size):
+            start = sim.now
+            yield qp.post_read(size, fetch=lambda: None)
+            return sim.now - start
+
+        small = drive(sim, timed(512))
+        large = drive(sim, timed(4096))
+        uncongested_gap = cluster.fabric.config.transfer_us(4096 - 512)
+        assert large - small > 2 * uncongested_gap
+
+    def test_stragglers_create_tail(self):
+        config = quiet_config(straggler_prob=0.2, straggler_scale_us=50.0)
+        cluster = Cluster(machines=3, network=config, seed=3)
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+
+        def run():
+            samples = []
+            for _ in range(300):
+                start = sim.now
+                yield qp.post_read(512, fetch=lambda: None)
+                samples.append(sim.now - start)
+            return samples
+
+        samples = drive(sim, run())
+        samples.sort()
+        p50 = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        assert p99 > 10 * p50  # heavy tail present
+
+
+class TestFailures:
+    def test_pending_ops_fail_on_machine_death(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            event = qp.post_read(1 << 20, fetch=lambda: None)  # slow op
+            cluster.machine(1).fail()
+            with pytest.raises(RDMADisconnect):
+                yield event
+            return sim.now
+
+        # Failure is detected after the RC retry timeout.
+        now = drive(sim, proc())
+        assert now >= cluster.fabric.config.failure_detect_us
+
+    def test_post_to_dead_machine_fails(self, cluster):
+        sim = cluster.sim
+        cluster.machine(1).fail()
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            with pytest.raises(RDMADisconnect):
+                yield qp.post_read(64, fetch=lambda: None)
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+
+    def test_disconnect_listener_notified(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+        notified = []
+        qp.on_disconnect(notified.append)
+
+        def proc():
+            event = qp.post_read(64, fetch=lambda: None)
+            cluster.machine(1).fail()
+            yield sim.timeout(cluster.fabric.config.failure_detect_us + 10)
+
+        drive(sim, proc())
+        assert notified == [1]
+
+    def test_recovery_reconnects(self, cluster):
+        sim = cluster.sim
+        qp = cluster.fabric.qp(0, 1)
+        cluster.machine(1).fail()
+        cluster.machine(1).recover()
+
+        def proc():
+            value = yield qp.post_read(64, fetch=lambda: "alive")
+            return value
+
+        assert drive(sim, proc()) == "alive"
+
+    def test_machine_memory_lost_on_failure(self, cluster):
+        machine = cluster.machine(1)
+        slab = machine.allocate_slab(1 << 20)
+        machine.fail()
+        assert machine.hosted_slabs == {}
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self, cluster):
+        sim = cluster.sim
+        cluster.fabric.partition(0, 1)
+        assert not cluster.fabric.reachable(0, 1)
+        assert not cluster.fabric.reachable(1, 0)
+        assert cluster.fabric.reachable(0, 2)
+
+        def proc():
+            with pytest.raises(RDMADisconnect):
+                yield cluster.fabric.qp(0, 1).post_read(64, fetch=lambda: None)
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+
+    def test_heal_restores(self, cluster):
+        sim = cluster.sim
+        cluster.fabric.partition(0, 1)
+        cluster.fabric.heal(0, 1)
+        assert cluster.fabric.reachable(0, 1)
+
+        def proc():
+            return (yield cluster.fabric.qp(0, 1).post_read(64, fetch=lambda: 5))
+
+        assert drive(sim, proc()) == 5

@@ -1,0 +1,99 @@
+"""Model-based testing of the pager against a reference implementation.
+
+A hypothesis-driven access sequence runs simultaneously against the real
+:class:`PagedMemory` (over a deterministic remote backend) and a trivial
+in-process reference model; contents must agree at every step, and the
+LRU invariants must hold throughout.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BaselineConfig, DirectRemoteMemory
+from repro.cluster import Cluster
+from repro.net import NetworkConfig
+from repro.vmm import PagedMemory
+
+from .conftest import drive, make_page
+
+N_PAGES = 12
+RESIDENT = 4
+
+
+def build_pager():
+    cluster = Cluster(
+        machines=5,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+        seed=9,
+    )
+    backend = DirectRemoteMemory(
+        cluster, 0, BaselineConfig(slab_size_bytes=1 << 20)
+    )
+    pager = PagedMemory(backend, resident_pages=RESIDENT, verify_contents=True)
+    return cluster, pager
+
+
+# An access is (page_id, is_write, content_token).
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_PAGES - 1),
+        st.booleans(),
+        st.integers(min_value=0, max_value=1 << 20),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(accesses)
+@settings(max_examples=15, deadline=None)
+def test_pager_matches_reference_model(sequence):
+    cluster, pager = build_pager()
+    reference = {}
+
+    def driver():
+        for page_id, is_write, token in sequence:
+            if is_write:
+                data = make_page(token)
+                reference[page_id] = data
+                got = yield pager.access(page_id, write=True, data=data)
+                assert got == data
+            else:
+                got = yield pager.access(page_id)
+                assert got == reference.get(page_id), (
+                    f"page {page_id}: pager disagrees with the model"
+                )
+            # Invariants after every access:
+            assert pager.resident_count <= RESIDENT
+            assert page_id in pager._resident  # just-touched page resident
+        return "ok"
+
+    assert drive(cluster.sim, driver(), until=1e10) == "ok"
+    assert pager.verification_failures == 0
+
+
+@given(accesses)
+@settings(max_examples=8, deadline=None)
+def test_pager_lru_order_is_recency_order(sequence):
+    """The pager's eviction order must equal the recency order of a
+    reference OrderedDict LRU."""
+    cluster, pager = build_pager()
+    reference_lru = OrderedDict()
+
+    def driver():
+        for page_id, is_write, token in sequence:
+            data = make_page(token) if is_write else None
+            yield pager.access(page_id, write=is_write, data=data)
+            if page_id in reference_lru:
+                reference_lru.move_to_end(page_id)
+            else:
+                reference_lru[page_id] = True
+                while len(reference_lru) > RESIDENT:
+                    reference_lru.popitem(last=False)
+        return "ok"
+
+    drive(cluster.sim, driver(), until=1e10)
+    assert list(pager._resident) == list(reference_lru)

@@ -1,0 +1,318 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+from .conftest import drive
+
+
+class TestEvent:
+    def test_succeed_sets_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        assert event.ok
+
+    def test_fail_sets_exception(self, sim):
+        event = sim.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.exception is error
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(ValueError("x"))
+
+    def test_fail_requires_exception_instance(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_callbacks_run_on_processing(self, sim):
+        event = sim.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        assert seen == []  # not yet processed
+        sim.run()
+        assert seen == ["hello"]
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(10.5)
+            return sim.now
+
+        assert drive(sim, proc()) == 10.5
+
+    def test_zero_delay_is_fine(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert drive(sim, proc()) == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value_passes_through(self, sim):
+        def proc():
+            result = yield sim.timeout(1.0, value="payload")
+            return result
+
+        assert drive(sim, proc()) == "payload"
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+
+        def waiter(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(waiter(5, "b"))
+        sim.process(waiter(2, "a"))
+        sim.process(waiter(9, "c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_same_instant(self, sim):
+        order = []
+
+        def waiter(tag):
+            yield sim.timeout(3)
+            order.append(tag)
+
+        for tag in ("x", "y", "z"):
+            sim.process(waiter(tag))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        assert drive(sim, proc()) == "done"
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def failing():
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def outer():
+            with pytest.raises(ValueError, match="inner"):
+                yield sim.process(failing())
+            return "caught"
+
+        assert drive(sim, outer()) == "caught"
+
+    def test_process_is_event(self, sim):
+        def child():
+            yield sim.timeout(3)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        assert drive(sim, parent()) == 14
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        process = sim.process(bad())
+        sim.run()
+        assert not process.ok
+        assert isinstance(process.exception, SimulationError)
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yield_already_processed_event(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+        assert done.processed
+
+        def proc():
+            value = yield done
+            return value
+
+        assert drive(sim, proc()) == "early"
+
+    def test_interrupt_delivers_cause(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+                return "interrupted"
+            return "slept"
+
+        def interrupter(target):
+            yield sim.timeout(5)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        assert target.value == "interrupted"
+        # Delivered at t=5; the orphaned timeout still drains at t=100.
+        assert log == [(5.0, "wake up")]
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        process = sim.process(quick())
+        sim.run()
+        process.interrupt("too late")  # must not raise
+        sim.run()
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def waiter(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def proc():
+            a = sim.process(waiter(3, "a"))
+            b = sim.process(waiter(7, "b"))
+            results = yield sim.any_of([a, b])
+            return (sim.now, len(results))
+
+        now, count = drive(sim, proc())
+        assert now == pytest.approx(3.0)
+        assert count == 1
+
+    def test_all_of_waits_for_all(self, sim):
+        def waiter(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def proc():
+            procs = [sim.process(waiter(d)) for d in (2, 8, 5)]
+            results = yield sim.all_of(procs)
+            return (sim.now, sorted(results.values()))
+
+        now, values = drive(sim, proc())
+        assert now == pytest.approx(8.0)
+        assert values == [2, 5, 8]
+
+    def test_all_of_fails_fast(self, sim):
+        def ok():
+            yield sim.timeout(10)
+
+        def bad():
+            yield sim.timeout(2)
+            raise RuntimeError("bad")
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                yield sim.all_of([sim.process(ok()), sim.process(bad())])
+            return sim.now
+
+        assert drive(sim, proc()) == pytest.approx(2.0)
+
+    def test_empty_any_of_succeeds_immediately(self, sim):
+        def proc():
+            yield sim.any_of([])
+            return sim.now
+
+        assert drive(sim, proc()) == 0.0
+
+    def test_all_of_with_processed_children(self, sim):
+        done = sim.event()
+        done.succeed(1)
+        sim.run()
+
+        def proc():
+            yield sim.all_of([done])
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+
+
+class TestSimulatorRun:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.process(self._sleep(sim, 5))
+        sim.run(until=100)
+        assert sim.now == 100
+
+    @staticmethod
+    def _sleep(sim, delay):
+        yield sim.timeout(delay)
+
+    def test_run_until_in_past_rejected(self, sim):
+        sim.process(self._sleep(sim, 5))
+        sim.run(until=50)
+        with pytest.raises(SimulationError):
+            sim.run(until=10)
+
+    def test_step_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0
+
+    def test_run_until_triggered_stops_early(self, sim):
+        # A daemon keeps the queue busy forever; run_until_triggered must
+        # still return when the target completes.
+        def daemon():
+            while True:
+                yield sim.timeout(1.0)
+
+        def target():
+            yield sim.timeout(10.0)
+            return "done"
+
+        sim.process(daemon())
+        process = sim.process(target())
+        sim.run_until_triggered(process, until=1000)
+        assert process.value == "done"
+        assert sim.now <= 11.0
+
+    def test_call_later_runs_function(self, sim):
+        seen = []
+        sim.call_later(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_call_later_negative_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_later(-1.0, lambda: None)

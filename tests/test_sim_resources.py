@@ -1,0 +1,160 @@
+"""Tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Store
+
+from .conftest import drive
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        first, second = resource.request(), resource.request()
+        assert first.triggered and second.triggered
+        third = resource.request()
+        assert not third.triggered
+        assert resource.queue_length == 1
+
+    def test_release_hands_to_waiter(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        assert not waiting.triggered
+        resource.release()
+        assert waiting.triggered
+        assert resource.in_use == 1  # slot transferred, not freed
+
+    def test_release_without_request_raises(self, sim):
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_fifo_ordering(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            request = resource.request()
+            yield request
+            order.append(tag)
+            yield sim.timeout(hold)
+            resource.release()
+
+        for tag in ("a", "b", "c"):
+            sim.process(user(tag, 5))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_serializes_device_access(self, sim):
+        """Two holders of a capacity-1 resource cannot overlap in time."""
+        resource = Resource(sim, capacity=1)
+        spans = []
+
+        def user():
+            yield resource.request()
+            start = sim.now
+            yield sim.timeout(10)
+            resource.release()
+            spans.append((start, sim.now))
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        (s1, e1), (s2, e2) = sorted(spans)
+        assert s2 >= e1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+
+        def proc():
+            yield store.put("item")
+            value = yield store.get()
+            return value
+
+        assert drive(sim, proc()) == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        result = []
+
+        def getter():
+            value = yield store.get()
+            result.append((sim.now, value))
+
+        def putter():
+            yield sim.timeout(5)
+            yield store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert result == [(5.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+
+        def proc():
+            for i in range(3):
+                yield store.put(i)
+            values = []
+            for _ in range(3):
+                values.append((yield store.get()))
+            return values
+
+        assert drive(sim, proc()) == [0, 1, 2]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+
+        def proc():
+            yield store.put("a")
+            second = store.put("b")
+            assert not second.triggered  # buffer full
+            value = yield store.get()
+            assert second.triggered  # freed a slot
+            return value
+
+        assert drive(sim, proc()) == "a"
+
+    def test_handoff_to_waiting_getter_bypasses_buffer(self, sim):
+        store = Store(sim, capacity=1)
+        got = []
+
+        def getter():
+            value = yield store.get()
+            got.append(value)
+
+        sim.process(getter())
+        sim.run()
+
+        def putter():
+            yield store.put("direct")
+
+        drive(sim, putter())
+        assert got == ["direct"]
+        assert len(store) == 0
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_blocked_putter_drains_in_order(self, sim):
+        store = Store(sim, capacity=1)
+
+        def proc():
+            yield store.put("a")
+            store.put("b")  # blocked
+            store.put("c")  # blocked
+            values = []
+            for _ in range(3):
+                values.append((yield store.get()))
+            return values
+
+        assert drive(sim, proc()) == ["a", "b", "c"]

@@ -1,0 +1,106 @@
+"""Tests for the seeded randomness layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7, "x")
+        b = RandomSource(7, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        a = RandomSource(7, "x")
+        b = RandomSource(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_streams_independent_of_sibling_usage(self):
+        parent1 = RandomSource(3)
+        parent2 = RandomSource(3)
+        # Consuming a sibling stream must not perturb another child.
+        noisy = parent1.child("noisy")
+        for _ in range(100):
+            noisy.random()
+        c1 = parent1.child("stable")
+        c2 = parent2.child("stable")
+        assert [c1.random() for _ in range(5)] == [c2.random() for _ in range(5)]
+
+
+class TestDraws:
+    def test_randint_bounds_inclusive(self):
+        rng = RandomSource(1)
+        values = {rng.randint(0, 3) for _ in range(500)}
+        assert values == {0, 1, 2, 3}
+
+    def test_uniform_bounds(self):
+        rng = RandomSource(2)
+        for _ in range(100):
+            value = rng.uniform(5.0, 6.0)
+            assert 5.0 <= value <= 6.0
+
+    def test_pareto_minimum_is_scale(self):
+        rng = RandomSource(3)
+        assert all(rng.pareto(2.0, scale=10.0) >= 10.0 for _ in range(200))
+
+    def test_exponential_mean(self):
+        rng = RandomSource(4)
+        samples = [rng.exponential(100.0) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_bernoulli_probability(self):
+        rng = RandomSource(5)
+        hits = sum(rng.bernoulli(0.25) for _ in range(10000))
+        assert hits == pytest.approx(2500, rel=0.1)
+
+    def test_lognormal_positive(self):
+        rng = RandomSource(6)
+        assert all(rng.lognormal(0.0, 0.1) > 0 for _ in range(100))
+
+
+class TestCollections:
+    def test_choice_single(self):
+        rng = RandomSource(7)
+        seq = ["a", "b", "c"]
+        assert rng.choice(seq) in seq
+
+    def test_choice_without_replacement_distinct(self):
+        rng = RandomSource(8)
+        picked = rng.choice(list(range(10)), size=5, replace=False)
+        assert len(set(picked)) == 5
+
+    def test_sample_caps_at_population(self):
+        rng = RandomSource(9)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_shuffle_is_permutation(self):
+        rng = RandomSource(10)
+        values = list(range(20))
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == values
+
+
+class TestZipf:
+    def test_range(self):
+        sampler = RandomSource(11).zipf_sampler(100, 0.99)
+        for _ in range(500):
+            assert 0 <= sampler.sample() < 100
+
+    def test_head_is_hotter_than_tail(self):
+        sampler = RandomSource(12).zipf_sampler(1000, 0.99)
+        draws = sampler.sample_many(20000)
+        head = np.sum(draws < 100)
+        tail = np.sum(draws >= 900)
+        assert head > 5 * tail
+
+    def test_sample_many_matches_range(self):
+        sampler = RandomSource(13).zipf_sampler(50, 0.8)
+        draws = sampler.sample_many(1000)
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            RandomSource(14).zipf_sampler(0, 0.99)

@@ -1,0 +1,125 @@
+"""Tests for measurement primitives."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    Counter,
+    LatencyRecorder,
+    ThroughputWindow,
+    TimeSeries,
+    coefficient_of_variation,
+    imbalance_ratio,
+    summarize,
+)
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        recorder = LatencyRecorder("t")
+        recorder.extend(range(1, 101))
+        assert recorder.p50 == pytest.approx(50.5)
+        assert recorder.p99 == pytest.approx(99.01)
+        assert recorder.mean == pytest.approx(50.5)
+        assert recorder.max == 100
+
+    def test_negative_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1.0)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("empty").percentile(50)
+
+    def test_summary_roundtrip(self):
+        recorder = LatencyRecorder("s")
+        recorder.extend([1.0, 2.0, 3.0])
+        summary = recorder.summary()
+        assert summary.count == 3
+        assert summary.p50 == 2.0
+        assert "p99" in str(summary)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([10.0] * 10, name="flat")
+        assert summary.mean == 10.0
+        assert summary.p50 == summary.p99 == summary.max == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTimeSeries:
+    def test_record_and_stats(self):
+        series = TimeSeries("m")
+        series.record(0.0, 10.0)
+        series.record(1.0, 30.0)
+        assert series.last() == 30.0
+        assert series.mean() == 20.0
+        assert len(series) == 2
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_access_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()
+
+
+class TestThroughputWindow:
+    def test_series_buckets(self):
+        window = ThroughputWindow(window_us=1_000_000.0)
+        for t in (100.0, 200.0, 1_500_000.0):
+            window.record(t)
+        times, ops = window.series()
+        assert list(times) == [0.0, 1_000_000.0]
+        # 2 ops in the first second, 1 in the next -> ops/sec
+        assert list(ops) == [2.0, 1.0]
+
+    def test_total(self):
+        window = ThroughputWindow(1000.0)
+        window.record(0, count=5)
+        window.record(5000, count=2)
+        assert window.total() == 7
+
+    def test_empty(self):
+        times, ops = ThroughputWindow(1000.0).series()
+        assert len(times) == 0 and len(ops) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ThroughputWindow(0)
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        counter = Counter()
+        counter.incr("reads")
+        counter.incr("reads", 4)
+        assert counter["reads"] == 5
+        assert counter["missing"] == 0
+
+
+class TestClusterMetrics:
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([2.0, 4.0, 8.0]) == 4.0
+
+    def test_imbalance_with_zero_is_inf(self):
+        assert imbalance_ratio([0.0, 5.0]) == math.inf
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([0.0, 10.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_ratio([])
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])

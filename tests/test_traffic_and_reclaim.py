@@ -1,0 +1,139 @@
+"""NIC traffic accounting (§7.4) and range reclaim (Fig 7b)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import HydraConfig, HydraDeployment
+from repro.harness import build_backend, build_hydra_cluster
+from repro.net import NetworkConfig
+
+from .conftest import drive, make_page
+
+
+class TestTrafficAccounting:
+    def test_bytes_counted_on_both_nics(self):
+        cluster = Cluster(
+            machines=3,
+            network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+            seed=1,
+        )
+        qp = cluster.fabric.qp(0, 1)
+
+        def proc():
+            yield qp.post_read(512, fetch=lambda: None)
+            yield qp.post_write(4096, apply=lambda: None)
+
+        drive(cluster.sim, proc())
+        sender = cluster.machine(0).nic
+        receiver = cluster.machine(1).nic
+        assert sender.bytes_sent == 512 + 4096
+        assert receiver.bytes_received == 512 + 4096
+        assert sender.ops_sent == 2
+        assert cluster.machine(2).nic.total_bytes == 0
+
+    def test_hydra_traffic_overhead_near_1_25x(self):
+        """Writes move (k+r)/k = 1.25x page bytes; reads (k+Δ)/k = 1.125x."""
+        hydra = build_hydra_cluster(machines=12, k=8, r=2, seed=5)
+        rm = hydra.remote_memory(0)
+        cluster = hydra.cluster
+
+        def proc():
+            for pid in range(32):
+                yield rm.write(pid, make_page(pid))
+
+        drive(cluster.sim, proc())
+        data_bytes = 32 * 4096
+        moved = sum(m.nic.bytes_sent for m in cluster.machines)
+        # Verb traffic only slightly above the coding overhead (control
+        # messages add a little).
+        assert 1.2 * data_bytes < moved < 1.6 * data_bytes
+
+    def test_replication_moves_twice_the_bytes(self):
+        cluster = Cluster(
+            machines=8,
+            memory_per_machine=1 << 26,
+            network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+            seed=5,
+        )
+        backend = build_backend("replication", cluster)
+
+        def proc():
+            for pid in range(32):
+                yield backend.write(pid, make_page(pid))
+
+        drive(cluster.sim, proc())
+        moved = sum(m.nic.bytes_sent for m in cluster.machines)
+        assert moved >= 2 * 32 * 4096
+
+
+class TestReclaim:
+    def _deploy(self):
+        cluster = Cluster(
+            machines=8,
+            memory_per_machine=1 << 26,
+            network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+            seed=6,
+        )
+        config = HydraConfig(
+            k=4, r=2, delta=1, slab_size_bytes=1 << 20,
+            payload_mode="real", control_period_us=1e9,
+        )
+        return cluster, HydraDeployment(cluster, config, seed=6)
+
+    def test_reclaim_returns_pages_and_frees_slabs(self):
+        cluster, deployment = self._deploy()
+        rm = deployment.manager(0)
+        pages = {pid: make_page(pid) for pid in range(6)}
+
+        def proc():
+            for pid, data in pages.items():
+                yield rm.write(pid, data)
+            hosts = {h.machine_id for h in rm.space.get(0).slots}
+            slabs_before = sum(
+                len(cluster.machine(m).hosted_slabs) for m in hosts
+            )
+            reclaimed = yield rm.reclaim_range(0)
+            slabs_after = sum(
+                len(cluster.machine(m).hosted_slabs) for m in hosts
+            )
+            return reclaimed, slabs_before, slabs_after
+
+        reclaimed, before, after = drive(cluster.sim, proc())
+        assert reclaimed == pages  # every page came home, bytes intact
+        assert after < before  # remote slabs were released
+        assert rm.space.get(0) is None
+        assert rm.remote_pages() == 0
+
+    def test_reclaim_empty_range_is_noop(self):
+        cluster, deployment = self._deploy()
+        rm = deployment.manager(0)
+
+        def proc():
+            return (yield rm.reclaim_range(42))
+
+        assert drive(cluster.sim, proc()) == {}
+
+
+class TestPartitions:
+    def test_partition_triggers_failover_and_heal_restores(self):
+        hydra = build_hydra_cluster(machines=10, k=4, r=2, seed=7)
+        rm = hydra.remote_memory(0)
+        cluster = hydra.cluster
+        pages = {pid: make_page(pid) for pid in range(8)}
+
+        def proc():
+            for pid, data in pages.items():
+                yield rm.write(pid, data)
+            victim = rm.space.get(0).handle(0).machine_id
+            cluster.fabric.partition(0, victim)
+            yield cluster.sim.timeout(200)
+            for pid, data in pages.items():
+                assert (yield rm.read(pid)) == data  # degraded reads work
+            cluster.fabric.heal(0, victim)
+            yield cluster.sim.timeout(5_000_000)
+            for pid, data in pages.items():
+                assert (yield rm.read(pid)) == data
+            return "ok"
+
+        assert drive(cluster.sim, proc(), until=1e9) == "ok"
+        assert rm.events["disconnects"] >= 1

@@ -1,0 +1,117 @@
+"""Remote block device and file abstraction (Remote Regions front-end)."""
+
+import pytest
+
+from repro.baselines import BaselineConfig, ReplicationBackend
+from repro.cluster import Cluster
+from repro.net import NetworkConfig
+from repro.vfs import RemoteBlockDevice, RemoteFile
+
+from .conftest import drive, make_page
+
+
+def build_device(machines=6):
+    cluster = Cluster(
+        machines=machines,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+        seed=2,
+    )
+    backend = ReplicationBackend(cluster, 0, BaselineConfig(slab_size_bytes=1 << 20))
+    return cluster, RemoteBlockDevice(backend)
+
+
+class TestBlockDevice:
+    def test_write_read_block(self):
+        cluster, device = build_device()
+
+        def proc():
+            yield device.write_block(3, make_page(3))
+            return (yield device.read_block(3))
+
+        assert drive(cluster.sim, proc()) == make_page(3)
+        assert device.stats["writes"] == 1 and device.stats["reads"] == 1
+
+    def test_latency_recorded(self):
+        cluster, device = build_device()
+
+        def proc():
+            for block in range(5):
+                yield device.write_block(block, make_page(block))
+            for block in range(5):
+                yield device.read_block(block)
+
+        drive(cluster.sim, proc())
+        assert len(device.read_latency) == 5
+        assert device.read_latency.p50 > 0
+
+    def test_unwritten_block_reads_none(self):
+        cluster, device = build_device()
+
+        def proc():
+            return (yield device.read_block(9))
+
+        assert drive(cluster.sim, proc()) is None
+
+
+class TestRemoteFile:
+    def test_aligned_write_read(self):
+        cluster, device = build_device()
+        data = make_page(0) + make_page(1)  # two blocks
+
+        def proc():
+            handle = RemoteFile(device)
+            yield handle.write(0, data)
+            got = yield handle.read(0, len(data))
+            return got, handle.size
+
+        got, size = drive(cluster.sim, proc())
+        assert got == data and size == len(data)
+
+    def test_unaligned_write_does_read_modify_write(self):
+        cluster, device = build_device()
+
+        def proc():
+            handle = RemoteFile(device)
+            yield handle.write(0, make_page(7))
+            yield handle.write(100, b"HELLO")
+            got = yield handle.read(95, 15)
+            return got
+
+        expected = make_page(7)[95:100] + b"HELLO" + make_page(7)[105:110]
+        assert drive(cluster.sim, proc()) == expected
+
+    def test_write_into_hole_zero_fills(self):
+        cluster, device = build_device()
+
+        def proc():
+            handle = RemoteFile(device)
+            yield handle.write(10, b"xyz")
+            return (yield handle.read(0, 16))
+
+        got = drive(cluster.sim, proc())
+        assert got == b"\x00" * 10 + b"xyz" + b"\x00" * 3
+
+    def test_cross_block_read(self):
+        cluster, device = build_device()
+        data = make_page(1) + make_page(2)
+
+        def proc():
+            handle = RemoteFile(device)
+            yield handle.write(0, data)
+            return (yield handle.read(4000, 200))
+
+        assert drive(cluster.sim, proc()) == data[4000:4200]
+
+    def test_invalid_ranges(self):
+        cluster, device = build_device()
+        handle = RemoteFile(device)
+
+        def proc_write():
+            with pytest.raises(ValueError):
+                yield from handle._write(-1, b"x")
+            with pytest.raises(ValueError):
+                yield from handle._read(0, -5)
+            return "ok"
+
+        assert drive(cluster.sim, proc_write()) == "ok"

@@ -1,0 +1,160 @@
+"""Pager semantics: hits, faults, LRU eviction, dirty write-back."""
+
+import pytest
+
+from repro.baselines import BaselineConfig, DirectRemoteMemory
+from repro.cluster import Cluster
+from repro.net import NetworkConfig
+from repro.vmm import PagedMemory
+
+from .conftest import drive, make_page
+
+
+def build_pager(resident_pages=4, verify=True, machines=4, payload_mode="real"):
+    cluster = Cluster(
+        machines=machines,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+        seed=2,
+    )
+    backend = DirectRemoteMemory(
+        cluster, 0, BaselineConfig(slab_size_bytes=1 << 20),
+        payload_mode=payload_mode,
+    )
+    return cluster, PagedMemory(
+        backend, resident_pages=resident_pages, verify_contents=verify
+    )
+
+
+class TestHitsAndFaults:
+    def test_resident_access_is_hit(self):
+        cluster, pager = build_pager()
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(0)
+            yield pager.access(0)
+
+        drive(cluster.sim, proc())
+        assert pager.stats["hits"] == 2
+        assert pager.stats["faults"] == 1
+
+    def test_hit_is_fast_miss_is_slow(self):
+        cluster, pager = build_pager(resident_pages=2)
+        sim = cluster.sim
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(1, write=True, data=make_page(1))
+            yield pager.access(2, write=True, data=make_page(2))  # evicts 0
+            start = sim.now
+            yield pager.access(1)  # hit
+            hit_time = sim.now - start
+            start = sim.now
+            yield pager.access(0)  # fault -> remote read
+            miss_time = sim.now - start
+            return hit_time, miss_time
+
+        hit_time, miss_time = drive(cluster.sim, proc())
+        assert miss_time > 10 * hit_time
+
+    def test_hit_rate_property(self):
+        cluster, pager = build_pager(resident_pages=8)
+
+        def proc():
+            for pid in range(8):
+                yield pager.access(pid, write=True, data=make_page(pid))
+            for _ in range(3):
+                for pid in range(8):
+                    yield pager.access(pid)
+
+        drive(cluster.sim, proc())
+        assert pager.hit_rate == pytest.approx(24 / 32)
+
+
+class TestEviction:
+    def test_lru_victim_selected(self):
+        cluster, pager = build_pager(resident_pages=2)
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(1, write=True, data=make_page(1))
+            yield pager.access(0)  # refresh 0: LRU is now 1
+            yield pager.access(2, write=True, data=make_page(2))
+            return pager.resident_count
+
+        drive(cluster.sim, proc())
+        assert 0 in pager._resident and 2 in pager._resident
+        assert 1 not in pager._resident
+
+    def test_first_eviction_always_pages_out(self):
+        """Anonymous pages have no backing store: even 'clean' pages must
+        be written out the first time they are evicted."""
+        cluster, pager = build_pager(resident_pages=1)
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(1, write=True, data=make_page(1))
+            got = yield pager.access(0)
+            return got
+
+        assert drive(cluster.sim, proc()) == make_page(0)
+        assert pager.stats["page_outs"] >= 1
+
+    def test_clean_page_with_remote_copy_dropped_without_write(self):
+        cluster, pager = build_pager(resident_pages=2)
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(1, write=True, data=make_page(1))
+            yield pager.access(2, write=True, data=make_page(2))  # 0 paged out
+            yield pager.access(0)  # page 0 back in (clean now)
+            yield pager.access(3, write=True, data=make_page(3))  # evicts 2
+            yield pager.access(4, write=True, data=make_page(4))  # evicts clean 0
+            return None
+
+        drive(cluster.sim, proc())
+        assert pager.stats["clean_drops"] >= 1
+
+    def test_contents_verified_across_remote_roundtrip(self):
+        cluster, pager = build_pager(resident_pages=2)
+
+        def proc():
+            for pid in range(6):
+                yield pager.access(pid, write=True, data=make_page(pid))
+            for pid in range(6):
+                got = yield pager.access(pid)
+                assert got == make_page(pid)
+
+        drive(cluster.sim, proc())
+        assert pager.verification_failures == 0
+
+    def test_dirty_flag_only_on_writes(self):
+        cluster, pager = build_pager(resident_pages=4)
+
+        def proc():
+            yield pager.access(0, write=True, data=make_page(0))
+            yield pager.access(0)  # read does not re-dirty
+
+        drive(cluster.sim, proc())
+        assert pager._resident[0] is True  # still dirty from the write
+
+
+class TestApi:
+    def test_preload(self):
+        cluster, pager = build_pager(resident_pages=16)
+        drive(cluster.sim, _preload(pager))
+        assert pager.resident_count == 8
+
+    def test_invalid_resident_pages(self):
+        cluster, _ = build_pager()
+        with pytest.raises(ValueError):
+            PagedMemory(object.__new__(DirectRemoteMemory), resident_pages=0)
+
+
+def _preload(pager):
+    proc = pager.preload(range(8), make_data=make_page)
+    # Wrap as a generator so drive() can use it.
+    def run():
+        yield proc
+    return run()

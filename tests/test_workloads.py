@@ -1,0 +1,224 @@
+"""Workload generators: TPC-C, Memcached ETC/SYS, PageRank, fio."""
+
+import pytest
+
+from repro.baselines import BaselineConfig, DirectRemoteMemory
+from repro.cluster import Cluster
+from repro.net import NetworkConfig
+from repro.sim import RandomSource
+from repro.vfs import RemoteBlockDevice
+from repro.vmm import PagedMemory
+from repro.workloads import (
+    ETC_GET_FRACTION,
+    SYS_GET_FRACTION,
+    FioWorkload,
+    MemcachedWorkload,
+    PageRankWorkload,
+    TpccWorkload,
+)
+
+from .conftest import drive
+
+
+def build_memory(n_pages=200, fit=0.5):
+    cluster = Cluster(
+        machines=6,
+        memory_per_machine=1 << 26,
+        network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+        seed=2,
+    )
+    backend = DirectRemoteMemory(
+        cluster, 0, BaselineConfig(slab_size_bytes=1 << 20), payload_mode="phantom"
+    )
+    pager = PagedMemory(backend, resident_pages=max(1, int(n_pages * fit)))
+    return cluster, pager
+
+
+class TestClosedLoop:
+    def test_total_ops_budget_respected(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(pager, RandomSource(1), 200, clients=3)
+        proc = work.run(total_ops=50)
+        drive(cluster.sim, _wrap(proc))
+        assert work.stats["ops"] == 50
+        assert len(work.latency) == 50
+
+    def test_duration_deadline_respected(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(pager, RandomSource(1), 200, clients=2, compute_us=100)
+        proc = work.run(duration_us=50_000)
+        drive(cluster.sim, _wrap(proc))
+        assert cluster.sim.now <= 60_000
+        assert work.stats["ops"] > 10
+
+    def test_stop_requests_halt(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(pager, RandomSource(1), 200, clients=1)
+
+        def proc():
+            run = work.run(total_ops=100000)
+            yield cluster.sim.timeout(5_000)
+            work.stop()
+            yield run
+            return work.stats["ops"]
+
+        ops = drive(cluster.sim, proc())
+        assert 0 < ops < 100000
+
+    def test_needs_stopping_condition(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(pager, RandomSource(1), 200)
+        with pytest.raises(ValueError):
+            work.run()
+
+    def test_throughput_series_produced(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(
+            pager, RandomSource(1), 200, clients=2, window_us=10_000
+        )
+        drive(cluster.sim, _wrap(work.run(total_ops=200)))
+        times, tput = work.throughput_series()
+        assert len(times) >= 1
+        assert tput.sum() > 0
+
+
+class TestTpcc:
+    def test_burst_multiplies_writes(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(
+            pager, RandomSource(1), 200, clients=1,
+            reads_per_txn=2, writes_per_txn=1,
+        )
+        drive(cluster.sim, _wrap(work.run(total_ops=20)))
+        baseline_accesses = pager.stats["hits"] + pager.stats["faults"]
+        work.begin_burst(write_multiplier=5)
+        drive(cluster.sim, _wrap(work.run(total_ops=20)))
+        burst_accesses = (pager.stats["hits"] + pager.stats["faults"]) - baseline_accesses
+        assert burst_accesses == 20 * (2 + 5)
+        work.end_burst()
+        assert work._burst_multiplier == 1
+
+    def test_pages_within_range(self):
+        cluster, pager = build_memory()
+        work = TpccWorkload(pager, RandomSource(1), 100, clients=1)
+        for _ in range(200):
+            assert 0 <= work._sample_page() < 100
+
+
+class TestMemcached:
+    def test_mix_fractions(self):
+        cluster, pager = build_memory()
+        etc = MemcachedWorkload.etc(pager, RandomSource(1), 200, clients=2)
+        assert etc.get_fraction == ETC_GET_FRACTION
+        drive(cluster.sim, _wrap(etc.run(total_ops=400)))
+        gets, sets = etc.stats["gets"], etc.stats["sets"]
+        assert gets + sets == 400
+        assert gets / 400 == pytest.approx(ETC_GET_FRACTION, abs=0.05)
+
+    def test_sys_is_set_heavy(self):
+        cluster, pager = build_memory()
+        sys_wl = MemcachedWorkload.sys(pager, RandomSource(2), 200, clients=2)
+        assert sys_wl.get_fraction == SYS_GET_FRACTION
+        drive(cluster.sim, _wrap(sys_wl.run(total_ops=400)))
+        assert sys_wl.stats["sets"] > sys_wl.stats["gets"]
+
+    def test_invalid_fraction(self):
+        cluster, pager = build_memory()
+        with pytest.raises(ValueError):
+            MemcachedWorkload(pager, RandomSource(1), 10, get_fraction=1.5)
+
+
+class TestPageRank:
+    def test_completes_all_steps(self):
+        cluster, pager = build_memory(n_pages=50, fit=1.1)
+        work = PageRankWorkload(
+            pager, RandomSource(3), 50, iterations=2, engine="powergraph"
+        )
+        assert work.total_steps == 100
+
+        def proc():
+            makespan = yield work.run_to_completion()
+            return makespan
+
+        makespan = drive(cluster.sim, proc())
+        assert makespan > 0
+        assert work.stats["ops"] == 100
+
+    def test_graphx_touches_more_pages_per_step(self):
+        cluster, pager = build_memory(n_pages=50)
+        power = PageRankWorkload(pager, RandomSource(3), 50, engine="powergraph")
+        graphx = PageRankWorkload(pager, RandomSource(3), 50, engine="graphx")
+        power_touches = sum(len(n) for _p, n in power._plan)
+        graphx_touches = sum(len(n) for _p, n in graphx._plan)
+        assert graphx_touches > 2 * power_touches
+
+    def test_graphx_slower_at_constrained_memory(self):
+        def makespan(engine):
+            cluster, pager = build_memory(n_pages=120, fit=0.5)
+            work = PageRankWorkload(
+                pager, RandomSource(4), 120, iterations=2, engine=engine
+            )
+
+            def proc():
+                return (yield work.run_to_completion())
+
+            return drive(cluster.sim, proc())
+
+        assert makespan("graphx") > makespan("powergraph")
+
+    def test_unknown_engine_rejected(self):
+        cluster, pager = build_memory()
+        with pytest.raises(ValueError):
+            PageRankWorkload(pager, RandomSource(1), 10, engine="spark")
+
+
+class TestFio:
+    def _device(self):
+        cluster = Cluster(
+            machines=4,
+            memory_per_machine=1 << 26,
+            network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+            seed=3,
+        )
+        backend = DirectRemoteMemory(
+            cluster, 0, BaselineConfig(slab_size_bytes=1 << 20),
+            payload_mode="phantom",
+        )
+        return cluster, RemoteBlockDevice(backend)
+
+    def test_mix_and_counts(self):
+        cluster, device = self._device()
+        work = FioWorkload(
+            device, RandomSource(5), n_blocks=100, read_fraction=0.7, queue_depth=4
+        )
+
+        def proc():
+            yield work.prefill(20)
+            yield work.run(total_ops=200)
+            return None
+
+        drive(cluster.sim, proc())
+        reads, writes = work.stats["read_ops"], work.stats["write_ops"]
+        assert reads + writes == 200
+        assert reads / 200 == pytest.approx(0.7, abs=0.1)
+
+    def test_reads_only_touch_written_blocks(self):
+        cluster, device = self._device()
+        work = FioWorkload(device, RandomSource(6), n_blocks=50, read_fraction=1.0)
+
+        def proc():
+            yield work.prefill(5)
+            yield work.run(total_ops=50)
+
+        drive(cluster.sim, proc())  # must not raise / deadlock
+
+    def test_invalid_fraction(self):
+        cluster, device = self._device()
+        with pytest.raises(ValueError):
+            FioWorkload(device, RandomSource(1), 10, read_fraction=2.0)
+
+
+def _wrap(process):
+    def run():
+        yield process
+    return run()
