@@ -11,6 +11,15 @@ import sys
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
+    if argv:
+        print(f"unknown command {argv[0]!r}; usage: python -m repro [trace ...]")
+        return 2
+
     from repro.harness import (
         build_hydra_cluster,
         measure_tradeoff_point,

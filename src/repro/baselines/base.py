@@ -30,7 +30,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cluster import Cluster, Machine, PhantomSplit
-from ..sim import Counter, Event, LatencyRecorder, RandomSource
+from ..obs import MetricsRegistry, Span, Tracer
+from ..sim import Event, RandomSource
 
 __all__ = ["BaselineConfig", "GroupHandle", "BaselineBackend", "BackendError"]
 
@@ -81,6 +82,8 @@ class BaselineBackend:
         config: Optional[BaselineConfig] = None,
         rng: Optional[RandomSource] = None,
         payload_mode: str = "real",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if payload_mode not in ("real", "phantom"):
             raise ValueError(f"unknown payload_mode {payload_mode!r}")
@@ -92,12 +95,20 @@ class BaselineBackend:
         self.rng = rng or RandomSource(client_id, f"{self.name}{client_id}")
         self.payload_mode = payload_mode
 
+        obs = getattr(cluster, "obs", None)
+        if tracer is None:
+            tracer = obs.tracer if obs is not None else Tracer(self.sim, sample_every=0)
+        if metrics is None:
+            metrics = obs.metrics if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
+
         self.groups: Dict[int, List[GroupHandle]] = {}
         self.versions: Dict[int, int] = {}
         self.checksums: Dict[int, int] = {}
-        self.read_latency = LatencyRecorder(f"{self.name}.read")
-        self.write_latency = LatencyRecorder(f"{self.name}.write")
-        self.events = Counter()
+        self.read_latency = metrics.latency(f"{self.name}.{client_id}.read")
+        self.write_latency = metrics.latency(f"{self.name}.{client_id}.write")
+        self.events = metrics.counter_group(f"{self.name}.{client_id}.events")
         self._watched: set = set()
 
     # -- protocol -----------------------------------------------------------
@@ -105,20 +116,50 @@ class BaselineBackend:
     def memory_overhead(self) -> float:
         raise NotImplementedError
 
-    def write(self, page_id: int, data: Optional[bytes] = None):
+    def write(self, page_id: int, data: Optional[bytes] = None, parent: Optional[Span] = None):
+        span = self._request_span(f"{self.name}.write", page_id, parent)
         return self.sim.process(
-            self._write_process(page_id, data), name=f"{self.name}-write:{page_id}"
+            self._traced(self._write_process(page_id, data, span), span),
+            name=f"{self.name}-write:{page_id}",
         )
 
-    def read(self, page_id: int):
+    def read(self, page_id: int, parent: Optional[Span] = None):
+        span = self._request_span(f"{self.name}.read", page_id, parent)
         return self.sim.process(
-            self._read_process(page_id), name=f"{self.name}-read:{page_id}"
+            self._traced(self._read_process(page_id, span), span),
+            name=f"{self.name}-read:{page_id}",
         )
 
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _request_span(self, name: str, page_id: int, parent: Optional[Span]) -> Optional[Span]:
+        if parent is not None:
+            return parent.child(
+                name, cat="request", machine_id=self.client_id, tags={"page": page_id}
+            )
+        return self.tracer.start_trace(
+            name, machine_id=self.client_id, tags={"page": page_id}
+        )
+
+    def _traced(self, gen, span: Optional[Span]):
+        if span is None:
+            return gen
+        return self._traced_gen(gen, span)
+
+    @staticmethod
+    def _traced_gen(gen, span: Span):
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            span.tags.setdefault("error", type(exc).__name__)
+            span.finish()
+            raise
+        span.set_tag("outcome", "ok")
+        span.finish()
+        return result
+
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
         raise NotImplementedError
 
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
         raise NotImplementedError
 
     # -- placement ------------------------------------------------------------
@@ -173,7 +214,9 @@ class BaselineBackend:
         return handle
 
     # -- verbs ------------------------------------------------------------------
-    def _post_page_write(self, handle: GroupHandle, offset: int, payload) -> Event:
+    def _post_page_write(
+        self, handle: GroupHandle, offset: int, payload, span: Optional[Span] = None
+    ) -> Event:
         machine = self.fabric.machine(handle.machine_id)
         qp = self.fabric.qp(self.client_id, handle.machine_id)
         # Each destination stores an independent copy: corruption of one
@@ -182,14 +225,18 @@ class BaselineBackend:
         return qp.post_write(
             self.config.page_size,
             apply=lambda: machine.write_split(handle.slab_id, offset, stored),
+            span=span,
         )
 
-    def _post_page_read(self, handle: GroupHandle, offset: int) -> Event:
+    def _post_page_read(
+        self, handle: GroupHandle, offset: int, span: Optional[Span] = None
+    ) -> Event:
         machine = self.fabric.machine(handle.machine_id)
         qp = self.fabric.qp(self.client_id, handle.machine_id)
         return qp.post_read(
             self.config.page_size,
             fetch=lambda: machine.read_split(handle.slab_id, offset),
+            span=span,
         )
 
     def page_offset(self, page_id: int) -> int:

@@ -25,6 +25,7 @@ import numpy as np
 from ..cluster import PhantomSplit
 from ..ec import PageCodec
 from ..net import RDMAError, RemoteAccessError
+from ..obs import Span
 from .base import BackendError, BaselineBackend
 
 __all__ = ["BatchCodedBackend"]
@@ -66,7 +67,8 @@ class BatchCodedBackend(BaselineBackend):
         return 1.0 + self.r / self.k
 
     # -- write: buffer into the open batch ---------------------------------
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         done = self.sim.event(name=f"batch-write:{page_id}")
         if self.payload_mode == "real":
@@ -85,6 +87,7 @@ class BatchCodedBackend(BaselineBackend):
         # The write completes only when its stripe is sealed and written:
         # this wait IS the batch-waiting time of §4.
         yield done
+        phases.mark("batch_wait")
         self.versions[page_id] = self.versions.get(page_id, 0) + 1
         if self.payload_mode == "real":
             self.record_integrity(page_id, data, self.versions[page_id])
@@ -179,7 +182,8 @@ class BatchCodedBackend(BaselineBackend):
         return handles
 
     # -- read: fetch k whole-stripe splits ----------------------------------
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         self.events.incr("reads")
         location = self.page_location.get(page_id)
@@ -187,6 +191,7 @@ class BatchCodedBackend(BaselineBackend):
             return None
         stripe_id, slot = location
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handles = self.groups[-(stripe_id + 1)]
         received: Dict[int, object] = {}
         pending = []
@@ -201,6 +206,7 @@ class BatchCodedBackend(BaselineBackend):
                         fetch=lambda m=machine, h=handle: m.read_split(
                             h.slab_id, stripe_id
                         ),
+                        span=span,
                     ),
                 )
             )
@@ -209,6 +215,7 @@ class BatchCodedBackend(BaselineBackend):
                 received[index] = yield event
             except (RDMAError, RemoteAccessError):
                 pass
+        phases.mark("network", splits=len(received))
         if len(received) < self.k:
             self.events.incr("read_failures")
             raise BackendError(f"stripe {stripe_id} unreadable")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import Span
 from ..sim import Event
 from .base import GroupHandle
 from .replication import ReplicationBackend
@@ -53,36 +54,44 @@ class CompressedReplicationBackend(ReplicationBackend):
         return max(1, int(self.config.page_size * self.compression_ratio))
 
     # Verbs move compressed bytes.
-    def _post_page_write(self, handle: GroupHandle, offset: int, payload) -> Event:
+    def _post_page_write(
+        self, handle: GroupHandle, offset: int, payload, span: Optional[Span] = None
+    ) -> Event:
         machine = self.fabric.machine(handle.machine_id)
         qp = self.fabric.qp(self.client_id, handle.machine_id)
         return qp.post_write(
             self.wire_bytes,
             apply=lambda: machine.write_split(handle.slab_id, offset, payload),
+            span=span,
         )
 
-    def _post_page_read(self, handle: GroupHandle, offset: int) -> Event:
+    def _post_page_read(
+        self, handle: GroupHandle, offset: int, span: Optional[Span] = None
+    ) -> Event:
         machine = self.fabric.machine(handle.machine_id)
         qp = self.fabric.qp(self.client_id, handle.machine_id)
         return qp.post_read(
             self.wire_bytes,
             fetch=lambda: machine.read_split(handle.slab_id, offset),
+            span=span,
         )
 
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
         # Compression sits on the critical path before any byte moves.
         yield self.sim.timeout(self.compress_latency_us)
-        result = yield from super()._write_process(page_id, data)
+        self.tracer.phases(span).mark("compress")
+        result = yield from super()._write_process(page_id, data, span)
         # The parent recorded latency from its own start; fold the
         # compression stage back into the sample.
         if self.write_latency.samples:
             self.write_latency.samples[-1] += self.compress_latency_us
         return result
 
-    def _read_process(self, page_id: int):
-        payload = yield from super()._read_process(page_id)
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
+        payload = yield from super()._read_process(page_id, span)
         if payload is not None or self.payload_mode == "phantom":
             yield self.sim.timeout(self.decompress_latency_us)
+            self.tracer.phases(span).mark("decompress")
             if self.read_latency.samples:
                 self.read_latency.samples[-1] += self.decompress_latency_us
         return payload

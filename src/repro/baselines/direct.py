@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net import RDMAError, RemoteAccessError
+from ..obs import Span
 from .base import BackendError, BaselineBackend
 
 __all__ = ["DirectRemoteMemory"]
@@ -26,35 +27,41 @@ class DirectRemoteMemory(BaselineBackend):
     def memory_overhead(self) -> float:
         return 1.0
 
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handle = self._ensure_group(page_id, copies=1)[0]
         if not handle.available:
             self.events.incr("write_failures")
             raise BackendError(f"remote host of page {page_id} is gone")
         version = self.versions.get(page_id, 0) + 1
         payload = self.make_payload(data, version)
-        yield self._post_page_write(handle, self.page_offset(page_id), payload)
+        yield self._post_page_write(handle, self.page_offset(page_id), payload, span)
+        phases.mark("network")
         self.record_integrity(page_id, data, version)
         self.write_latency.record(self.sim.now - start)
         self.events.incr("writes")
         return None
 
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         self.events.incr("reads")
         if page_id not in self.versions:
             return None
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handle = self.groups[self.group_of(page_id)][0]
         if not handle.available:
             self.events.incr("read_failures")
             raise BackendError(f"remote host of page {page_id} is gone")
         try:
-            payload = yield self._post_page_read(handle, self.page_offset(page_id))
+            payload = yield self._post_page_read(handle, self.page_offset(page_id), span)
         except (RDMAError, RemoteAccessError) as exc:
             self.events.incr("read_failures")
             raise BackendError(str(exc))
+        phases.mark("network")
         self.read_latency.record(self.sim.now - start)
         return self.payload_to_bytes(payload)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net import RDMAError, RemoteAccessError
+from ..obs import Span
 from ..sim import AnyOf
 from .base import BackendError, BaselineBackend
 
@@ -51,13 +52,13 @@ class ReplicationBackend(BaselineBackend):
     _WRITE_RETRIES = 20
     _WRITE_BACKOFF_US = 500.0
 
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
         """Write with bounded retry: under cluster-wide memory pressure a
         group can transiently have no live replica and no machine with
         space for a new one; evictions elsewhere free memory shortly."""
         for attempt in range(self._WRITE_RETRIES):
             try:
-                result = yield from self._write_once(page_id, data)
+                result = yield from self._write_once(page_id, data, span)
                 return result
             except BackendError:
                 self.events.incr("write_retries")
@@ -66,9 +67,11 @@ class ReplicationBackend(BaselineBackend):
             f"write of page {page_id} failed after {self._WRITE_RETRIES} retries"
         )
 
-    def _write_once(self, page_id: int, data: Optional[bytes]):
+    def _write_once(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handles = self._ensure_group(page_id, self.copies)
         offset = self.page_offset(page_id)
         version = self.versions.get(page_id, 0) + 1
@@ -92,7 +95,7 @@ class ReplicationBackend(BaselineBackend):
             self.events.incr("write_failures")
             raise BackendError(f"no replica reachable for page {page_id}")
 
-        acks = [self._post_page_write(handle, offset, payload) for handle in live]
+        acks = [self._post_page_write(handle, offset, payload, span) for handle in live]
         succeeded = 0
         pending = list(acks)
         while pending and succeeded < self.write_acks:
@@ -105,6 +108,7 @@ class ReplicationBackend(BaselineBackend):
                 else:
                     still.append(event)
             pending = still
+        phases.mark("wait_acks", replicas=len(acks), acked=succeeded)
         if succeeded < 1:
             self.events.incr("write_failures")
             raise BackendError(f"write of page {page_id} reached no replica")
@@ -115,42 +119,46 @@ class ReplicationBackend(BaselineBackend):
         return None
 
     # -- read --------------------------------------------------------------
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         self.events.incr("reads")
         if page_id not in self.versions:
             return None
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handles = self.groups[self.group_of(page_id)]
         offset = self.page_offset(page_id)
         order = [h for h in handles if h.available] + [
             h for h in handles if not h.available
         ]
         if self.hedged_reads and len(order) > 1:
-            payload = yield from self._hedged_read(order[:2], offset, page_id)
+            payload = yield from self._hedged_read(order[:2], offset, page_id, span)
             if payload is not None:
+                phases.mark("network")
                 self.read_latency.record(self.sim.now - start)
                 return self.payload_to_bytes(payload)
             order = order[2:]
         for handle in order:
             try:
-                payload = yield self._post_page_read(handle, offset)
+                payload = yield self._post_page_read(handle, offset, span)
             except (RDMAError, RemoteAccessError):
                 self.events.incr("read_failovers")
                 continue
             if self.payload_ok(page_id, payload):
+                phases.mark("network")
                 self.read_latency.record(self.sim.now - start)
                 return self.payload_to_bytes(payload)
             self.events.incr("corrupt_replica_reads")
         self.events.incr("read_failures")
         raise BackendError(f"no valid replica for page {page_id}")
 
-    def _hedged_read(self, handles, offset: int, page_id: int):
+    def _hedged_read(self, handles, offset: int, page_id: int, span: Optional[Span] = None):
         """Issue two reads at once, take the first valid one — doubles the
         read bandwidth, which is the §2.3 criticism of hedging."""
         self.events.incr("hedged_reads")
         pending = {
-            i: self._post_page_read(h, offset) for i, h in enumerate(handles)
+            i: self._post_page_read(h, offset, span) for i, h in enumerate(handles)
         }
         while pending:
             yield AnyOf(self.sim, [self._observe(e) for e in pending.values()])

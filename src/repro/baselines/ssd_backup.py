@@ -22,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..net import RDMAError, RemoteAccessError
+from ..obs import Span
 from ..sim import Store
 from .base import BackendError, BaselineBackend
 
@@ -53,9 +54,11 @@ class SSDBackupBackend(BaselineBackend):
         return 1.0  # the backup copy lives on disk, not in memory
 
     # -- write ---------------------------------------------------------------
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handles = self._ensure_group(page_id, copies=1)
         offset = self.page_offset(page_id)
         version = self.versions.get(page_id, 0) + 1
@@ -65,11 +68,12 @@ class SSDBackupBackend(BaselineBackend):
         # §2.2 burst bottleneck — when the SSD cannot drain, page writes
         # slow to disk speed.
         yield self._staging.put((page_id, version, payload))
+        phases.mark("staging")
 
         handle = handles[0]
         if handle.available:
             try:
-                yield self._post_page_write(handle, offset, payload)
+                yield self._post_page_write(handle, offset, payload, span)
             except (RDMAError, RemoteAccessError):
                 self.events.incr("remote_write_failures")
                 self._try_remap(page_id)
@@ -78,9 +82,10 @@ class SSDBackupBackend(BaselineBackend):
             new_handle = self.groups[self.group_of(page_id)][0]
             if new_handle.available:
                 try:
-                    yield self._post_page_write(new_handle, offset, payload)
+                    yield self._post_page_write(new_handle, offset, payload, span)
                 except (RDMAError, RemoteAccessError):
                     self.events.incr("remote_write_failures")
+        phases.mark("network")
 
         self.record_integrity(page_id, data, version)
         self.write_latency.record(self.sim.now - start)
@@ -101,28 +106,33 @@ class SSDBackupBackend(BaselineBackend):
             self.events.incr("disk_backups")
 
     # -- read ------------------------------------------------------------------
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
+        phases = self.tracer.phases(span)
         start = self.sim.now
         self.events.incr("reads")
         if page_id not in self.versions:
             return None
         yield self.sim.timeout(self.config.software_overhead_us)
+        phases.mark("software")
         handle = self.groups[self.group_of(page_id)][0]
         offset = self.page_offset(page_id)
 
         if handle.available:
             try:
-                payload = yield self._post_page_read(handle, offset)
+                payload = yield self._post_page_read(handle, offset, span)
             except (RDMAError, RemoteAccessError):
                 payload = None
             if payload is not None and self.payload_ok(page_id, payload):
+                phases.mark("network")
                 self.read_latency.record(self.sim.now - start)
                 return self.payload_to_bytes(payload)
             if payload is not None:
                 self.events.incr("corrupt_remote_reads")
+            phases.mark("network")
 
         # Fallback: the local SSD backup.
         payload = yield from self._read_from_disk(page_id)
+        phases.mark("disk")
         self.read_latency.record(self.sim.now - start)
         return self.payload_to_bytes(payload)
 

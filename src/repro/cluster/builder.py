@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..net import NetworkConfig, RdmaFabric
+from ..obs import Observability
 from ..sim import RandomSource, Simulator
 from .disk import SSDConfig
 from .machine import Machine
@@ -45,7 +46,10 @@ class Cluster:
             raise ValueError(f"cluster needs at least one machine, got {machines}")
         self.sim = sim or Simulator()
         self.rng = RandomSource(seed, "cluster")
-        self.fabric = RdmaFabric(self.sim, config=network, rng=self.rng.child("fabric"))
+        self.obs = Observability.create(self.sim, seed=seed)
+        self.fabric = RdmaFabric(
+            self.sim, config=network, rng=self.rng.child("fabric"), obs=self.obs
+        )
         rack_count = machines if racks is None else racks
         if rack_count < 1:
             raise ValueError(f"need at least one rack, got {racks}")

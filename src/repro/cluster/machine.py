@@ -51,7 +51,7 @@ class Machine:
         self.id = machine_id
         self.rack = rack
         self.total_memory_bytes = total_memory_bytes
-        self.nic = Nic(fabric.config)
+        self.nic = Nic(fabric.config, machine_id=machine_id, metrics=fabric.obs.metrics)
         self.alive = True
         self.ssd: Optional[SSD] = SSD(sim, ssd_config) if ssd_config else None
 

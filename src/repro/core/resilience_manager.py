@@ -29,7 +29,8 @@ import numpy as np
 from ..cluster import PhantomSplit
 from ..ec import CorruptionDetected, DecodeError, PageCodec
 from ..net import RdmaFabric
-from ..sim import Counter, Event, LatencyRecorder, RandomSource, Simulator
+from ..obs import MetricsRegistry, Span, Tracer
+from ..sim import Event, RandomSource, Simulator
 from .address_space import AddressRange, RemoteAddressSpace, SlabHandle
 from .config import HydraConfig
 from .datapath import (
@@ -164,6 +165,8 @@ class ResilienceManager:
         endpoint: RpcEndpoint,
         placer: BatchPlacer,
         rng: RandomSource,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -193,9 +196,18 @@ class ResilienceManager:
         self.error_scores: Dict[int, float] = {}
         self._watched_machines: Set[int] = set()
 
-        self.read_latency = LatencyRecorder("hydra.read")
-        self.write_latency = LatencyRecorder("hydra.write")
-        self.events = Counter()
+        # Observability: by default the RM joins the cluster-wide bundle on
+        # the fabric; explicit tracer/metrics override for isolated tests.
+        obs = getattr(fabric, "obs", None)
+        if tracer is None:
+            tracer = obs.tracer if obs is not None else Tracer(sim, sample_every=0)
+        if metrics is None:
+            metrics = obs.metrics if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.read_latency = metrics.latency(f"rm.{machine_id}.read")
+        self.write_latency = metrics.latency(f"rm.{machine_id}.write")
+        self.events = metrics.counter_group(f"rm.{machine_id}.events")
 
         endpoint.register("evict_slab", self._on_evict_notice)
         endpoint.register("slab_regenerated", self._on_slab_regenerated)
@@ -203,24 +215,58 @@ class ResilienceManager:
     # ==================================================================
     # public pool interface
     # ==================================================================
-    def write(self, page_id: int, data: Optional[bytes] = None):
+    def write(self, page_id: int, data: Optional[bytes] = None, parent: Optional[Span] = None):
         """Write a page to remote memory; returns a simulation process.
 
         ``data`` must be ``page_size`` bytes in real mode and is ignored in
         phantom mode. The process completes when the write returns to the
         application (k data-split acks on the fast path); full (k + r)
         durability lands shortly after via the asynchronous parity writes.
+        ``parent`` (a sampled span, e.g. a VMM fault) adopts this request
+        into an existing trace; otherwise the tracer's sampler decides.
         """
+        span = self._request_span("rm.write", page_id, parent)
         return self.sim.process(
-            self._write_process(page_id, data), name=f"hydra-write:{page_id}"
+            self._traced(self._write_process(page_id, data, span), span),
+            name=f"hydra-write:{page_id}",
         )
 
-    def read(self, page_id: int):
+    def read(self, page_id: int, parent: Optional[Span] = None):
         """Read a page back; the process's value is the page bytes (real
         mode) or ``None`` (phantom mode)."""
+        span = self._request_span("rm.read", page_id, parent)
         return self.sim.process(
-            self._read_process(page_id), name=f"hydra-read:{page_id}"
+            self._traced(self._read_process(page_id, span), span),
+            name=f"hydra-read:{page_id}",
         )
+
+    def _request_span(self, name: str, page_id: int, parent: Optional[Span]) -> Optional[Span]:
+        if parent is not None:
+            return parent.child(
+                name, cat="request", machine_id=self.machine_id, tags={"page": page_id}
+            )
+        return self.tracer.start_trace(
+            name, machine_id=self.machine_id, tags={"page": page_id}
+        )
+
+    def _traced(self, gen, span: Optional[Span]):
+        """Wrap a request generator so its span always finishes, tagging
+        the outcome; a no-op passthrough when the request is untraced."""
+        if span is None:
+            return gen
+        return self._traced_gen(gen, span)
+
+    @staticmethod
+    def _traced_gen(gen, span: Span):
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            span.tags.setdefault("error", type(exc).__name__)
+            span.finish()
+            raise
+        span.set_tag("outcome", "ok")
+        span.finish()
+        return result
 
     @property
     def memory_overhead(self) -> float:
@@ -233,9 +279,10 @@ class ResilienceManager:
     # ==================================================================
     # write path (§4.2.1)
     # ==================================================================
-    def _write_process(self, page_id: int, data: Optional[bytes]):
+    def _write_process(self, page_id: int, data: Optional[bytes], span: Optional[Span] = None):
         config = self.config
         dp = config.datapath
+        phases = self.tracer.phases(span)
         start = self.sim.now
         # Placement can transiently fail under cluster-wide memory
         # pressure; back off and retry before giving up.
@@ -247,6 +294,7 @@ class ResilienceManager:
             except PlacementError:
                 self.events.incr("placement_retries")
                 yield self.sim.timeout(_WRITE_RETRY_BACKOFF_US * 4 * (attempt + 1))
+        phases.mark("place")
         if address_range is None:
             self.events.incr("write_failures")
             raise RemoteMemoryUnavailable(
@@ -283,15 +331,17 @@ class ResilienceManager:
             # posted asynchronously).
             critical_posts = config.k if fast_path else max(1, len(available))
             yield self.sim.timeout(issue_overhead_us(dp, critical_posts))
+            phases.mark("issue")
             try:
                 if fast_path:
                     yield from self._write_fast(
-                        address_range, offset, page_id, version, data_splits, full_done
+                        address_range, offset, page_id, version, data_splits,
+                        full_done, span, phases,
                     )
                 else:
                     yield from self._write_degraded(
                         address_range, offset, page_id, version, data_splits,
-                        available, full_done,
+                        available, full_done, span, phases,
                     )
             except RemoteMemoryUnavailable:
                 self.events.incr("write_retries")
@@ -304,6 +354,7 @@ class ResilienceManager:
                         address_range.mark_failed(position)
                         self._start_regeneration(address_range, position)
                 yield self.sim.timeout(_WRITE_RETRY_BACKOFF_US)
+                phases.mark("retry_backoff", attempt=attempt)
                 continue
             self._versions[page_id] = version
             # Positions that could not receive this write need a catch-up
@@ -339,22 +390,33 @@ class ResilienceManager:
         version: int,
         data_splits: Optional[np.ndarray],
         full_done: Event,
+        span: Optional[Span] = None,
+        phases=None,
     ):
         """Asynchronously encoded write: data first, parity in background."""
         config = self.config
         dp = config.datapath
+        phases = phases if phases is not None else self.tracer.phases(span)
         acks = []
         for position in range(config.k):
             payload = self._payload(data_splits, position, version)
-            acks.append(self._post_split_write(address_range, position, offset, payload))
+            acks.append(
+                self._post_split_write(address_range, position, offset, payload, span)
+            )
         succeeded = yield from self._await_acks(acks, need=config.k)
+        phases.mark("wait_k", fanout=config.k, acked=succeeded)
         yield self.sim.timeout(completion_overhead_us(dp, config.k))
+        phases.mark("completion")
         if succeeded < config.k:
             raise RemoteMemoryUnavailable("data-split writes failed")
         # Application gets its ack here; parity continues asynchronously.
+        parity_span = (
+            span.child("rm.parity", cat="background") if span is not None else None
+        )
         self.sim.process(
             self._write_parity_async(
-                address_range, offset, page_id, version, data_splits, full_done
+                address_range, offset, page_id, version, data_splits, full_done,
+                parity_span,
             ),
             name=f"hydra-parity:{page_id}",
         )
@@ -368,9 +430,12 @@ class ResilienceManager:
         version: int,
         data_splits: Optional[np.ndarray],
         full_done: Event,
+        span: Optional[Span] = None,
     ):
         config = self.config
         yield self.sim.timeout(encode_latency_us(config))
+        if span is not None:
+            span.set_tag("encode_done_us", round(self.sim.now, 4))
         if config.payload_mode == "real":
             parity = self.codec.code.encode(data_splits)
         else:
@@ -390,10 +455,15 @@ class ResilienceManager:
                 payload = parity[index]
             else:
                 payload = PhantomSplit(version=version)
-            acks.append(self._post_split_write(address_range, position, offset, payload))
+            acks.append(
+                self._post_split_write(address_range, position, offset, payload, span)
+            )
         if acks:
             yield from self._await_acks(acks, need=len(acks))
         self.events.incr("parity_writes", len(acks))
+        if span is not None:
+            span.set_tag("parities", len(acks))
+            span.finish()
         if not full_done.triggered:
             full_done.succeed()
 
@@ -406,17 +476,21 @@ class ResilienceManager:
         data_splits: Optional[np.ndarray],
         available: List[int],
         full_done: Event,
+        span: Optional[Span] = None,
+        phases=None,
     ):
         """Synchronous-encode write used when async encoding is off or some
         data slab is unavailable: encode, write all reachable splits, return
         after k acks (§4.3 'resends the I/O request to other machines')."""
         config = self.config
         dp = config.datapath
+        phases = phases if phases is not None else self.tracer.phases(span)
         if len(available) < config.k:
             raise RemoteMemoryUnavailable(
                 f"only {len(available)} slabs available, need {config.k}"
             )
         yield self.sim.timeout(encode_latency_us(config))
+        phases.mark("encode")
         if config.payload_mode == "real":
             all_splits = self.codec.code.encode_page(data_splits)
         else:
@@ -427,10 +501,14 @@ class ResilienceManager:
                 payload = all_splits[position]
             else:
                 payload = PhantomSplit(version=version)
-            acks.append(self._post_split_write(address_range, position, offset, payload))
+            acks.append(
+                self._post_split_write(address_range, position, offset, payload, span)
+            )
         wait_for = len(acks) if not dp.async_encoding else config.k
         succeeded = yield from self._await_acks(acks, need=wait_for)
+        phases.mark("wait_k", fanout=len(acks), acked=succeeded)
         yield self.sim.timeout(completion_overhead_us(dp, wait_for))
+        phases.mark("completion")
         if succeeded < min(config.k, len(acks)):
             raise RemoteMemoryUnavailable("degraded write could not reach k acks")
         self.events.incr("degraded_writes")
@@ -441,9 +519,10 @@ class ResilienceManager:
     # ==================================================================
     # read path (§4.2.2)
     # ==================================================================
-    def _read_process(self, page_id: int):
+    def _read_process(self, page_id: int, span: Optional[Span] = None):
         config = self.config
         dp = config.datapath
+        phases = self.tracer.phases(span)
         start = self.sim.now
         self.events.incr("reads")
 
@@ -453,6 +532,7 @@ class ResilienceManager:
         inflight = self._inflight_writes.get(page_id)
         if inflight is not None and not inflight.triggered:
             yield inflight
+            phases.mark("order")
 
         if page_id not in self._versions:
             return None  # never written; nothing to read
@@ -479,14 +559,22 @@ class ResilienceManager:
             self.events.incr("suspicious_reads")
         else:
             fanout = min(config.read_fanout(), len(available))
+        if span is not None:
+            span.set_tag("fanout", fanout)
+            if suspected:
+                span.set_tag("suspected", True)
 
         yield self.sim.timeout(issue_overhead_us(dp, fanout))
+        phases.mark("issue")
 
         positions = self.rng.sample(available, fanout)
         gather = _SplitGather(self.sim, lambda p: self._is_valid(p, version))
         for position in positions:
-            gather.post(position, self._post_split_read(address_range, position, offset))
+            gather.post(
+                position, self._post_split_read(address_range, position, offset, span)
+            )
 
+        escalations = 0
         while len(gather.valid) < config.k:
             yield gather.wait_valid(config.k)
             if len(gather.valid) >= config.k:
@@ -497,12 +585,17 @@ class ResilienceManager:
             for position in address_range.available_positions():
                 if position not in gather.posted:
                     gather.post(
-                        position, self._post_split_read(address_range, position, offset)
+                        position,
+                        self._post_split_read(address_range, position, offset, span),
                     )
                     self.events.incr("escalation_reads")
+                    escalations += 1
                     escalated = True
             if not escalated and gather.outstanding == 0:
                 break
+        phases.mark("wait_k", valid=len(gather.valid))
+        if span is not None and escalations:
+            span.set_tag("escalations", escalations)
 
         if len(gather.valid) < config.k:
             self.events.incr("read_failures")
@@ -521,6 +614,7 @@ class ResilienceManager:
             )
 
         yield self.sim.timeout(completion_overhead_us(dp, config.k))
+        phases.mark("completion")
 
         # In-place coding guard: the k-th valid arrival deregisters the
         # page's memory region, so later (possibly corrupt) splits can never
@@ -529,20 +623,28 @@ class ResilienceManager:
         systematic = set(first_k) == set(range(config.k))
         if not systematic:
             yield self.sim.timeout(decode_latency_us(config))
+            phases.mark("decode")
             self.events.incr("decoded_reads")
 
         page: Optional[bytes] = None
         if config.payload_mode == "real":
             if suspected:
                 page = yield from self._read_with_correction(
-                    address_range, offset, page_id, version, gather
+                    address_range, offset, page_id, version, gather, span
                 )
+                phases.mark("correction")
             else:
                 page = self.codec.decode(first_k)
                 if config.verify_reads:
+                    verify_span = (
+                        span.child("rm.verify", cat="background")
+                        if span is not None
+                        else None
+                    )
                     self.sim.process(
                         self._background_verify(
-                            address_range, offset, page_id, version, gather
+                            address_range, offset, page_id, version, gather,
+                            verify_span,
                         ),
                         name=f"hydra-verify:{page_id}",
                     )
@@ -557,6 +659,7 @@ class ResilienceManager:
         page_id: int,
         version: int,
         gather: _SplitGather,
+        span: Optional[Span] = None,
     ):
         """Inline verified read for suspected machines: wait for the full
         (k + 2Δ + 1) fanout and decode through the correction path."""
@@ -568,7 +671,7 @@ class ResilienceManager:
         except CorruptionDetected:
             pass
         page, _corrupted = yield from self._correct_and_heal(
-            address_range, offset, page_id, version, gather.real_payloads()
+            address_range, offset, page_id, version, gather.real_payloads(), span
         )
         return page
 
@@ -579,22 +682,29 @@ class ResilienceManager:
         page_id: int,
         version: int,
         gather: _SplitGather,
+        span: Optional[Span] = None,
     ):
         """§4.3 detection path: once the Δ extra splits arrive, check
         consistency off the critical path; on detection, correct and heal."""
         config = self.config
-        yield gather.wait_all()
-        usable = gather.real_payloads()
-        if len(usable) <= config.k:
-            return  # not enough for detection
         try:
-            self.codec.decode_verified(usable)
-            return  # consistent; nothing to do
-        except CorruptionDetected:
-            self.events.incr("corruption_detected")
-        yield from self._correct_and_heal(
-            address_range, offset, page_id, version, usable
-        )
+            yield gather.wait_all()
+            usable = gather.real_payloads()
+            if len(usable) <= config.k:
+                return  # not enough for detection
+            try:
+                self.codec.decode_verified(usable)
+                return  # consistent; nothing to do
+            except CorruptionDetected:
+                self.events.incr("corruption_detected")
+                if span is not None:
+                    span.set_tag("corruption_detected", True)
+            yield from self._correct_and_heal(
+                address_range, offset, page_id, version, usable, span
+            )
+        finally:
+            if span is not None:
+                span.finish()
 
     def _correct_and_heal(
         self,
@@ -603,54 +713,81 @@ class ResilienceManager:
         page_id: int,
         version: int,
         splits: Dict[int, object],
+        parent: Optional[Span] = None,
     ):
         """Fetch Δ + 1 extra splits, locate/correct errors, rewrite the
         corrupted splits, and update per-machine error scores."""
         config = self.config
-        extra_needed = config.correction_fanout() - len(splits)
-        if extra_needed > 0:
-            extra_positions = [
-                p
-                for p in address_range.available_positions()
-                if p not in splits
-            ][: extra_needed + config.delta]
-            extra = _SplitGather(
-                self.sim, lambda p: isinstance(p, np.ndarray)
+        # Corruption recovery is rare and high-value: trace it whenever the
+        # tracer is on at all, even if the triggering read lost the sample.
+        span = (
+            parent.child("rm.recover", cat="recovery")
+            if parent is not None
+            else self.tracer.start_span(
+                "rm.recover",
+                machine_id=self.machine_id,
+                cat="recovery",
+                tags={"page": page_id},
             )
-            for position in extra_positions:
-                extra.post(position, self._post_split_read(address_range, position, offset))
-            if extra_positions:
-                yield extra.wait_all()
-            splits.update(extra.real_payloads())
-
-        # Best-effort localization when the k + 2Δ + 1 guarantee cannot be
-        # met with the splits that exist (e.g. r < 2Δ + 1): the unique
-        # maximal-agreement codeword localizes random corruption with
-        # overwhelming probability (§5.1 distinguishes this from the
-        # information-theoretic guarantee).
-        max_errors = max(1, (len(splits) - config.k - 1) // 2)
+        )
         try:
-            page, corrupted = self.codec.correct(
-                splits, max_errors=max_errors, best_effort=True
-            )
-        except DecodeError:
-            # Cannot localize: smear suspicion across the machines involved.
-            for position in splits:
-                machine = address_range.handle(position).machine_id
-                self._record_error(machine, 1.0 / len(splits), address_range, position)
-            self.events.incr("uncorrectable_detections")
-            return self.codec.decode(splits), []
+            extra_needed = config.correction_fanout() - len(splits)
+            if extra_needed > 0:
+                extra_positions = [
+                    p
+                    for p in address_range.available_positions()
+                    if p not in splits
+                ][: extra_needed + config.delta]
+                extra = _SplitGather(
+                    self.sim, lambda p: isinstance(p, np.ndarray)
+                )
+                for position in extra_positions:
+                    extra.post(
+                        position,
+                        self._post_split_read(address_range, position, offset, span),
+                    )
+                if extra_positions:
+                    yield extra.wait_all()
+                splits.update(extra.real_payloads())
 
-        self.events.incr("corrected_reads")
-        data_splits = self.codec.split(page)
-        for position in corrupted:
-            machine = address_range.handle(position).machine_id
-            self._record_error(machine, 1.0, address_range, position)
-            # Heal the stored split in place.
-            payload = self.codec.code.reencode_split(data_splits, position)
-            self._post_split_write(address_range, position, offset, payload)
-            self.events.incr("healed_splits")
-        return page, corrupted
+            # Best-effort localization when the k + 2Δ + 1 guarantee cannot
+            # be met with the splits that exist (e.g. r < 2Δ + 1): the
+            # unique maximal-agreement codeword localizes random corruption
+            # with overwhelming probability (§5.1 distinguishes this from
+            # the information-theoretic guarantee).
+            max_errors = max(1, (len(splits) - config.k - 1) // 2)
+            try:
+                page, corrupted = self.codec.correct(
+                    splits, max_errors=max_errors, best_effort=True
+                )
+            except DecodeError:
+                # Cannot localize: smear suspicion across those involved.
+                for position in splits:
+                    machine = address_range.handle(position).machine_id
+                    self._record_error(
+                        machine, 1.0 / len(splits), address_range, position
+                    )
+                self.events.incr("uncorrectable_detections")
+                if span is not None:
+                    span.set_tag("outcome", "uncorrectable")
+                return self.codec.decode(splits), []
+
+            self.events.incr("corrected_reads")
+            data_splits = self.codec.split(page)
+            for position in corrupted:
+                machine = address_range.handle(position).machine_id
+                self._record_error(machine, 1.0, address_range, position)
+                # Heal the stored split in place.
+                payload = self.codec.code.reencode_split(data_splits, position)
+                self._post_split_write(address_range, position, offset, payload, span)
+                self.events.incr("healed_splits")
+            if span is not None:
+                span.set_tag("outcome", "corrected")
+                span.set_tag("corrupted_positions", list(corrupted))
+            return page, corrupted
+        finally:
+            if span is not None:
+                span.finish()
 
     # ==================================================================
     # failure / eviction / corruption bookkeeping (§4.3)
@@ -719,10 +856,23 @@ class ResilienceManager:
     def _regenerate(self, address_range: AddressRange, position: int):
         key = (address_range.range_id, position)
         config = self.config
+        # Regeneration is rare: always trace it when the tracer is enabled.
+        span = self.tracer.start_span(
+            "rm.regen",
+            machine_id=self.machine_id,
+            tags={"range": address_range.range_id, "position": position},
+        )
+        phases = self.tracer.phases(span)
+
+        def _outcome(value: str) -> None:
+            if span is not None:
+                span.set_tag("outcome", value)
+
         try:
             available = address_range.available_positions()
             if len(available) < config.k:
                 self.events.incr("regen_impossible")
+                _outcome("impossible")
                 return  # data is lost; nothing to rebuild from
             exclude = set(address_range.machine_ids()) | {self.machine_id}
             try:
@@ -734,8 +884,10 @@ class ResilienceManager:
                 # pressure): retry after a backoff instead of leaving the
                 # range degraded forever.
                 self.events.incr("regen_no_target")
+                _outcome("no_target")
                 self._retry_regeneration_later(address_range, position)
                 return
+            phases.mark("place", target=target)
             # Hand the monitor *every* available position: pages missing
             # from one source (e.g. a previously regenerated slab) can
             # still be rebuilt from any k others.
@@ -764,13 +916,17 @@ class ResilienceManager:
             except RpcError:
                 self._regen_waiters.pop(key, None)
                 self.events.incr("regen_no_target")
+                _outcome("no_target")
                 return
+            phases.mark("handoff")
             # The monitor calls back when rebuilt; guard against it dying
             # mid-rebuild with a timeout + retry.
             deadline = self.sim.timeout(_REGEN_TIMEOUT_US)
             yield self.sim.any_of([waiter, deadline])
+            phases.mark("rebuild_wait")
             if not waiter.triggered:
                 self.events.incr("regen_timeouts")
+                _outcome("timeout")
                 self._retry_regeneration_later(address_range, position, delay=1.0)
                 return
             result = waiter.value
@@ -783,13 +939,17 @@ class ResilienceManager:
             # replacing the handle (no yield in between) leaves the slab
             # exactly current.
             yield from self._apply_catchup(address_range, position, new_handle)
+            phases.mark("catchup")
             address_range.replace(position, new_handle)
             # The replacement may live on a machine we have never talked
             # to: watch its connection too, or later failures of that
             # machine would go unnoticed.
             self._watch_machines([new_handle])
             self.events.incr("regenerations")
+            _outcome("regenerated")
         finally:
+            if span is not None:
+                span.finish()
             self._regenerating.discard(key)
             self._regen_waiters.pop(key, None)
 
@@ -974,7 +1134,12 @@ class ResilienceManager:
         return PhantomSplit(version=version)
 
     def _post_split_write(
-        self, address_range: AddressRange, position: int, offset: int, payload
+        self,
+        address_range: AddressRange,
+        position: int,
+        offset: int,
+        payload,
+        span: Optional[Span] = None,
     ) -> Event:
         handle = address_range.handle(position)
         machine = self.fabric.machine(handle.machine_id)
@@ -982,10 +1147,15 @@ class ResilienceManager:
         return qp.post_write(
             self.config.split_size,
             apply=lambda: machine.write_split(handle.slab_id, offset, payload),
+            span=span,
         )
 
     def _post_split_read(
-        self, address_range: AddressRange, position: int, offset: int
+        self,
+        address_range: AddressRange,
+        position: int,
+        offset: int,
+        span: Optional[Span] = None,
     ) -> Event:
         handle = address_range.handle(position)
         machine = self.fabric.machine(handle.machine_id)
@@ -993,6 +1163,7 @@ class ResilienceManager:
         return qp.post_read(
             self.config.split_size,
             fetch=lambda: machine.read_split(handle.slab_id, offset),
+            span=span,
         )
 
     def _is_valid(self, payload, version: int) -> bool:

@@ -27,7 +27,8 @@ from ..cluster import Machine, PhantomSplit, Slab, SlabState
 from ..ec import ReedSolomonCode
 from ..ec.vectorized import rebuild_position
 from ..net import RDMAError, RemoteAccessError
-from ..sim import Counter, RandomSource
+from ..obs import MetricsRegistry, Tracer
+from ..sim import RandomSource
 from .config import HydraConfig
 from .rpc import RpcEndpoint, RpcError
 
@@ -48,6 +49,8 @@ class ResourceMonitor:
         endpoint: RpcEndpoint,
         rng: RandomSource,
         reclaim_sink: Optional[Callable[[], object]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.machine = machine
         self.sim = machine.sim
@@ -55,7 +58,14 @@ class ResourceMonitor:
         self.endpoint = endpoint
         self.rng = rng
         self.reclaim_sink = reclaim_sink
-        self.events = Counter()
+        obs = getattr(machine.fabric, "obs", None)
+        if tracer is None:
+            tracer = obs.tracer if obs is not None else Tracer(self.sim, sample_every=0)
+        if metrics is None:
+            metrics = obs.metrics if obs is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.events = metrics.counter_group(f"monitor.{machine.id}.events")
         self._daemon = None
 
         endpoint.register("query_load", self._on_query_load)
@@ -79,10 +89,25 @@ class ResourceMonitor:
                 continue
             self.machine.record_usage()
             free_fraction = self.machine.free_bytes / self.machine.total_memory_bytes
-            if free_fraction < config.headroom_fraction:
-                yield from self._relieve_pressure()
-            else:
-                self._proactive_allocate(free_fraction)
+            # One sampled span per ControlPeriod iteration: headroom state
+            # plus which arm (defense vs proactive allocation) ran.
+            span = self.tracer.start_trace(
+                "monitor.loop",
+                machine_id=self.machine.id,
+                tags={"free_fraction": round(free_fraction, 4)},
+            )
+            try:
+                if free_fraction < config.headroom_fraction:
+                    if span is not None:
+                        span.set_tag("action", "relieve_pressure")
+                    yield from self._relieve_pressure()
+                else:
+                    if span is not None:
+                        span.set_tag("action", "proactive_allocate")
+                    self._proactive_allocate(free_fraction)
+            finally:
+                if span is not None:
+                    span.finish()
 
     # ------------------------------------------------------------------
     # headroom defense (Fig 7a)
@@ -225,6 +250,16 @@ class ResourceMonitor:
         position, install the pages, and call the owner back."""
         sources = body["sources"]
         k = body["k"]
+        span = self.tracer.start_span(
+            "monitor.regen",
+            machine_id=self.machine.id,
+            tags={
+                "range": body["range_id"],
+                "position": body["position"],
+                "owner": body["owner"],
+            },
+        )
+        phases = self.tracer.phases(span)
         reads = []
         for source in sources:
             machine = self.machine.fabric.machine(source["machine_id"])
@@ -242,7 +277,9 @@ class ResourceMonitor:
             remote_slab = machine.hosted_slabs.get(source["slab_id"])
             used = remote_slab.touched_pages if remote_slab else 0
             size = max(1, used) * self.config.split_size
-            reads.append((source["position"], qp.post_read(size, fetch=snapshot)))
+            reads.append(
+                (source["position"], qp.post_read(size, fetch=snapshot, span=span))
+            )
 
         snapshots: Dict[int, dict] = {}
         for position, event in reads:
@@ -250,8 +287,12 @@ class ResourceMonitor:
                 snapshots[position] = yield event
             except (RDMAError, RemoteAccessError):
                 pass
+        phases.mark("read_sources", sources=len(reads), usable=len(snapshots))
         if len(snapshots) < k:
             self.events.incr("regen_aborted")
+            if span is not None:
+                span.set_tag("outcome", "aborted")
+                span.finish()
             slab.unmap()
             return
 
@@ -262,6 +303,7 @@ class ResourceMonitor:
             universe.update(snapshot)
         rebuilt_bytes = len(universe) * self.config.split_size * k
         yield self.sim.timeout(rebuilt_bytes * _DECODE_US_PER_BYTE)
+        phases.mark("decode", pages=len(universe), bytes=rebuilt_bytes)
 
         if body["payload_mode"] == "real":
             self._rebuild_real(
@@ -282,9 +324,16 @@ class ResourceMonitor:
                     "slab_id": slab.slab_id,
                 },
             )
+            phases.mark("ack")
+            if span is not None:
+                span.set_tag("outcome", "rebuilt")
         except RpcError:
             # Owner vanished; drop the orphan slab.
+            if span is not None:
+                span.set_tag("outcome", "owner_gone")
             slab.unmap()
+        if span is not None:
+            span.finish()
 
     def _rebuild_real(
         self,

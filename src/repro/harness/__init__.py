@@ -9,7 +9,14 @@ from .builders import (
 )
 from .cluster_run import ClusterExperiment, ClusterRunResult, ContainerSpec
 from .microbench import LatencyResult, measure_latency, page_generator, run_process
-from .report import ascii_timeline, banner, format_series, format_table
+from .report import (
+    ascii_timeline,
+    banner,
+    format_breakdown,
+    format_series,
+    format_table,
+    span_phase_breakdown,
+)
 from .scenarios import (
     SCENARIOS,
     WORKLOADS,
@@ -37,8 +44,10 @@ __all__ = [
     "run_process",
     "ascii_timeline",
     "banner",
+    "format_breakdown",
     "format_series",
     "format_table",
+    "span_phase_breakdown",
     "SCENARIOS",
     "WORKLOADS",
     "AppResult",

@@ -39,6 +39,11 @@ class HydraCluster:
     def sim(self):
         return self.cluster.sim
 
+    @property
+    def obs(self):
+        """The cluster-wide observability bundle (tracer + metrics)."""
+        return self.cluster.obs
+
     def remote_memory(self, client: int) -> ResilienceManager:
         """The Resilience Manager (remote memory pool) of machine ``client``."""
         return self.deployment.manager(client)
@@ -138,11 +143,11 @@ class NamespacedPool:
         self.sim = backend.sim
         self.base_page = base_page
 
-    def write(self, page_id: int, data=None):
-        return self.backend.write(self.base_page + page_id, data)
+    def write(self, page_id: int, data=None, parent=None):
+        return self.backend.write(self.base_page + page_id, data, parent=parent)
 
-    def read(self, page_id: int):
-        return self.backend.read(self.base_page + page_id)
+    def read(self, page_id: int, parent=None):
+        return self.backend.read(self.base_page + page_id, parent=parent)
 
     @property
     def name(self):

@@ -11,7 +11,14 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "ascii_timeline", "banner"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "ascii_timeline",
+    "banner",
+    "span_phase_breakdown",
+    "format_breakdown",
+]
 
 
 def banner(title: str) -> str:
@@ -83,3 +90,86 @@ def _spark(fraction: float) -> str:
     fraction = min(max(fraction, 0.0), 1.0)
     index = int(round(fraction * (len(_SPARK_CHARS) - 1)))
     return _SPARK_CHARS[index]
+
+
+def _distribution(durations: Sequence[float]) -> Dict[str, float]:
+    values = np.asarray(durations, dtype=np.float64)
+    if values.size == 0:
+        return {
+            "count": 0, "total_us": 0.0, "mean_us": 0.0,
+            "p50_us": 0.0, "p99_us": 0.0, "max_us": 0.0,
+        }
+    return {
+        "count": int(values.size),
+        "total_us": float(values.sum()),
+        "mean_us": float(values.mean()),
+        "p50_us": float(np.percentile(values, 50)),
+        "p99_us": float(np.percentile(values, 99)),
+        "max_us": float(values.max()),
+    }
+
+
+def span_phase_breakdown(spans, root_name: str, cat: str = "phase") -> Dict:
+    """Fig 11-style latency decomposition derived from spans alone.
+
+    Takes a flat list of finished :class:`~repro.obs.Span` objects, finds
+    every request root named ``root_name``, and attributes each root's
+    duration to its direct child spans of category ``cat`` — the
+    contiguous phases laid down by ``PhaseClock``. Because those phases
+    tile the root span, per-phase totals sum to the end-to-end total (any
+    residual shows up as ``unattributed_us``: time before the first mark
+    or after the last, e.g. an error path that bailed between marks).
+    """
+    roots = [s for s in spans if s.name == root_name and s.finished]
+    by_parent: Dict[int, List] = {}
+    for span in spans:
+        if span.cat == cat and span.parent_id is not None and span.finished:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+    phase_durations: Dict[str, List[float]] = {}
+    order: List[str] = []
+    attributed = 0.0
+    for root in roots:
+        for phase in by_parent.get(root.span_id, ()):
+            if phase.name not in phase_durations:
+                phase_durations[phase.name] = []
+                order.append(phase.name)
+            phase_durations[phase.name].append(phase.duration_us)
+            attributed += phase.duration_us
+
+    total = _distribution([r.duration_us for r in roots])
+    return {
+        "root": root_name,
+        "count": len(roots),
+        "total": total,
+        "phases": {name: _distribution(phase_durations[name]) for name in order},
+        "order": order,
+        "unattributed_us": total["total_us"] - attributed,
+    }
+
+
+def format_breakdown(breakdown: Dict) -> str:
+    """Render a :func:`span_phase_breakdown` as an aligned table."""
+    total = breakdown["total"]
+    if breakdown["count"] == 0:
+        return f"(no finished {breakdown['root']!r} spans)"
+    rows = []
+    denominator = total["total_us"] or 1.0
+    for name in breakdown["order"]:
+        stats = breakdown["phases"][name]
+        rows.append([
+            name, stats["count"], stats["mean_us"], stats["p50_us"],
+            stats["p99_us"], 100.0 * stats["total_us"] / denominator,
+        ])
+    unattributed = breakdown["unattributed_us"]
+    if unattributed > 1e-9:
+        rows.append(["(unattributed)", "", "", "", "", 100.0 * unattributed / denominator])
+    rows.append([
+        "total", total["count"], total["mean_us"], total["p50_us"],
+        total["p99_us"], 100.0,
+    ])
+    table = format_table(
+        ["phase", "count", "mean_us", "p50_us", "p99_us", "share_%"], rows
+    )
+    title = f"{breakdown['root']} latency breakdown"
+    return f"{banner(title)}\n{table}"

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs import Observability, Span
 from ..sim import Event, RandomSource, Simulator
 from .config import NetworkConfig
 
@@ -60,19 +61,48 @@ class Nic:
     """Per-machine NIC state: line rate, congestion level, traffic totals.
 
     Byte counters feed the §7.4 network-overhead comparison (Hydra's
-    291 Mbps vs replication's >1 Gbps per machine in the paper).
+    291 Mbps vs replication's >1 Gbps per machine in the paper). They
+    live in the cluster's :class:`~repro.obs.MetricsRegistry` under
+    ``nic.<machine>.{bytes_tx,bytes_rx,ops_tx}`` so harness reports read
+    them by name; the legacy ``bytes_sent``/``bytes_received``/
+    ``ops_sent`` attributes remain as read-only views.
     """
 
-    def __init__(self, config: NetworkConfig):
+    def __init__(self, config: NetworkConfig, machine_id=None, metrics=None):
         self.config = config
+        self.machine_id = machine_id
         self.background_flows = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.ops_sent = 0
+        if metrics is None:
+            from ..obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        label = "nic" if machine_id is None else f"nic.{machine_id}"
+        self._bytes_tx = metrics.counter(f"{label}.bytes_tx")
+        self._bytes_rx = metrics.counter(f"{label}.bytes_rx")
+        self._ops_tx = metrics.counter(f"{label}.ops_tx")
+
+    def count_tx(self, nbytes: int) -> None:
+        self._bytes_tx.value += nbytes
+        self._ops_tx.value += 1
+
+    def count_rx(self, nbytes: int) -> None:
+        self._bytes_rx.value += nbytes
 
     def inflation(self) -> float:
         """Latency multiplier from active background flows on this NIC."""
         return 1.0 + self.config.congestion_per_flow * self.background_flows
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_tx.value
+
+    @property
+    def bytes_received(self) -> int:
+        return self._bytes_rx.value
+
+    @property
+    def ops_sent(self) -> int:
+        return self._ops_tx.value
 
     @property
     def total_bytes(self) -> int:
@@ -110,32 +140,38 @@ class QueuePair:
         self,
         size_bytes: int,
         fetch: Callable[[], Any],
+        span: Optional[Span] = None,
     ) -> Event:
         """One-sided RDMA READ.
 
         ``fetch`` is invoked at completion time against the remote memory
         and its return value becomes the event's value. Raising
         :class:`RemoteAccessError` from ``fetch`` fails the event.
+        ``span`` (a sampled request span) parents a per-verb trace span
+        carrying the queueing/wire/congestion latency breakdown.
         """
-        return self._post(size_bytes, action=fetch, one_sided=True)
+        return self._post(size_bytes, action=fetch, one_sided=True, span=span, kind="read")
 
     def post_write(
         self,
         size_bytes: int,
         apply: Callable[[], Any],
+        span: Optional[Span] = None,
     ) -> Event:
         """One-sided RDMA WRITE; ``apply`` mutates remote memory at
         completion time. Event value is ``apply``'s return (usually None)."""
-        return self._post(size_bytes, action=apply, one_sided=True)
+        return self._post(size_bytes, action=apply, one_sided=True, span=span, kind="write")
 
-    def post_send(self, message: Any, size_bytes: int = 64) -> Event:
+    def post_send(
+        self, message: Any, size_bytes: int = 64, span: Optional[Span] = None
+    ) -> Event:
         """Two-sided SEND: delivers ``message`` to the remote inbox."""
 
         def deliver():
             self.fabric.deliver_message(self.remote_id, self.local_id, message)
             return None
 
-        return self._post(size_bytes, action=deliver, one_sided=False)
+        return self._post(size_bytes, action=deliver, one_sided=False, span=span, kind="send")
 
     # -- notifications -----------------------------------------------------
     def on_disconnect(self, callback: Callable[[int], None]) -> None:
@@ -166,8 +202,30 @@ class QueuePair:
         self._last_completion = self.sim.now
 
     # -- internals -----------------------------------------------------------
-    def _post(self, size_bytes: int, action: Callable[[], Any], one_sided: bool) -> Event:
+    def _post(
+        self,
+        size_bytes: int,
+        action: Callable[[], Any],
+        one_sided: bool,
+        span: Optional[Span] = None,
+        kind: str = "op",
+    ) -> Event:
         event = self.sim.event(name=f"rdma:{self.local_id}->{self.remote_id}")
+        verb_span: Optional[Span] = None
+        if span is not None:
+            verb_span = span.child(
+                f"rdma.{kind}",
+                cat="verb",
+                machine_id=self.local_id,
+                tags={"target": self.remote_id, "bytes": size_bytes},
+            )
+
+            def _finish_verb(done: Event, _s=verb_span) -> None:
+                if not done._ok:
+                    _s.set_tag("error", type(done._value).__name__)
+                _s.finish()
+
+            event.callbacks.append(_finish_verb)
         if not self.connected or not self.fabric.reachable(self.local_id, self.remote_id):
             # Immediately broken: fail after the RC retry timeout.
             def fail_later():
@@ -183,14 +241,18 @@ class QueuePair:
             return event
 
         # Traffic accounting (a verb moves size_bytes across both NICs).
-        local_nic_acct = self.fabric.nic(self.local_id)
-        remote_nic_acct = self.fabric.nic(self.remote_id)
-        local_nic_acct.bytes_sent += size_bytes
-        local_nic_acct.ops_sent += 1
-        remote_nic_acct.bytes_received += size_bytes
+        self.fabric.nic(self.local_id).count_tx(size_bytes)
+        self.fabric.nic(self.remote_id).count_rx(size_bytes)
 
-        latency = self._op_latency(size_bytes, one_sided)
+        latency, parts = self._op_latency(
+            size_bytes, one_sided, want_parts=verb_span is not None
+        )
         completion = max(self.sim.now + latency, self._last_completion)
+        if verb_span is not None:
+            # Queueing = delay imposed by per-QP completion ordering.
+            parts["queue"] = completion - (self.sim.now + latency)
+            for part, value in parts.items():
+                verb_span.set_tag(f"{part}_us", round(value, 4))
         self._last_completion = completion
         self._pending.append(event)
 
@@ -213,12 +275,16 @@ class QueuePair:
         self.sim.call_later(completion - self.sim.now, complete)
         return event
 
-    def _op_latency(self, size_bytes: int, one_sided: bool) -> float:
+    def _op_latency(self, size_bytes: int, one_sided: bool, want_parts: bool = False):
+        """Latency of one verb; with ``want_parts`` also returns the
+        additive wire/congestion/jitter/straggler decomposition (only
+        computed for traced verbs — the hot path skips the dict)."""
         cfg = self.config
         transfer = cfg.transfer_us(size_bytes)
-        latency = cfg.base_latency_us + transfer
+        wire = cfg.base_latency_us + transfer
         if not one_sided:
-            latency += cfg.send_recv_overhead_us
+            wire += cfg.send_recv_overhead_us
+        latency = wire
         # Congestion from background flows on either endpoint NIC. Queuing
         # delay grows with the *bytes* this op must push through the busy
         # link (plus a small fixed queue-entry cost) — small split-sized
@@ -227,14 +293,27 @@ class QueuePair:
         local_nic = self.fabric.nic(self.local_id)
         remote_nic = self.fabric.nic(self.remote_id)
         inflation = max(local_nic.inflation(), remote_nic.inflation())
+        congestion = 0.0
         if inflation > 1.0:
-            latency += (inflation - 1.0) * (transfer + 0.2 * cfg.base_latency_us)
+            congestion = (inflation - 1.0) * (transfer + 0.2 * cfg.base_latency_us)
+            latency += congestion
         # Ordinary fabric jitter.
-        latency *= self.rng.lognormal(0.0, cfg.jitter_sigma)
+        jittered = latency * self.rng.lognormal(0.0, cfg.jitter_sigma)
+        jitter = jittered - latency
+        latency = jittered
         # Rare straggler events with a heavy tail.
+        straggler = 0.0
         if cfg.straggler_prob > 0 and self.rng.bernoulli(cfg.straggler_prob):
-            latency += self.rng.pareto(cfg.straggler_shape, cfg.straggler_scale_us)
-        return latency
+            straggler = self.rng.pareto(cfg.straggler_shape, cfg.straggler_scale_us)
+            latency += straggler
+        if not want_parts:
+            return latency, None
+        return latency, {
+            "wire": wire,
+            "congestion": congestion,
+            "jitter": jitter,
+            "straggler": straggler,
+        }
 
 
 class RdmaFabric:
@@ -250,10 +329,12 @@ class RdmaFabric:
         sim: Simulator,
         config: Optional[NetworkConfig] = None,
         rng: Optional[RandomSource] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.config = config or NetworkConfig()
         self.rng = rng or RandomSource(0, "fabric")
+        self.obs = obs or Observability.create(sim)
         self._machines: Dict[int, Any] = {}
         self._qps: Dict[Tuple[int, int], QueuePair] = {}
         self._partitions: set = set()

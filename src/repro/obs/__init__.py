@@ -1,0 +1,63 @@
+"""Observability: simulated-time tracing + unified metrics registry.
+
+The observability spine of the reproduction: a :class:`Tracer` producing
+per-request span trees on the simulator clock, a
+:class:`MetricsRegistry` unifying the counters/recorders that used to be
+scattered per object, and exporters to JSON-lines and Chrome
+``trace_event`` (Perfetto) formats.
+
+One :class:`Observability` bundle is created per cluster and threaded
+through the fabric, Resilience Managers, Resource Monitors, pager, and
+baselines, so `python -m repro trace <scenario>` can decompose any
+request end to end. Tracing defaults to OFF (sampling 0) — it costs one
+branch per request until enabled.
+"""
+
+from dataclasses import dataclass
+
+from ..sim import RandomSource
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import CounterGroup, MetricsRegistry, ScalarCounter
+from .tracing import NULL_PHASES, PhaseClock, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "PhaseClock",
+    "NULL_PHASES",
+    "MetricsRegistry",
+    "ScalarCounter",
+    "CounterGroup",
+    "chrome_trace",
+    "read_jsonl",
+    "span_from_dict",
+    "span_to_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+@dataclass
+class Observability:
+    """The tracer + registry pair shared by one cluster."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    @classmethod
+    def create(cls, sim, sample_every: int = 0, seed: int = 0) -> "Observability":
+        """A fresh bundle; tracing disabled unless ``sample_every > 0``."""
+        return cls(
+            tracer=Tracer(
+                sim, sample_every=sample_every, rng=RandomSource(seed, "tracer")
+            ),
+            metrics=MetricsRegistry(),
+        )

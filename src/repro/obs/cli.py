@@ -1,0 +1,182 @@
+"""``python -m repro trace`` — run a scenario with tracing on, export it.
+
+Builds a small cluster, enables span sampling, drives one of three
+scenarios, then writes the trace (Chrome ``trace_event`` JSON and/or
+JSONL) and prints the span-derived latency breakdown — the same
+decomposition Fig 11 of the paper reports, but recovered purely from the
+trace instead of dedicated timers.
+
+Load the Chrome JSON at https://ui.perfetto.dev (or ``chrome://tracing``):
+each simulated machine renders as a process track, each request as a
+span tree of phases and RDMA verbs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+SCENARIOS = ("microbench", "pager", "failure")
+BACKENDS = ("hydra", "replication", "ssd_backup", "compressed", "direct")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default="microbench", choices=SCENARIOS,
+        help="workload to trace (default: microbench)",
+    )
+    parser.add_argument(
+        "--backend", default="hydra", choices=BACKENDS,
+        help="remote-memory pool under trace (default: hydra)",
+    )
+    parser.add_argument("--machines", type=int, default=12, help="cluster size")
+    parser.add_argument("--ops", type=int, default=200, help="read operations")
+    parser.add_argument("--pages", type=int, default=64, help="distinct pages")
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--sample", type=int, default=1,
+        help="trace 1-in-N requests; 1 = every request (default: 1)",
+    )
+    parser.add_argument(
+        "--payload", default="real", choices=("real", "phantom"),
+        help="carry real page bytes or phantom metadata (default: real)",
+    )
+    parser.add_argument(
+        "--out", default="trace.json",
+        help="output path (default: trace.json; jsonl swaps the extension)",
+    )
+    parser.add_argument(
+        "--format", default="chrome", choices=("chrome", "jsonl", "both"),
+        help="Chrome trace_event JSON, span JSONL, or both (default: chrome)",
+    )
+    return parser
+
+
+def _build_pool(args):
+    """(sim, obs, pool, read_root, write_root) for the chosen backend."""
+    if args.backend == "hydra":
+        from ..harness.builders import build_hydra_cluster
+
+        hydra = build_hydra_cluster(
+            machines=args.machines, seed=args.seed, payload_mode=args.payload
+        )
+        pool = hydra.remote_memory(0)
+        return hydra.sim, hydra.obs, pool, "rm.read", "rm.write"
+
+    from ..cluster import Cluster
+    from ..harness.builders import build_backend
+
+    cluster = Cluster(
+        machines=args.machines,
+        seed=args.seed,
+        with_ssd=(args.backend == "ssd_backup"),
+    )
+    pool = build_backend(
+        args.backend, cluster, client=0, payload_mode=args.payload
+    )
+    return cluster.sim, cluster.obs, pool, f"{pool.name}.read", f"{pool.name}.write"
+
+
+def _victim_machine(pool) -> int:
+    """A remote machine currently hosting data for ``pool``."""
+    space = getattr(pool, "space", None)
+    if space is not None:  # Hydra: first split of the first slab group
+        return space.get(0).handle(0).machine_id
+    for handles in getattr(pool, "groups", {}).values():
+        for handle in handles:
+            if handle.available:
+                return handle.machine_id
+    raise RuntimeError("no remote machine hosts any data yet")
+
+
+def _run_scenario(args, sim, obs, pool, fail_machine):
+    from ..harness.microbench import page_generator, run_process
+
+    make_page = page_generator()
+    payload = (lambda pid: make_page(pid)) if args.payload == "real" else (lambda pid: None)
+
+    def microbench():
+        for pid in range(args.pages):
+            yield pool.write(pid, payload(pid))
+        for op in range(args.ops):
+            yield pool.read(op % args.pages)
+
+    def failure():
+        for pid in range(args.pages):
+            yield pool.write(pid, payload(pid))
+        fail_machine(_victim_machine(pool))
+        yield sim.timeout(200.0)
+        for op in range(args.ops):
+            yield pool.read(op % args.pages)
+        # Let background regeneration / re-replication spans finish.
+        yield sim.timeout(10_000_000.0)
+
+    def pager():
+        from ..vmm import PagedMemory
+
+        memory = PagedMemory(
+            pool,
+            resident_pages=max(args.pages // 2, 1),
+            verify_contents=(args.payload == "real"),
+        )
+        for pid in range(args.pages):
+            yield memory.access(pid, write=True, data=payload(pid))
+        for op in range(args.ops):  # sweep beyond the resident set: faults
+            yield memory.access(op % args.pages)
+
+    body = {"microbench": microbench, "pager": pager, "failure": failure}[args.scenario]
+    run_process(sim, sim.process(body(), name=f"trace-{args.scenario}"), until=1e12)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from ..harness.report import format_breakdown, span_phase_breakdown
+    from .export import write_chrome_trace, write_jsonl
+
+    sim, obs, pool, read_root, write_root = _build_pool(args)
+    obs.tracer.set_sampling(args.sample)
+
+    def fail_machine(machine_id: int) -> None:
+        cluster = getattr(pool, "cluster", None)
+        machine = (cluster or pool.fabric).machine(machine_id)
+        machine.fail()
+        print(f"killed machine {machine_id} at t={sim.now:.0f} us")
+
+    _run_scenario(args, sim, obs, pool, fail_machine)
+
+    spans = obs.tracer.finished_spans()
+    base, _ext = os.path.splitext(args.out)
+    written = []
+    if args.format in ("chrome", "both"):
+        events = write_chrome_trace(spans, args.out if args.format == "chrome" else base + ".json")
+        written.append((args.out if args.format == "chrome" else base + ".json", f"{events} events"))
+    if args.format in ("jsonl", "both"):
+        path = args.out if args.format == "jsonl" else base + ".jsonl"
+        count = write_jsonl(spans, path)
+        written.append((path, f"{count} spans"))
+
+    roots = read_root if args.scenario != "pager" else "vmm.fault"
+    print(format_breakdown(span_phase_breakdown(spans, roots)))
+    if args.scenario != "pager":
+        print(format_breakdown(span_phase_breakdown(spans, write_root)))
+
+    traces = len({s.trace_id for s in spans})
+    print(
+        f"\n{len(spans)} spans across {traces} traces "
+        f"(sampling 1-in-{args.sample}, dropped {obs.tracer.dropped})"
+    )
+    for path, what in written:
+        print(f"wrote {path} ({what})")
+    if args.format in ("chrome", "both"):
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

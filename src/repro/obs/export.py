@@ -1,0 +1,138 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+Two formats, two audiences:
+
+* **JSONL** — one span per line, lossless, made for programmatic
+  round-trips (tests, offline breakdown analysis, diffing two runs);
+* **Chrome trace_event** — load the file into ``chrome://tracing`` or
+  https://ui.perfetto.dev and *see* late-binding reads racing stragglers.
+  Simulated microseconds map 1:1 onto the format's ``ts``/``dur`` unit;
+  each machine becomes a process track (``pid``) and each sampled request
+  gets its own lane (``tid`` = trace id) so overlapping requests never
+  corrupt each other's nesting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .tracing import Span
+
+__all__ = [
+    "span_to_dict",
+    "span_from_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def span_to_dict(span: Span) -> Dict:
+    """Lossless JSON form of one finished span."""
+    return {
+        "span_id": span.span_id,
+        "trace_id": span.trace_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "cat": span.cat,
+        "machine_id": span.machine_id,
+        "start_us": span.start_us,
+        "end_us": span.end_us,
+        "tags": span.tags,
+    }
+
+
+def span_from_dict(data: Dict) -> Span:
+    """Reconstruct a detached span (no tracer) from its JSON form."""
+    span = Span(
+        tracer=None,
+        span_id=data["span_id"],
+        trace_id=data["trace_id"],
+        parent_id=data.get("parent_id"),
+        name=data["name"],
+        cat=data.get("cat", "span"),
+        machine_id=data.get("machine_id"),
+        start_us=data["start_us"],
+        tags=dict(data.get("tags") or {}),
+    )
+    span.end_us = data.get("end_us")
+    return span
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write finished spans as JSON-lines; returns the span count."""
+    count = 0
+    with open(path, "w") as fh:
+        for span in spans:
+            if span.end_us is None:
+                continue
+            fh.write(json.dumps(span_to_dict(span), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Span]:
+    spans: List[Span] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict:
+    """Build a Chrome ``trace_event`` document from finished spans.
+
+    Uses complete ("X") events. ``pid`` is the machine, ``tid`` the trace
+    lane; span/parent ids ride along in ``args`` so tooling can rebuild
+    the tree from the exported file alone.
+    """
+    events: List[Dict] = []
+    pids = set()
+    for span in spans:
+        if span.end_us is None:
+            continue
+        pid = span.machine_id if span.machine_id is not None else -1
+        pids.add(pid)
+        args = dict(span.tags)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.end_us - span.start_us,
+                "pid": pid,
+                "tid": span.trace_id,
+                "args": args,
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "cluster" if pid < 0 else f"machine {pid}"},
+        }
+        for pid in sorted(pids)
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "simulated microseconds"},
+    }
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write a Chrome/Perfetto-loadable trace; returns the event count."""
+    document = chrome_trace(spans)
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+    return sum(1 for e in document["traceEvents"] if e["ph"] == "X")

@@ -1,0 +1,202 @@
+"""Unified, hierarchically named metrics registry.
+
+Before this module existed, counters lived in per-object bags
+(``ResilienceManager.events``, pager ``stats`` dicts, raw ints on NICs)
+and harness code had to know where each one hid. The registry gives every
+instrument a dotted name (``rm.0.events.writes``, ``nic.3.bytes_tx``,
+``vmm.fault``) in one namespace with get-or-create semantics, so a
+whole-cluster report is one :meth:`MetricsRegistry.snapshot` call.
+
+Instrument kinds (the classes behind figure data stay in
+:mod:`repro.sim.trace`; the registry owns and names instances):
+
+* :class:`ScalarCounter` — one monotonically increasing value;
+* :class:`CounterGroup` — a prefix-scoped facade compatible with the old
+  ``Counter`` bag API (``incr(key)`` / ``[key]`` / ``.counts``) whose
+  entries are registry-owned scalar counters;
+* ``LatencyRecorder`` / ``TimeSeries`` / ``ThroughputWindow`` — the
+  existing measurement primitives, registered by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.trace import LatencyRecorder, ThroughputWindow, TimeSeries
+
+__all__ = ["ScalarCounter", "CounterGroup", "MetricsRegistry"]
+
+
+class ScalarCounter:
+    """A single named, monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"ScalarCounter({self.name}={self.value})"
+
+
+class CounterGroup:
+    """A bag of counters under one prefix — the old ``Counter`` API.
+
+    ``group.incr("writes")`` increments the registry counter
+    ``<prefix>.writes``; ``group["writes"]`` reads it back (0 when never
+    incremented), and ``group.counts`` returns a plain dict snapshot, so
+    existing callers of :class:`repro.sim.Counter` migrate untouched.
+    """
+
+    __slots__ = ("registry", "prefix", "_cache")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+        self._cache: Dict[str, ScalarCounter] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        counter = self._cache.get(key)
+        if counter is None:
+            counter = self.registry.counter(f"{self.prefix}.{key}")
+            self._cache[key] = counter
+        counter.value += amount
+
+    def __getitem__(self, key: str) -> int:
+        counter = self._cache.get(key)
+        if counter is None:
+            # The counter may exist in the registry via another group view.
+            existing = self.registry.get(f"{self.prefix}.{key}")
+            if isinstance(existing, ScalarCounter):
+                self._cache[key] = existing
+                return existing.value
+            return 0
+        return counter.value
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        prefix = f"{self.prefix}."
+        return {
+            name[len(prefix):]: metric.value
+            for name, metric in self.registry.find(self.prefix).items()
+            if isinstance(metric, ScalarCounter) and name.startswith(prefix)
+        }
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"Counter({inner})"
+
+
+class MetricsRegistry:
+    """Owns named metric instances; dotted names form the hierarchy.
+
+    All accessors are get-or-create: asking twice for the same name
+    returns the same object, and asking for an existing name as a
+    different kind raises ``ValueError`` (a naming bug, not a race).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._groups: Dict[str, CounterGroup] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, wanted {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> ScalarCounter:
+        return self._get_or_create(name, ScalarCounter, lambda: ScalarCounter(name))
+
+    def counter_group(self, prefix: str) -> CounterGroup:
+        group = self._groups.get(prefix)
+        if group is None:
+            group = CounterGroup(self, prefix)
+            self._groups[prefix] = group
+        return group
+
+    def latency(self, name: str) -> LatencyRecorder:
+        return self._get_or_create(name, LatencyRecorder, lambda: LatencyRecorder(name))
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._get_or_create(name, TimeSeries, lambda: TimeSeries(name))
+
+    def throughput(self, name: str, window_us: float = 1_000_000.0) -> ThroughputWindow:
+        return self._get_or_create(
+            name, ThroughputWindow, lambda: ThroughputWindow(window_us, name)
+        )
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def find(self, prefix: str) -> Dict[str, object]:
+        """All metrics at or below ``prefix`` in the dotted hierarchy."""
+        scoped = f"{prefix}."
+        return {
+            name: metric
+            for name, metric in self._metrics.items()
+            if name == prefix or name.startswith(scoped)
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- reporting -----------------------------------------------------------
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """A JSON-friendly view of every (or one subtree of) metric.
+
+        Counters flatten to ints; latency recorders to summary dicts
+        (``{"count": 0}`` when empty); time series / throughput windows to
+        their size and last/total values.
+        """
+        source = self._metrics if prefix is None else self.find(prefix)
+        out: Dict[str, object] = {}
+        for name in sorted(source):
+            metric = source[name]
+            if isinstance(metric, ScalarCounter):
+                out[name] = metric.value
+            elif isinstance(metric, LatencyRecorder):
+                if metric.count == 0:
+                    out[name] = {"count": 0}
+                else:
+                    summary = metric.summary()
+                    out[name] = {
+                        "count": summary.count,
+                        "mean": summary.mean,
+                        "p50": summary.p50,
+                        "p99": summary.p99,
+                        "max": summary.max,
+                    }
+            elif isinstance(metric, TimeSeries):
+                out[name] = {
+                    "count": len(metric),
+                    "last": metric.last() if len(metric) else None,
+                }
+            elif isinstance(metric, ThroughputWindow):
+                out[name] = {"total": metric.total()}
+            else:  # pragma: no cover - future metric kinds
+                out[name] = repr(metric)
+        return out

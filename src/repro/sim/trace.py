@@ -70,6 +70,8 @@ class LatencyRecorder:
 
     @property
     def max(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
         return float(np.max(self.samples))
 
     def summary(self) -> "DistributionSummary":
@@ -161,6 +163,10 @@ class ThroughputWindow:
         self._buckets: Dict[int, int] = {}
 
     def record(self, time_us: float, count: int = 1) -> None:
+        if time_us < 0:
+            raise ValueError(
+                f"negative time in window {self.name!r}: {time_us}"
+            )
         bucket = int(time_us // self.window_us)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + count
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional
 
-from ..sim import Counter, LatencyRecorder
+from ..obs import MetricsRegistry, Span, Tracer
 
 __all__ = ["PagedMemory"]
 
@@ -54,6 +54,8 @@ class PagedMemory:
         verify_contents: bool = False,
         stall_retry_us: float = 500.0,
         read_retries: int = 20,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if resident_pages < 1:
             raise ValueError(f"resident_pages must be >= 1, got {resident_pages}")
@@ -65,13 +67,29 @@ class PagedMemory:
         self.verify_contents = verify_contents
         self.stall_retry_us = stall_retry_us
         self.read_retries = read_retries
+        # Observability: share the backend's tracer/registry so fault spans
+        # parent the backend's request spans in one trace.
+        if tracer is None:
+            tracer = getattr(backend, "tracer", None)
+        if tracer is None:
+            tracer = Tracer(self.sim, sample_every=0)
+        if metrics is None:
+            metrics = getattr(backend, "metrics", None)
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
 
         # page_id -> dirty flag; OrderedDict gives O(1) LRU.
         self._resident: "OrderedDict[int, bool]" = OrderedDict()
         self._contents: Dict[int, bytes] = {}
         self._remote: set = set()
-        self.fault_latency = LatencyRecorder("vmm.fault")
-        self.stats = Counter()
+        owner = getattr(backend, "machine_id", None)
+        if owner is None:
+            owner = getattr(backend, "client_id", None)
+        label = "vmm" if owner is None else f"vmm.{owner}"
+        self.fault_latency = metrics.latency(f"{label}.fault")
+        self.stats = metrics.counter_group(f"{label}.stats")
         self.verification_failures = 0
 
     # ------------------------------------------------------------------
@@ -109,37 +127,56 @@ class PagedMemory:
 
         # Page fault.
         self.stats.incr("faults")
+        span = self.tracer.start_trace(
+            "vmm.fault", tags={"page": page_id, "write": write}
+        )
+        phases = self.tracer.phases(span)
         start = self.sim.now
-        page_bytes: Optional[bytes] = None
-        if page_id in self._remote:
-            # Transient backend failures (saturation, mid-regeneration)
-            # stall the fault, exactly like a blocked swap-in.
-            for attempt in range(self.read_retries + 1):
-                try:
-                    page_bytes = yield self.backend.read(page_id)
-                    break
-                except Exception:  # noqa: BLE001 - backend-specific errors
-                    if attempt == self.read_retries:
-                        raise
-                    self.stats.incr("read_stalls")
-                    yield self.sim.timeout(self.stall_retry_us)
-            self.stats.incr("page_ins")
-            if self.verify_contents and page_id in self._contents:
-                if page_bytes != self._contents[page_id]:
-                    self.verification_failures += 1
-        elif write and data is not None:
-            page_bytes = data
+        try:
+            page_bytes: Optional[bytes] = None
+            if page_id in self._remote:
+                # Transient backend failures (saturation, mid-regeneration)
+                # stall the fault, exactly like a blocked swap-in.
+                for attempt in range(self.read_retries + 1):
+                    try:
+                        if span is not None:
+                            page_bytes = yield self.backend.read(page_id, parent=span)
+                        else:
+                            page_bytes = yield self.backend.read(page_id)
+                        break
+                    except Exception:  # noqa: BLE001 - backend-specific errors
+                        if attempt == self.read_retries:
+                            raise
+                        self.stats.incr("read_stalls")
+                        yield self.sim.timeout(self.stall_retry_us)
+                self.stats.incr("page_ins")
+                phases.mark("page_in")
+                if self.verify_contents and page_id in self._contents:
+                    if page_bytes != self._contents[page_id]:
+                        self.verification_failures += 1
+            elif write and data is not None:
+                page_bytes = data
 
-        yield from self._make_room()
-        self._resident[page_id] = write
-        if data is not None:
-            self._contents[page_id] = data  # the write's bytes win
-        elif page_bytes is not None:
-            self._contents[page_id] = page_bytes
-        self.fault_latency.record(self.sim.now - start)
-        return self._contents.get(page_id)
+            yield from self._make_room(span)
+            phases.mark("evict")
+            self._resident[page_id] = write
+            if data is not None:
+                self._contents[page_id] = data  # the write's bytes win
+            elif page_bytes is not None:
+                self._contents[page_id] = page_bytes
+            self.fault_latency.record(self.sim.now - start)
+            if span is not None:
+                span.set_tag("outcome", "ok")
+            return self._contents.get(page_id)
+        except BaseException as exc:
+            if span is not None:
+                span.tags.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            if span is not None:
+                span.finish()
 
-    def _make_room(self):
+    def _make_room(self, span: Optional[Span] = None):
         """Evict the LRU victim if the resident set is full."""
         while len(self._resident) >= self.resident_pages:
             victim, dirty = self._resident.popitem(last=False)
@@ -160,7 +197,10 @@ class PagedMemory:
                 payload = self._contents.get(victim)
                 while True:
                     try:
-                        yield self.backend.write(victim, payload)
+                        if span is not None:
+                            yield self.backend.write(victim, payload, parent=span)
+                        else:
+                            yield self.backend.write(victim, payload)
                         break
                     except Exception:  # noqa: BLE001 - backend-specific
                         self.stats.incr("write_stalls")

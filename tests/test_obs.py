@@ -1,0 +1,369 @@
+"""Observability layer: tracer, metrics registry, exporters, datapath spans.
+
+The load-bearing property under test is *tiling*: a request's PhaseClock
+phases must sum exactly to its end-to-end span, so the span-derived
+Fig 11-style breakdown agrees with the latency recorders it replaces.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import build_hydra_cluster, span_phase_breakdown
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.sim import RandomSource, Simulator
+
+from .conftest import drive, make_page
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self, sim):
+        registry = MetricsRegistry()
+        counter = registry.counter("nic.0.bytes_tx")
+        assert registry.counter("nic.0.bytes_tx") is counter
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("rm.0.read")
+        with pytest.raises(ValueError, match="rm.0.read"):
+            registry.latency("rm.0.read")
+
+    def test_counter_group_preserves_bag_api(self):
+        registry = MetricsRegistry()
+        events = registry.counter_group("rm.0.events")
+        events.incr("writes")
+        events.incr("writes", 2)
+        assert events["writes"] == 3
+        assert events["never_touched"] == 0
+        assert dict(events.counts)["writes"] == 3
+        # Group members live in the shared namespace.
+        assert registry.counter("rm.0.events.writes").value == 3
+
+    def test_snapshot_covers_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a.ops").incr(5)
+        recorder = registry.latency("a.lat")
+        recorder.record(10.0)
+        recorder.record(20.0)
+        snap = registry.snapshot()
+        assert snap["a.ops"] == 5
+        assert snap["a.lat"]["count"] == 2
+        assert snap["a.lat"]["p50"] == pytest.approx(15.0)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_tracer_returns_none_and_records_nothing(self, sim):
+        tracer = Tracer(sim, sample_every=0)
+        assert tracer.start_trace("rm.read") is None
+        assert tracer.start_span("rm.regen") is None
+        assert tracer.phases(None).mark("anything") is None
+        assert tracer.finished_spans() == []
+
+    def test_span_tree_shares_trace_id(self, sim):
+        tracer = Tracer(sim)
+        root = tracer.start_trace("rm.read", machine_id=3)
+        child = root.child("rdma.read", cat="verb")
+        assert child.trace_id == root.trace_id == root.span_id
+        assert child.parent_id == root.span_id
+        assert child.machine_id == 3  # inherited
+        child.finish()
+        root.finish()
+        assert [s.name for s in tracer.finished_spans()] == ["rdma.read", "rm.read"]
+
+    def test_finish_is_idempotent(self, sim):
+        tracer = Tracer(sim)
+        span = tracer.start_trace("rm.write")
+        span.finish()
+        end = span.end_us
+        span.finish()
+        assert span.end_us == end
+        assert len(tracer.finished_spans()) == 1
+
+    def test_interleaved_processes_keep_parenting_straight(self, sim):
+        """Two concurrent request processes must not cross span trees."""
+        tracer = Tracer(sim)
+
+        def request(name, delay):
+            span = tracer.start_trace(name)
+            phases = tracer.phases(span)
+            yield sim.timeout(delay)
+            phases.mark("first")
+            yield sim.timeout(delay)
+            phases.mark("second")
+            span.finish()
+
+        a = sim.process(request("req.a", 3.0), name="a")
+        b = sim.process(request("req.b", 5.0), name="b")
+        sim.run_until_triggered(a)
+        sim.run_until_triggered(b)
+
+        spans = tracer.finished_spans()
+        roots = {s.name: s for s in spans if s.parent_id is None}
+        for name, delay in (("req.a", 3.0), ("req.b", 5.0)):
+            root = roots[name]
+            phases = [s for s in spans if s.parent_id == root.span_id]
+            assert [p.name for p in phases] == ["first", "second"]
+            for phase in phases:
+                assert phase.trace_id == root.trace_id
+                assert phase.duration_us == pytest.approx(delay)
+            # Tiling: phases cover the root exactly.
+            assert sum(p.duration_us for p in phases) == pytest.approx(
+                root.duration_us
+            )
+
+    def test_sampling_is_deterministic_under_seed(self, sim):
+        def sampled_indices(seed):
+            tracer = Tracer(sim, sample_every=4, rng=RandomSource(seed, "tracer"))
+            picks = []
+            for index in range(200):
+                span = tracer.start_trace("req")
+                if span is not None:
+                    picks.append(index)
+                    span.finish()
+            return picks
+
+        first = sampled_indices(7)
+        assert first == sampled_indices(7)
+        assert first != sampled_indices(8)
+        # Roughly 1-in-4, not all and not none.
+        assert 20 <= len(first) <= 90
+
+    def test_phase_clock_created_mid_request_does_not_overlap(self, sim):
+        """A second clock on the same span only covers time after its birth
+        (the subclass-instrumentation case, e.g. compression)."""
+        tracer = Tracer(sim)
+
+        def request():
+            span = tracer.start_trace("req")
+            outer = tracer.phases(span)
+            yield sim.timeout(2.0)
+            outer.mark("prelude")
+            inner = tracer.phases(span)  # fresh clock, 2 us in
+            yield sim.timeout(3.0)
+            inner.mark("body")
+            span.finish()
+
+        drive(sim, request())
+        spans = tracer.finished_spans()
+        root = next(s for s in spans if s.name == "req")
+        phases = [s for s in spans if s.parent_id == root.span_id]
+        assert sum(p.duration_us for p in phases) == pytest.approx(
+            root.duration_us
+        )
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def _sample_spans(sim):
+    tracer = Tracer(sim)
+
+    def work():
+        span = tracer.start_trace("rm.read", machine_id=2, tags={"page": 9})
+        yield sim.timeout(4.0)
+        child = span.child("rdma.read", cat="verb", machine_id=5)
+        yield sim.timeout(1.5)
+        child.finish()
+        span.finish()
+
+    drive(sim, work())
+    return tracer.finished_spans()
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, sim, tmp_path):
+        spans = _sample_spans(sim)
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(spans, str(path)) == len(spans)
+        loaded = read_jsonl(str(path))
+        assert len(loaded) == len(spans)
+        for original, copy in zip(
+            sorted(spans, key=lambda s: s.span_id),
+            sorted(loaded, key=lambda s: s.span_id),
+        ):
+            for field in (
+                "span_id", "trace_id", "parent_id", "name", "cat",
+                "machine_id", "start_us", "end_us", "tags",
+            ):
+                assert getattr(copy, field) == getattr(original, field)
+
+    def test_chrome_trace_structure(self, sim, tmp_path):
+        spans = _sample_spans(sim)
+        document = chrome_trace(spans)
+        # Must be plain-JSON serialisable as Perfetto expects.
+        json.loads(json.dumps(document))
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"rm.read", "rdma.read"}
+        read = next(e for e in complete if e["name"] == "rm.read")
+        assert read["pid"] == 2  # machine -> process track
+        assert read["dur"] == pytest.approx(5.5)
+        assert read["args"]["page"] == 9
+        verb = next(e for e in complete if e["name"] == "rdma.read")
+        assert verb["pid"] == 5
+        assert verb["args"]["parent_id"] == read["args"]["span_id"]
+        assert any(e["name"] == "process_name" for e in metadata)
+
+
+# ---------------------------------------------------------------------------
+# Instrumented data path
+# ---------------------------------------------------------------------------
+
+
+def _traced_hydra(machines=10, pages=24, reads=60, seed=3):
+    hydra = build_hydra_cluster(machines=machines, k=4, r=2, delta=1, seed=seed)
+    hydra.obs.tracer.set_sampling(1)
+    rm = hydra.remote_memory(0)
+    sim = hydra.sim
+
+    def workload():
+        for pid in range(pages):
+            yield rm.write(pid, make_page(pid))
+        for op in range(reads):
+            yield rm.read(op % pages)
+
+    drive(sim, workload(), until=1e10)
+    return hydra, rm
+
+
+class TestDatapathSpans:
+    def test_read_breakdown_tiles_and_matches_recorder(self):
+        hydra, rm = _traced_hydra()
+        spans = hydra.obs.tracer.finished_spans()
+        by_parent = {}
+        for span in spans:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+        reads = [s for s in spans if s.name == "rm.read"]
+        assert len(reads) == 60
+        for root in reads:
+            phases = [s for s in by_parent.get(root.span_id, ()) if s.cat == "phase"]
+            assert phases, "read span has no phase children"
+            # Tiling: per-request phase durations sum to the e2e latency.
+            assert sum(p.duration_us for p in phases) == pytest.approx(
+                root.duration_us, rel=1e-9
+            )
+        phase_names = {
+            p.name
+            for root in reads
+            for p in by_parent.get(root.span_id, ())
+            if p.cat == "phase"
+        }
+        assert "wait_k" in phase_names  # the k-th-ack wait of §4.2
+
+        # The span-derived decomposition agrees with the latency recorder.
+        breakdown = span_phase_breakdown(spans, "rm.read")
+        assert breakdown["count"] == 60
+        assert breakdown["unattributed_us"] == pytest.approx(0.0, abs=1e-6)
+        assert breakdown["total"]["p50_us"] == pytest.approx(
+            rm.read_latency.p50, rel=0.05
+        )
+
+    def test_read_spans_contain_rdma_verbs(self):
+        hydra, _rm = _traced_hydra(pages=8, reads=8)
+        spans = hydra.obs.tracer.finished_spans()
+        reads = {s.span_id: s for s in spans if s.name == "rm.read"}
+        verbs = [s for s in spans if s.name == "rdma.read" and s.parent_id in reads]
+        assert verbs, "no rdma.read verb spans parented to read requests"
+        verb = verbs[0]
+        assert verb.cat == "verb"
+        assert verb.trace_id == reads[verb.parent_id].trace_id
+        # The verb carries its latency decomposition as tags.
+        assert "wire_us" in verb.tags
+        assert verb.tags["bytes"] > 0
+
+    def test_write_spawns_async_parity_span(self):
+        hydra, _rm = _traced_hydra(pages=8, reads=0)
+        spans = hydra.obs.tracer.finished_spans()
+        writes = {s.span_id: s for s in spans if s.name == "rm.write"}
+        parity = [s for s in spans if s.name == "rm.parity" and s.parent_id in writes]
+        assert parity, "no async parity spans parented to writes"
+        # Asynchronous coding: parity may finish after the write root.
+        root = writes[parity[0].parent_id]
+        assert parity[0].end_us >= root.end_us
+
+    def test_metrics_migrated_onto_registry(self):
+        hydra, rm = _traced_hydra(pages=8, reads=8)
+        snap = hydra.obs.metrics.snapshot()
+        assert snap["rm.0.events.writes"] == 8
+        assert snap["rm.0.events.reads"] == 8
+        assert snap["rm.0.read"]["count"] == 8
+        assert rm.events["writes"] == 8  # old bag API still works
+        tx = [k for k in snap if k.startswith("nic.") and k.endswith(".bytes_tx")]
+        assert tx and any(snap[k] > 0 for k in tx)
+
+    def test_disabled_tracing_records_no_spans(self):
+        hydra = build_hydra_cluster(machines=10, k=4, r=2, delta=1, seed=3)
+        assert not hydra.obs.tracer.enabled  # default off
+        rm = hydra.remote_memory(0)
+
+        def workload():
+            for pid in range(8):
+                yield rm.write(pid, make_page(pid))
+            for pid in range(8):
+                yield rm.read(pid)
+
+        drive(hydra.sim, workload(), until=1e10)
+        assert hydra.obs.tracer.finished_spans() == []
+
+    def test_regeneration_emits_spans_after_failure(self):
+        hydra, rm = _traced_hydra(machines=10, pages=16, reads=0)
+        sim = hydra.sim
+        victim = rm.space.get(0).handle(0).machine_id
+        hydra.cluster.machine(victim).fail()
+
+        def wait():
+            yield sim.timeout(20_000_000.0)
+
+        drive(sim, wait(), until=1e12)
+        names = {s.name for s in hydra.obs.tracer.finished_spans()}
+        assert "rm.regen" in names or "monitor.regen" in names
+
+
+class TestPagerSpans:
+    def test_fault_span_parents_backend_request(self):
+        from repro.vmm import PagedMemory
+
+        hydra, rm = _traced_hydra(pages=0, reads=0)
+        sim = hydra.sim
+        memory = PagedMemory(rm, resident_pages=4, verify_contents=True)
+
+        def workload():
+            for pid in range(8):  # 8 pages through a 4-page resident set
+                yield memory.access(pid, write=True, data=make_page(pid))
+            for pid in range(8):
+                yield memory.access(pid)
+
+        drive(sim, workload(), until=1e10)
+        spans = hydra.obs.tracer.finished_spans()
+        faults = {s.span_id: s for s in spans if s.name == "vmm.fault"}
+        assert faults, "no fault spans recorded"
+        nested = [
+            s for s in spans
+            if s.name in ("rm.read", "rm.write") and s.parent_id in faults
+        ]
+        assert nested, "backend requests not parented under fault spans"
+        for request in nested:
+            assert request.trace_id == faults[request.parent_id].trace_id
+        snap = hydra.obs.metrics.snapshot()
+        assert snap["vmm.0.stats.faults"] > 0
