@@ -1,0 +1,47 @@
+"""Wall-clock perf-regression smoke (host performance, not simulated time).
+
+Runs the deterministic microbench suite behind ``python -m repro perf`` in
+quick mode, sanity-checks the result document, and writes it to
+``BENCH_perf.json`` at the repository root. Absolute throughput numbers
+depend on the host, so nothing here asserts a threshold — the job exists
+to catch crashes and schema drift, and to archive a comparable artifact
+per run (see ``docs/PERFORMANCE.md`` for how to compare two of them).
+"""
+
+import json
+from pathlib import Path
+
+from repro.harness.perf import SCHEMA, format_results, run_perf_suite
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_BENCHMARKS = {
+    "engine_events",
+    "ec_encode",
+    "ec_decode",
+    "ec_verify",
+    "ec_correct",
+    "ec_batch_encode",
+    "ec_batch_decode",
+    "rm_end_to_end",
+}
+
+
+def test_perf_suite_quick():
+    doc = run_perf_suite(quick=True)
+
+    assert doc["schema"] == SCHEMA
+    assert set(doc["benchmarks"]) == EXPECTED_BENCHMARKS
+    for name, row in doc["benchmarks"].items():
+        assert row["seconds"] > 0, name
+    assert doc["benchmarks"]["engine_events"]["events_per_sec"] > 0
+    rm = doc["benchmarks"]["rm_end_to_end"]
+    assert rm["pages_per_sec"] > 0
+    # Simulated-time anchors: host speed must never change these.
+    assert len(rm["pages_sha256"]) == 64
+    assert rm["sim_now_us"] > 0
+
+    out = REPO_ROOT / "BENCH_perf.json"
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(format_results(doc))
+    print(f"wrote {out}")

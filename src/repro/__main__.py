@@ -16,8 +16,15 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.harness.perf import main as perf_main
+
+        return perf_main(argv[1:])
     if argv:
-        print(f"unknown command {argv[0]!r}; usage: python -m repro [trace ...]")
+        print(
+            f"unknown command {argv[0]!r}; "
+            "usage: python -m repro [trace ... | perf ...]"
+        )
         return 2
 
     from repro.harness import (

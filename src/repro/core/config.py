@@ -136,6 +136,10 @@ class HydraConfig:
             raise ValueError(f"unknown payload_mode {self.payload_mode!r}")
         if not 0 <= self.headroom_fraction < 1:
             raise ValueError(f"headroom must be in [0, 1), got {self.headroom_fraction}")
+        # split_size sits on the per-split RDMA hot path (two lookups per
+        # posted verb); precompute it once — k/page_size never change after
+        # construction (the codec and placement are built from them).
+        self._split_size = -(-self.page_size // self.k)
 
     @property
     def n(self) -> int:
@@ -145,7 +149,7 @@ class HydraConfig:
     @property
     def split_size(self) -> int:
         """Bytes per split (ceil of page_size / k)."""
-        return -(-self.page_size // self.k)
+        return self._split_size
 
     @property
     def pages_per_range(self) -> int:

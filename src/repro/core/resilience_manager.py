@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..cluster import PhantomSplit
-from ..ec import CorruptionDetected, DecodeError, PageCodec
+from ..ec import CorruptionDetected, DecodeError, PageCodec, reencode_split_pages
 from ..net import RdmaFabric
 from ..obs import MetricsRegistry, Span, Tracer
 from ..sim import Event, RandomSource, Simulator
@@ -106,23 +106,30 @@ class _SplitGather:
         """An event firing when ``need`` valid splits have arrived — or
         when nothing is outstanding anymore (caller decides to escalate)."""
         self._need = need
-        self._waiter = self.sim.event(name="gather-valid")
-        self._fire()
-        return self._waiter
+        waiter = self._waiter = self.sim.event(name="gather-valid")
+        self._fire()  # may clear the slot and fire synchronously
+        return waiter
 
     def wait_all(self) -> Event:
         """An event firing once every posted read has completed."""
-        self._all_waiter = self.sim.event(name="gather-all")
-        self._fire()
-        return self._all_waiter
+        waiter = self._all_waiter = self.sim.event(name="gather-all")
+        self._fire()  # may clear the slot and fire synchronously
+        return waiter
 
     def _fire(self) -> None:
-        if self._waiter is not None and not self._waiter.triggered:
-            if len(self.valid) >= self._need or self.outstanding == 0:
-                self._waiter.succeed()
-        if self._all_waiter is not None and not self._all_waiter.triggered:
-            if self.outstanding == 0:
-                self._all_waiter.succeed()
+        # Detach each waiter before delivering: succeed_now resumes the
+        # waiting process synchronously, which may re-register a fresh
+        # waiter (escalation loop) — the slot must already be clear.
+        waiter = self._waiter
+        if waiter is not None and (
+            len(self.valid) >= self._need or self.outstanding == 0
+        ):
+            self._waiter = None
+            waiter.succeed_now()
+        all_waiter = self._all_waiter
+        if all_waiter is not None and self.outstanding == 0:
+            self._all_waiter = None
+            all_waiter.succeed_now()
 
     def first_valid(self, count: int) -> Dict[int, object]:
         """The first ``count`` valid splits in arrival order — exactly what
@@ -195,6 +202,10 @@ class ResilienceManager:
         # +1/m smeared when localization was impossible.
         self.error_scores: Dict[int, float] = {}
         self._watched_machines: Set[int] = set()
+        # (machine, qp) per remote id — both are stable registry objects;
+        # caching them here turns two fabric lookups per posted split into
+        # one dict hit.
+        self._endpoints: Dict[int, tuple] = {}
 
         # Observability: by default the RM joins the cluster-wide bundle on
         # the fabric; explicit tracer/metrics override for isolated tests.
@@ -376,7 +387,7 @@ class ResilienceManager:
             return None
 
         if not full_done.triggered:
-            full_done.succeed()  # give up; unblock any ordered readers
+            full_done.succeed_now()  # give up; unblock any ordered readers
         self.events.incr("write_failures")
         raise RemoteMemoryUnavailable(
             f"write of page {page_id} failed after {_WRITE_RETRY_LIMIT} attempts"
@@ -465,7 +476,7 @@ class ResilienceManager:
             span.set_tag("parities", len(acks))
             span.finish()
         if not full_done.triggered:
-            full_done.succeed()
+            full_done.succeed_now()
 
     def _write_degraded(
         self,
@@ -513,7 +524,7 @@ class ResilienceManager:
             raise RemoteMemoryUnavailable("degraded write could not reach k acks")
         self.events.incr("degraded_writes")
         if not full_done.triggered:
-            full_done.succeed()
+            full_done.succeed_now()
         return None
 
     # ==================================================================
@@ -641,12 +652,9 @@ class ResilienceManager:
                         if span is not None
                         else None
                     )
-                    self.sim.process(
-                        self._background_verify(
-                            address_range, offset, page_id, version, gather,
-                            verify_span,
-                        ),
-                        name=f"hydra-verify:{page_id}",
+                    self._schedule_background_verify(
+                        address_range, offset, page_id, version, gather,
+                        verify_span,
                     )
 
         self.read_latency.record(self.sim.now - start)
@@ -675,7 +683,7 @@ class ResilienceManager:
         )
         return page
 
-    def _background_verify(
+    def _schedule_background_verify(
         self,
         address_range: AddressRange,
         offset: int,
@@ -683,22 +691,56 @@ class ResilienceManager:
         version: int,
         gather: _SplitGather,
         span: Optional[Span] = None,
-    ):
+    ) -> None:
         """§4.3 detection path: once the Δ extra splits arrive, check
-        consistency off the critical path; on detection, correct and heal."""
+        consistency off the critical path; on detection, correct and heal.
+
+        The check runs as a callback on the gather's wait-all event — no
+        process is spawned unless corruption is actually detected, which
+        keeps the (overwhelmingly common) consistent case off the event
+        queue entirely."""
         config = self.config
-        try:
-            yield gather.wait_all()
-            usable = gather.real_payloads()
-            if len(usable) <= config.k:
-                return  # not enough for detection
+
+        def check(_done: Event) -> None:
+            spawned = False
             try:
-                self.codec.decode_verified(usable)
-                return  # consistent; nothing to do
-            except CorruptionDetected:
+                usable = gather.real_payloads()
+                if len(usable) <= config.k:
+                    return  # not enough for detection
+                if self.codec.verify(usable):
+                    return  # consistent; nothing to do
                 self.events.incr("corruption_detected")
                 if span is not None:
                     span.set_tag("corruption_detected", True)
+                spawned = True
+                self.sim.process(
+                    self._correct_heal_finish(
+                        address_range, offset, page_id, version, usable, span
+                    ),
+                    name=f"hydra-verify:{page_id}",
+                )
+            finally:
+                if span is not None and not spawned:
+                    span.finish()
+
+        waiter = gather.wait_all()
+        if waiter.processed:
+            # Every posted split already landed; the waiter fired inside
+            # wait_all() itself, so run the check directly.
+            check(waiter)
+        else:
+            waiter.callbacks.append(check)
+
+    def _correct_heal_finish(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        page_id: int,
+        version: int,
+        usable: Dict[int, object],
+        span: Optional[Span] = None,
+    ):
+        try:
             yield from self._correct_and_heal(
                 address_range, offset, page_id, version, usable, span
             )
@@ -997,6 +1039,21 @@ class ResilienceManager:
             buffered = self._catchup.pop(key, None)
             if not buffered:
                 return
+            # Re-encode the whole drained batch in one GF matmul; the split
+            # for a page is pure in its buffered bytes, so computing it
+            # up-front is exact. Version filtering stays inside the loop —
+            # versions can advance between the yields below.
+            payloads: Dict[int, np.ndarray] = {}
+            if config.payload_mode == "real":
+                real_ids = [
+                    pid for pid, (_v, d) in buffered.items() if d is not None
+                ]
+                if real_ids:
+                    stack = self.codec.split_pages(
+                        [buffered[pid][1] for pid in real_ids]
+                    )
+                    rows = reencode_split_pages(self.codec.code, stack, position)
+                    payloads = dict(zip(real_ids, rows))
             for page_id, (version, data) in buffered.items():
                 if self._versions.get(page_id, 0) > version:
                     # A newer write exists; its own catch-up entry (or the
@@ -1009,9 +1066,7 @@ class ResilienceManager:
                     continue
                 _range_id, offset = self.space.locate(page_id)
                 if config.payload_mode == "real" and data is not None:
-                    payload = self.codec.code.reencode_split(
-                        self.codec.split(data), position
-                    )
+                    payload = payloads[page_id]
                 else:
                     payload = PhantomSplit(version=version)
                 machine = self.fabric.machine(handle.machine_id)
@@ -1133,6 +1188,16 @@ class ResilienceManager:
             return data_splits[position]
         return PhantomSplit(version=version)
 
+    def _endpoint(self, machine_id: int):
+        pair = self._endpoints.get(machine_id)
+        if pair is None:
+            pair = (
+                self.fabric.machine(machine_id),
+                self.fabric.qp(self.machine_id, machine_id),
+            )
+            self._endpoints[machine_id] = pair
+        return pair
+
     def _post_split_write(
         self,
         address_range: AddressRange,
@@ -1142,8 +1207,7 @@ class ResilienceManager:
         span: Optional[Span] = None,
     ) -> Event:
         handle = address_range.handle(position)
-        machine = self.fabric.machine(handle.machine_id)
-        qp = self.fabric.qp(self.machine_id, handle.machine_id)
+        machine, qp = self._endpoint(handle.machine_id)
         return qp.post_write(
             self.config.split_size,
             apply=lambda: machine.write_split(handle.slab_id, offset, payload),
@@ -1158,8 +1222,7 @@ class ResilienceManager:
         span: Optional[Span] = None,
     ) -> Event:
         handle = address_range.handle(position)
-        machine = self.fabric.machine(handle.machine_id)
-        qp = self.fabric.qp(self.machine_id, handle.machine_id)
+        machine, qp = self._endpoint(handle.machine_id)
         return qp.post_read(
             self.config.split_size,
             fetch=lambda: machine.read_split(handle.slab_id, offset),
@@ -1194,7 +1257,7 @@ class ResilienceManager:
             if not waiter.triggered and (
                 state["succeeded"] >= need or state["finished"] == total
             ):
-                waiter.succeed()
+                waiter.succeed_now()
 
         for event in events:
             if event.processed:
@@ -1204,6 +1267,6 @@ class ResilienceManager:
         if not waiter.triggered and (
             state["succeeded"] >= need or state["finished"] == total
         ):
-            waiter.succeed()
+            waiter.succeed_now()
         yield waiter
         return state["succeeded"]

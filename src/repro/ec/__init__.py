@@ -10,7 +10,13 @@ from .matrix import (
 )
 from .pagecodec import PAGE_SIZE, PageCodec
 from .rs import CorruptionDetected, DecodeError, ReedSolomonCode
-from .vectorized import encode_pages, rebuild_position, rebuild_transform
+from .vectorized import (
+    decode_pages,
+    encode_pages,
+    rebuild_position,
+    rebuild_transform,
+    reencode_split_pages,
+)
 
 __all__ = [
     "gf_add",
@@ -31,6 +37,8 @@ __all__ = [
     "DecodeError",
     "ReedSolomonCode",
     "encode_pages",
+    "decode_pages",
+    "reencode_split_pages",
     "rebuild_position",
     "rebuild_transform",
 ]

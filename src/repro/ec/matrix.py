@@ -14,6 +14,9 @@ from .galois import MUL_TABLE, gf_inv
 __all__ = [
     "SingularMatrixError",
     "gf_matmul",
+    "gf_matmul_rows",
+    "gf_row_plan",
+    "gf_apply_row_plan",
     "gf_mat_inverse",
     "cauchy_parity_matrix",
     "systematic_generator",
@@ -29,7 +32,17 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
     Shapes follow normal matmul rules: (m, n) @ (n, p) -> (m, p). ``b`` may
     also be a stack of row vectors, e.g. split payloads of shape
-    (n, split_len).
+    (n, split_len) — or many pages' splits laid side by side, which is how
+    the batch codec amortizes one product over a whole slab.
+
+    The kernel is a coefficient loop over LUT row-gathers. That looks
+    naive next to one big broadcast gather over MUL_TABLE, but it wins on
+    every shape the codec actually produces (measured): the matrices are
+    tiny and *sparse* — systematic generators and single-erasure decode
+    matrices are mostly identity rows — so skipping zero coefficients and
+    turning coefficient-1 terms into plain XORs (no table lookup) does a
+    fraction of the broadcast gather's per-element index arithmetic, and
+    the 256-byte LUT rows stay cache-resident even for slab-sized ``b``.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -37,15 +50,74 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError(f"gf_matmul needs 2-D operands, got {a.shape} @ {b.shape}")
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-    for i in range(a.shape[0]):
+    return gf_matmul_rows(a, list(b))
+
+
+def gf_matmul_rows(a: np.ndarray, rows_b) -> np.ndarray:
+    """``gf_matmul(a, np.stack(rows_b))`` without materializing the stack.
+
+    ``rows_b`` is a sequence of equal-length 1-D uint8 arrays. The per-page
+    decode/verify paths already hold the received splits as separate row
+    vectors; gathering from them in place skips one (k, split) copy per
+    call. Exact same result as stacking first.
+    """
+    out = np.zeros((a.shape[0], rows_b[0].shape[0]), dtype=np.uint8)
+    for i, coefficients in enumerate(a.tolist()):
         acc = out[i]
-        row = a[i]
-        for j in range(a.shape[1]):
-            coefficient = int(row[j])
+        for coefficient, b_row in zip(coefficients, rows_b):
             if coefficient == 0:
                 continue
-            acc ^= MUL_TABLE[coefficient][b[j]]
+            if coefficient == 1:
+                acc ^= b_row
+            else:
+                # ndarray.take, not np.take: same gather, no dispatch wrapper
+                acc ^= MUL_TABLE[coefficient].take(b_row)
+    return out
+
+
+def gf_row_plan(a: np.ndarray):
+    """Precompile ``a`` into a row plan for :func:`gf_apply_row_plan`.
+
+    Decode/encode matrices are tiny, heavily cached, and applied thousands
+    of times each; compiling them once moves the zero-scan and the
+    unit-row detection out of the hot loop. Each output row becomes either
+    a bare source index (the row is a unit vector — the product is a
+    verbatim copy of that input row) or a list of (coefficient, source)
+    pairs over the non-zero coefficients.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    plan = []
+    for coefficients in a.tolist():
+        terms = [(c, j) for j, c in enumerate(coefficients) if c != 0]
+        if len(terms) == 1 and terms[0][0] == 1:
+            plan.append(terms[0][1])
+        else:
+            plan.append(terms)
+    return plan
+
+
+def gf_apply_row_plan(plan, rows_b) -> np.ndarray:
+    """Apply a :func:`gf_row_plan` to row vectors — same result as
+    ``gf_matmul_rows`` with the planned matrix."""
+    out = np.empty((len(plan), rows_b[0].shape[0]), dtype=np.uint8)
+    for i, row_plan in enumerate(plan):
+        if type(row_plan) is int:
+            out[i] = rows_b[row_plan]
+            continue
+        acc = out[i]
+        if not row_plan:
+            acc[:] = 0
+            continue
+        coefficient, j = row_plan[0]
+        if coefficient == 1:
+            acc[:] = rows_b[j]
+        else:
+            acc[:] = MUL_TABLE[coefficient].take(rows_b[j])
+        for coefficient, j in row_plan[1:]:
+            if coefficient == 1:
+                acc ^= rows_b[j]
+            else:
+                acc ^= MUL_TABLE[coefficient].take(rows_b[j])
     return out
 
 

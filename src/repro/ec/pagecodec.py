@@ -8,11 +8,12 @@ parities, and reassemble from any ``k`` shards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .rs import ReedSolomonCode
+from .vectorized import decode_pages, encode_pages
 
 __all__ = ["PAGE_SIZE", "PageCodec"]
 
@@ -55,6 +56,9 @@ class PageCodec:
             raise ValueError(
                 f"page must be exactly {self.page_size} bytes, got {len(page)}"
             )
+        if self.padded_size == self.page_size:
+            source = np.frombuffer(page, dtype=np.uint8)
+            return source.reshape(self.k, self.split_size).copy()
         buffer = np.zeros(self.padded_size, dtype=np.uint8)
         buffer[: self.page_size] = np.frombuffer(page, dtype=np.uint8)
         return buffer.reshape(self.k, self.split_size)
@@ -68,6 +72,57 @@ class PageCodec:
             )
         return data_splits.reshape(-1)[: self.page_size].tobytes()
 
+    # -- batch operations ----------------------------------------------
+    def split_pages(self, pages: Sequence[bytes]) -> np.ndarray:
+        """Divide many pages into a (pages, k, split_size) stack.
+
+        One ``frombuffer`` + ``reshape`` over the concatenated bytes —
+        no per-split copies — and exact: row ``i`` equals
+        ``split(pages[i])``.
+        """
+        count = len(pages)
+        if self.padded_size == self.page_size:
+            flat = np.frombuffer(b"".join(pages), dtype=np.uint8)
+            if flat.size != count * self.page_size:
+                raise ValueError(
+                    f"every page must be exactly {self.page_size} bytes"
+                )
+            return flat.reshape(count, self.k, self.split_size).copy()
+        buffer = np.zeros((count, self.padded_size), dtype=np.uint8)
+        for i, page in enumerate(pages):
+            if len(page) != self.page_size:
+                raise ValueError(
+                    f"page must be exactly {self.page_size} bytes, got {len(page)}"
+                )
+            buffer[i, : self.page_size] = np.frombuffer(page, dtype=np.uint8)
+        return buffer.reshape(count, self.k, self.split_size)
+
+    def join_pages(self, data_splits_stack: np.ndarray) -> List[bytes]:
+        """Reassemble many pages from a (pages, k, split_size) stack."""
+        stack = np.asarray(data_splits_stack, dtype=np.uint8)
+        if stack.ndim != 3 or stack.shape[1:] != (self.k, self.split_size):
+            raise ValueError(
+                f"expected (pages, {self.k}, {self.split_size}) stack, "
+                f"got {stack.shape}"
+            )
+        flat = np.ascontiguousarray(stack).reshape(stack.shape[0], -1)
+        return [row[: self.page_size].tobytes() for row in flat]
+
+    def encode_batch(self, pages: Sequence[bytes]) -> np.ndarray:
+        """Many pages -> (pages, k + r, split_size) stack, one matmul."""
+        return encode_pages(self.code, self.split_pages(pages))
+
+    def decode_batch(
+        self, indices: Sequence[int], payload_stack: np.ndarray
+    ) -> List[bytes]:
+        """Decode many pages that share one split-index combination.
+
+        ``payload_stack`` is (pages, k, split_size) with row ``j`` holding
+        the payload received at ``indices[j]``. Exact match for per-page
+        ``decode``.
+        """
+        return self.join_pages(decode_pages(self.code, indices, payload_stack))
+
     # ------------------------------------------------------------------
     def encode(self, page: bytes) -> np.ndarray:
         """Page -> all (k + r) splits, data first then parity."""
@@ -80,6 +135,10 @@ class PageCodec:
     def decode_verified(self, splits: Dict[int, np.ndarray]) -> bytes:
         """Decode with consistency checking (raises CorruptionDetected)."""
         return self.join(self.code.decode_verified(splits))
+
+    def verify(self, splits: Dict[int, np.ndarray]) -> bool:
+        """Consistency check alone — no page assembly (see RS.verify)."""
+        return self.code.verify(splits)
 
     def correct(
         self,

@@ -19,7 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .matrix import SingularMatrixError, gf_mat_inverse, gf_matmul, systematic_generator
+from .matrix import (
+    SingularMatrixError,
+    gf_apply_row_plan,
+    gf_mat_inverse,
+    gf_matmul,
+    gf_row_plan,
+    systematic_generator,
+)
 
 __all__ = [
     "DecodeError",
@@ -72,6 +79,12 @@ class ReedSolomonCode:
         self.n = k + r
         self.generator = systematic_generator(k, r)
         self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._rebuild_cache: Dict[Tuple[Tuple[int, ...], int], np.ndarray] = {}
+        self._extras_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        # Compiled row plans (see gf_row_plan) for the per-page hot paths.
+        self._decode_plans: Dict[Tuple[int, ...], list] = {}
+        self._extras_plans: Dict[Tuple[int, ...], list] = {}
+        self._parity_plan = gf_row_plan(self.generator[self.k :]) if r else None
 
     # ------------------------------------------------------------------
     def encode(self, data_splits: np.ndarray) -> np.ndarray:
@@ -83,7 +96,7 @@ class ReedSolomonCode:
         data_splits = self._check_splits(data_splits, expected_rows=self.k)
         if self.r == 0:
             return np.zeros((0, data_splits.shape[1]), dtype=np.uint8)
-        return gf_matmul(self.generator[self.k :], data_splits)
+        return gf_apply_row_plan(self._parity_plan, list(data_splits))
 
     def encode_page(self, data_splits: np.ndarray) -> np.ndarray:
         """All ``k + r`` splits (data stacked above parity)."""
@@ -106,10 +119,14 @@ class ReedSolomonCode:
             )
         use = received[: self.k]
         indices = tuple(index for index, _ in use)
-        payloads = np.stack([self._check_vector(split) for _, split in use])
+        payload_rows = [self._check_vector(split) for _, split in use]
         if indices == tuple(range(self.k)):
-            return payloads  # all-systematic fast path
-        return gf_matmul(self._decode_matrix(indices), payloads)
+            return np.stack(payload_rows)  # all-systematic fast path
+        plan = self._decode_plans.get(indices)
+        if plan is None:
+            plan = gf_row_plan(self._decode_matrix(indices))
+            self._decode_plans[indices] = plan
+        return gf_apply_row_plan(plan, payload_rows)
 
     def reencode_split(self, data_splits: np.ndarray, index: int) -> np.ndarray:
         """Regenerate the single split ``index`` from the k data splits."""
@@ -121,18 +138,66 @@ class ReedSolomonCode:
         return gf_matmul(self.generator[index : index + 1], data_splits)[0]
 
     # ------------------------------------------------------------------
+    def _reencode_rows(self, indices: Sequence[int], decoded: np.ndarray) -> np.ndarray:
+        """Stacked ``reencode_split(decoded, i) for i in indices``.
+
+        Data rows of the systematic generator are identity rows, so those
+        splits are the decoded rows verbatim; only parity rows pay a (small)
+        batched matmul.
+        """
+        expected = np.empty((len(indices), decoded.shape[1]), dtype=np.uint8)
+        parity_rows = [row for row, idx in enumerate(indices) if idx >= self.k]
+        if parity_rows:
+            expected[parity_rows] = gf_matmul(
+                self.generator[[indices[row] for row in parity_rows]], decoded
+            )
+        data_rows = [row for row, idx in enumerate(indices) if idx < self.k]
+        if data_rows:
+            expected[data_rows] = decoded[[indices[row] for row in data_rows]]
+        return expected
+
+    def _mismatching_indices(
+        self, splits: Dict[int, np.ndarray], decoded: np.ndarray
+    ) -> List[int]:
+        """Indices of received splits inconsistent with ``decoded``.
+
+        One batched re-encode replaces a per-split matmul + comparison;
+        results are identical.
+        """
+        indices = sorted(splits)
+        payloads = np.stack([self._check_vector(splits[i]) for i in indices])
+        expected = self._reencode_rows(indices, decoded)
+        bad_rows = np.nonzero((expected != payloads).any(axis=1))[0]
+        return [indices[int(row)] for row in bad_rows]
+
     def verify(self, splits: Dict[int, np.ndarray]) -> bool:
         """True when all received splits are mutually consistent.
 
         Requires at least ``k + 1`` splits to say anything beyond trivially
         True; per Table 1, ``k + d`` splits detect up to ``d`` corruptions.
+
+        The check exploits that re-encoding the first ``k`` received splits
+        reproduces them exactly (the decode matrix is their inverse), so
+        only the ``d`` extra splits carry information: the splits are
+        consistent iff each extra equals the cached (d x k) syndrome
+        transform ``G_extras @ inv(G_first_k)`` applied to the first-k
+        stack. One small matmul instead of a full decode plus per-split
+        re-encode; the accept/reject outcome is identical.
         """
         if len(splits) <= self.k:
             return True
-        decoded = self.decode(dict(sorted(splits.items())[: self.k]))
-        for index, payload in splits.items():
-            expected = self.reencode_split(decoded, index)
-            if not np.array_equal(expected, self._check_vector(payload)):
+        indices = sorted(splits)
+        first = indices[: self.k]
+        extras = indices[self.k :]
+        base_rows = [self._check_vector(splits[i]) for i in first]
+        key = tuple(indices)
+        plan = self._extras_plans.get(key)
+        if plan is None:
+            plan = gf_row_plan(self._extras_transform(key))
+            self._extras_plans[key] = plan
+        expected = gf_apply_row_plan(plan, base_rows)
+        for row, index in enumerate(extras):
+            if not np.array_equal(expected[row], self._check_vector(splits[index])):
                 return False
         return True
 
@@ -143,18 +208,12 @@ class ReedSolomonCode:
         caller learns corruption happened and must fetch more splits before
         correction is possible.
         """
-        decoded = self.decode(splits)
-        suspects = []
-        for index, payload in splits.items():
-            expected = self.reencode_split(decoded, index)
-            if not np.array_equal(expected, self._check_vector(payload)):
-                suspects.append(index)
-        if suspects:
+        if not self.verify(splits):
             raise CorruptionDetected(
                 f"inconsistent splits detected (indices {sorted(splits)})",
                 suspect_indices=sorted(splits),
             )
-        return decoded
+        return self.decode(splits)
 
     def correct(
         self,
@@ -202,6 +261,8 @@ class ReedSolomonCode:
         items = sorted(splits.items())
         payloads = {idx: self._check_vector(p) for idx, p in items}
         agreement_threshold = m - max_errors if guaranteed else m
+        idx_list = [idx for idx, _ in items]
+        stacked = np.stack([payloads[idx] for idx in idx_list])
 
         # Distinct candidate codewords, keyed by content, with the set of
         # splits each disagrees with.
@@ -214,11 +275,9 @@ class ReedSolomonCode:
             key = candidate.tobytes()
             if key in candidates:
                 continue
-            corrupted = [
-                idx
-                for idx, payload in payloads.items()
-                if not np.array_equal(self.reencode_split(candidate, idx), payload)
-            ]
+            expected = self._reencode_rows(idx_list, candidate)
+            bad_rows = np.nonzero((expected != stacked).any(axis=1))[0]
+            corrupted = [idx_list[int(row)] for row in bad_rows]
             if guaranteed and m - len(corrupted) >= agreement_threshold:
                 return candidate, corrupted
             candidates[key] = (candidate, corrupted)
@@ -243,7 +302,59 @@ class ReedSolomonCode:
     def __repr__(self) -> str:
         return f"ReedSolomonCode(k={self.k}, r={self.r})"
 
+    # ------------------------------------------------------------------
+    def decode_matrix(self, indices: Sequence[int]) -> np.ndarray:
+        """The cached k x k inverse of generator rows ``indices``.
+
+        Multiplying this by the stacked payloads received at those indices
+        reconstructs the k data splits; the batch codec uses it to decode
+        many pages that arrived with the same index combination in one
+        matmul.
+        """
+        return self._decode_matrix(tuple(indices))
+
+    def rebuild_row(
+        self, source_positions: Sequence[int], target_position: int
+    ) -> np.ndarray:
+        """Cached 1 x k transform regenerating ``target_position``.
+
+        ``rebuild_row(S, t) @ stacked_payloads(S)`` equals split ``t``;
+        this is the slab-regeneration kernel (§4.2). Cached per
+        (sources, target) pair because the Resource Monitor rebuilds a
+        whole slab's pages through the same few combinations.
+        """
+        key = (tuple(source_positions), target_position)
+        cached = self._rebuild_cache.get(key)
+        if cached is None:
+            if len(key[0]) != self.k:
+                raise DecodeError(
+                    f"rebuild needs exactly {self.k} source positions, got {len(key[0])}"
+                )
+            if not 0 <= target_position < self.n:
+                raise DecodeError(
+                    f"target position {target_position} out of range 0..{self.n - 1}"
+                )
+            cached = gf_matmul(
+                self.generator[target_position : target_position + 1],
+                self._decode_matrix(key[0]),
+            )
+            self._rebuild_cache[key] = cached
+        return cached
+
     # -- internals -------------------------------------------------------
+    def _extras_transform(self, indices: Tuple[int, ...]) -> np.ndarray:
+        """Cached (d x k) map from the first-k received splits to the
+        expected values of the remaining ``d`` received splits."""
+        cached = self._extras_cache.get(indices)
+        if cached is None:
+            first = list(indices[: self.k])
+            extras = list(indices[self.k :])
+            cached = gf_matmul(
+                self.generator[extras], self._decode_matrix(tuple(first))
+            )
+            self._extras_cache[indices] = cached
+        return cached
+
     def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
         cached = self._decode_cache.get(indices)
         if cached is None:
@@ -264,6 +375,10 @@ class ReedSolomonCode:
 
     @staticmethod
     def _check_vector(split: np.ndarray) -> np.ndarray:
+        if type(split) is np.ndarray and split.dtype == np.uint8:
+            if split.ndim != 1:
+                raise DecodeError(f"each split must be 1-D, got shape {split.shape}")
+            return split
         split = np.asarray(split, dtype=np.uint8)
         if split.ndim != 1:
             raise DecodeError(f"each split must be 1-D, got shape {split.shape}")

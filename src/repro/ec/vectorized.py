@@ -17,10 +17,16 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from .matrix import gf_mat_inverse, gf_matmul
+from .matrix import gf_matmul
 from .rs import DecodeError, ReedSolomonCode
 
-__all__ = ["rebuild_transform", "rebuild_position", "encode_pages"]
+__all__ = [
+    "rebuild_transform",
+    "rebuild_position",
+    "encode_pages",
+    "decode_pages",
+    "reencode_split_pages",
+]
 
 
 def rebuild_transform(
@@ -34,11 +40,7 @@ def rebuild_transform(
         )
     if not 0 <= target_position < code.n:
         raise DecodeError(f"target position {target_position} out of range")
-    rows = code.generator[positions]
-    return gf_matmul(
-        code.generator[target_position : target_position + 1],
-        gf_mat_inverse(rows),
-    )
+    return code.rebuild_row(positions, target_position)
 
 
 def rebuild_position(
@@ -109,3 +111,54 @@ def encode_pages(
     parity_flat = gf_matmul(code.generator[code.k :], flat)
     parity = parity_flat.reshape(code.r, pages, split_size).transpose(1, 0, 2)
     return np.concatenate([stack, parity], axis=1)
+
+
+def decode_pages(
+    code: ReedSolomonCode, indices: Sequence[int], payload_stack: np.ndarray
+) -> np.ndarray:
+    """Decode many pages that all arrived with the same split indices.
+
+    ``payload_stack`` has shape (pages, k, split_size): row ``j`` of page
+    ``i`` is the payload received at split index ``indices[j]``. Returns
+    the (pages, k, split_size) data splits — identical to calling
+    ``code.decode`` per page with those indices.
+    """
+    stack = np.asarray(payload_stack, dtype=np.uint8)
+    index_tuple = tuple(indices)
+    if stack.ndim != 3 or stack.shape[1] != len(index_tuple):
+        raise DecodeError(
+            f"expected (pages, {len(index_tuple)}, split) stack, got {stack.shape}"
+        )
+    if len(index_tuple) != code.k:
+        raise DecodeError(
+            f"need exactly k={code.k} indices to decode, got {len(index_tuple)}"
+        )
+    if index_tuple == tuple(range(code.k)):
+        return stack  # all-systematic fast path
+    pages, _k, split_size = stack.shape
+    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+    decoded = gf_matmul(code.decode_matrix(index_tuple), flat)
+    return decoded.reshape(code.k, pages, split_size).transpose(1, 0, 2)
+
+
+def reencode_split_pages(
+    code: ReedSolomonCode, data_splits_stack: np.ndarray, index: int
+) -> np.ndarray:
+    """Regenerate split ``index`` of many pages in one matmul.
+
+    ``data_splits_stack`` has shape (pages, k, split_size); returns a
+    (pages, split_size) array equal to per-page ``reencode_split``.
+    """
+    stack = np.asarray(data_splits_stack, dtype=np.uint8)
+    if stack.ndim != 3 or stack.shape[1] != code.k:
+        raise DecodeError(
+            f"expected (pages, k={code.k}, split) stack, got {stack.shape}"
+        )
+    if not 0 <= index < code.n:
+        raise DecodeError(f"split index {index} out of range 0..{code.n - 1}")
+    if index < code.k:
+        return stack[:, index].copy()
+    pages, _k, split_size = stack.shape
+    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+    row = gf_matmul(code.generator[index : index + 1], flat)[0]
+    return row.reshape(pages, split_size)

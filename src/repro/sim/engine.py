@@ -133,6 +133,28 @@ class Event:
         self.sim._schedule(self)
         return self
 
+    def succeed_now(self, value: Any = None) -> "Event":
+        """Trigger the event and run its callbacks synchronously.
+
+        Equivalent to :meth:`succeed` followed immediately by this event's
+        dispatch, with no other queue entry in between. Only valid from
+        code already executing inside the dispatch loop (a callback or a
+        ``call_later`` callable): the callbacks run at the current
+        simulation time, in the caller's stack frame. Callers must not
+        touch shared state after the call that a resumed waiter could
+        have already rewritten.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _PROCESSED
+        callbacks = self.callbacks
+        self.callbacks = []
+        for callback in callbacks:
+            callback(self)
+        return self
+
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception."""
         if self._state != _PENDING:
@@ -164,12 +186,23 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"Timeout({delay:g})")
-        self.delay = delay
-        self._ok = True
-        self._value = value
+        # Timeouts dominate event volume; initialize the slots directly
+        # (no super().__init__) and leave the display name to __repr__ so
+        # the hot path never formats a string.
+        self.sim = sim
+        self.callbacks = []
         self._state = _TRIGGERED
+        self._value = value
+        self._ok = True
+        self.name = ""
+        self.delay = delay
         sim._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}[
+            self._state
+        ]
+        return f"<Timeout({self.delay:g}) {state}>"
 
 
 class Process(Event):
@@ -189,7 +222,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self.is_alive = True
         # Kick off the process at the current simulation time.
-        bootstrap = Event(sim, name=f"bootstrap:{self.name}")
+        bootstrap = Event(sim, name="bootstrap")
         bootstrap._ok = True
         bootstrap._state = _TRIGGERED
         bootstrap.callbacks.append(self._resume)
@@ -223,7 +256,10 @@ class Process(Event):
                     target = self.generator.throw(trigger._value)
             except StopIteration as stop:
                 self.is_alive = False
-                self.succeed(stop.value)
+                # _resume only ever runs from the dispatch loop, so the
+                # completion can be delivered synchronously: waiters resume
+                # here instead of after one more queue round-trip.
+                self.succeed_now(stop.value)
                 return
             except BaseException as exc:  # noqa: BLE001 - process crash propagates
                 self.is_alive = False
@@ -370,14 +406,14 @@ class Simulator:
 
         The cheap primitive behind high-volume completions (RDMA verbs);
         use processes for anything that needs to wait again afterwards.
+        The callable goes on the queue bare — no Event, no callback list,
+        no closure — and the dispatch loops invoke it directly.
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        event = Event(self, name="callback")
-        event._ok = True
-        event._state = _TRIGGERED
-        event.callbacks.append(lambda _event: fn())
-        self._schedule(event, delay=delay)
+        self._seq += 1
+        self._active += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that succeeds after ``delay`` simulated microseconds."""
@@ -404,23 +440,40 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._queue)
         self.now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        if isinstance(event, Event):
+            callbacks, event.callbacks = event.callbacks, []
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+        else:
+            event()  # bare call_later callable
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.
 
         When ``until`` is given, the clock is advanced exactly to ``until``
         even if the last event fires earlier.
+
+        The dispatch loop is inlined (no per-event ``step()`` call, heappop
+        bound to a local) — this is the simulator's hottest code.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if until is not None and queue[0][0] > until:
                 break
-            self.step()
+            when, _seq, event = pop(queue)
+            self.now = when
+            if isinstance(event, Event):
+                callbacks = event.callbacks
+                event.callbacks = []
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+            else:
+                event()  # bare call_later callable
         if until is not None:
             self.now = max(self.now, until)
 
@@ -430,7 +483,18 @@ class Simulator:
         Preferred over ``run()`` when daemon processes (e.g. periodic
         monitors) keep the queue permanently non-empty.
         """
-        while not event.triggered and self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        pop = heapq.heappop
+        while event._state == _PENDING and queue:
+            if until is not None and queue[0][0] > until:
                 break
-            self.step()
+            when, _seq, current = pop(queue)
+            self.now = when
+            if isinstance(current, Event):
+                callbacks = current.callbacks
+                current.callbacks = []
+                current._state = _PROCESSED
+                for callback in callbacks:
+                    callback(current)
+            else:
+                current()  # bare call_later callable

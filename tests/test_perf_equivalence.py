@@ -1,0 +1,316 @@
+"""Equivalence pins for the wall-clock fast path.
+
+The optimization pass (compiled GF row plans, syndrome-transform verify,
+fused RDMA completions, synchronous event delivery, batched EC) must be
+*semantics-preserving*: a seeded simulation produces byte-identical pages
+and an identical metric trace before and after. The constants pinned here
+were recorded on the pre-optimization code and re-verified unchanged at
+every optimization checkpoint — if any assertion below starts failing,
+a "speedup" changed behavior.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.ec import PageCodec, ReedSolomonCode
+from repro.ec.galois import MUL_TABLE, gf_mul
+from repro.ec.matrix import (
+    gf_apply_row_plan,
+    gf_matmul,
+    gf_matmul_rows,
+    gf_row_plan,
+)
+from repro.harness import build_hydra_cluster, run_process
+from repro.harness.microbench import page_generator
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+# ----------------------------------------------------------------------
+# GF(2^8) kernels against a definitional reference
+# ----------------------------------------------------------------------
+def _reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Triple loop straight from the field axioms — slow but obviously
+    correct."""
+    m, n = a.shape
+    _, p = b.shape
+    out = np.zeros((m, p), dtype=np.uint8)
+    for i in range(m):
+        for j in range(p):
+            acc = 0
+            for t in range(n):
+                acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+            out[i, j] = acc
+    return out
+
+
+def _cases(rng):
+    yield rng.integers(0, 256, (4, 4), dtype=np.uint8), rng.integers(
+        0, 256, (4, 9), dtype=np.uint8
+    )
+    # Identity-heavy: what decode matrices actually look like.
+    sparse = np.eye(5, dtype=np.uint8)
+    sparse[2] = rng.integers(0, 256, 5, dtype=np.uint8)
+    yield sparse, rng.integers(0, 256, (5, 16), dtype=np.uint8)
+    # A row of zeros and a row of ones exercise both shortcuts.
+    a = rng.integers(0, 256, (3, 6), dtype=np.uint8)
+    a[0] = 0
+    a[1] = 1
+    yield a, rng.integers(0, 256, (6, 7), dtype=np.uint8)
+
+
+def test_gf_kernels_match_reference():
+    rng = np.random.default_rng(7)
+    for a, b in _cases(rng):
+        expected = _reference_matmul(a, b)
+        assert np.array_equal(gf_matmul(a, b), expected)
+        assert np.array_equal(gf_matmul_rows(a, list(b)), expected)
+        assert np.array_equal(gf_apply_row_plan(gf_row_plan(a), list(b)), expected)
+
+
+def test_row_plan_unit_rows_copy_not_alias():
+    plan = gf_row_plan(np.eye(3, dtype=np.uint8))
+    rows = [np.arange(4, dtype=np.uint8) + i for i in range(3)]
+    out = gf_apply_row_plan(plan, rows)
+    out[0] ^= 0xFF
+    assert rows[0][0] == 0  # the source row must not be written through
+
+
+def test_mul_table_row_take_is_gf_mul():
+    rng = np.random.default_rng(3)
+    c = 0x8E
+    b = rng.integers(0, 256, 64, dtype=np.uint8)
+    expected = np.array([gf_mul(c, int(x)) for x in b], dtype=np.uint8)
+    assert np.array_equal(MUL_TABLE[c].take(b), expected)
+
+
+# ----------------------------------------------------------------------
+# Syndrome verify == decode + re-encode reference
+# ----------------------------------------------------------------------
+def _reference_verify(code: ReedSolomonCode, splits) -> bool:
+    """The pre-optimization check: decode the first k received splits,
+    re-encode every received index, compare."""
+    if len(splits) <= code.k:
+        return True
+    decoded = code.decode(splits)
+    for index in sorted(splits):
+        expected = code.reencode_split(decoded, index)
+        if not np.array_equal(expected, np.asarray(splits[index], dtype=np.uint8)):
+            return False
+    return True
+
+
+def test_syndrome_verify_matches_reference():
+    rng = np.random.default_rng(11)
+    code = ReedSolomonCode(k=4, r=3)
+    data = rng.integers(0, 256, (4, 32), dtype=np.uint8)
+    full = code.encode_page(data)
+    import itertools
+
+    for subset in itertools.combinations(range(code.n), 5):
+        clean = {i: full[i] for i in subset}
+        assert code.verify(clean) is True
+        assert _reference_verify(code, clean) is True
+        for victim in subset:
+            corrupt = {i: full[i].copy() for i in subset}
+            corrupt[victim][0] ^= 0x55
+            assert code.verify(corrupt) == _reference_verify(code, corrupt), (
+                subset,
+                victim,
+            )
+
+
+def test_decode_verified_rejects_exactly_like_reference():
+    rng = np.random.default_rng(13)
+    code = ReedSolomonCode(k=4, r=2)
+    data = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+    full = code.encode_page(data)
+    splits = {i: full[i] for i in (0, 1, 2, 4, 5)}
+    assert np.array_equal(code.decode_verified(splits), data)
+    bad = {i: full[i].copy() for i in (0, 1, 2, 4, 5)}
+    bad[4][3] ^= 1
+    from repro.ec import CorruptionDetected
+
+    with pytest.raises(CorruptionDetected):
+        code.decode_verified(bad)
+
+
+# ----------------------------------------------------------------------
+# Batched codec paths == per-page paths, byte for byte
+# ----------------------------------------------------------------------
+def test_batch_codec_paths_match_per_page():
+    codec = PageCodec(k=8, r=2)
+    make_page = page_generator()
+    pages = [make_page(i) for i in range(6)]
+
+    stack = codec.encode_batch(pages)
+    for i, page in enumerate(pages):
+        assert np.array_equal(stack[i], codec.encode(page))
+
+    indices = [0, 1, 2, 3, 4, 5, 6, 8]  # one erasure, one parity standing in
+    payload_stack = np.stack([stack[i][indices] for i in range(len(pages))])
+    decoded = codec.decode_batch(indices, payload_stack)
+    for i, page in enumerate(pages):
+        per_page = codec.decode({j: stack[i][j] for j in indices})
+        assert decoded[i] == per_page == page
+
+    split_stack = codec.split_pages(pages)
+    for i, page in enumerate(pages):
+        assert np.array_equal(split_stack[i], codec.split(page))
+    assert codec.join_pages(split_stack) == pages
+
+
+def test_split_fast_path_returns_writable_copy():
+    codec = PageCodec(k=8, r=2)
+    page = bytes(range(256)) * 16
+    splits = codec.split(page)
+    splits[0][0] ^= 0xFF  # must not raise (frombuffer views are read-only)
+    assert codec.split(page)[0][0] == 0  # and must not alias the source
+
+
+# ----------------------------------------------------------------------
+# Engine: synchronous delivery keeps Event semantics
+# ----------------------------------------------------------------------
+def test_succeed_now_runs_callbacks_synchronously():
+    sim = Simulator()
+    seen = []
+    event = sim.event(name="x")
+    event.callbacks.append(lambda ev: seen.append(ev.value))
+    event.succeed_now(42)
+    assert seen == [42]
+    assert event.processed and event.ok and event.value == 42
+    with pytest.raises(SimulationError):
+        event.succeed_now(43)
+
+
+def test_succeed_now_wakes_waiting_process_in_order():
+    sim = Simulator()
+    log = []
+    gate = sim.event(name="gate")
+
+    def waiter():
+        yield gate
+        log.append(("waiter", sim.now))
+
+    def firer():
+        yield sim.timeout(5.0)
+        log.append(("fire", sim.now))
+        gate.succeed_now()
+        log.append(("after-fire", sim.now))
+
+    sim.process(waiter(), name="w")
+    sim.process(firer(), name="f")
+    sim.run()
+    assert log == [("fire", 5.0), ("waiter", 5.0), ("after-fire", 5.0)]
+
+
+def test_rdma_completions_keep_post_order():
+    """Fused verb delivery must preserve per-QP completion ordering —
+    the property §4.3's read-after-write safety rests on."""
+    from repro.net import RdmaFabric
+
+    class _Stub:
+        def __init__(self, mid, nic):
+            self.id = mid
+            self.nic = nic
+            self.alive = True
+
+        def deliver_message(self, src, msg):
+            pass
+
+    sim = Simulator()
+    fabric = RdmaFabric(sim)
+    from repro.net.rdma import Nic
+
+    for mid in (0, 1):
+        fabric.register(_Stub(mid, Nic(fabric.config, machine_id=mid)))
+    qp = fabric.qp(0, 1)
+    completions = []
+    for i in range(50):
+        # Alternate sizes so raw latencies would NOT be monotone.
+        size = 4096 if i % 2 == 0 else 64
+        event = qp.post_write(size, apply=lambda i=i: i)
+        event.callbacks.append(lambda ev: completions.append(ev.value))
+    sim.run()
+    assert completions == list(range(50))
+
+
+# ----------------------------------------------------------------------
+# Pinned end-to-end fingerprints (recorded pre-optimization)
+# ----------------------------------------------------------------------
+def _metrics_sha(metrics) -> str:
+    snap = metrics.snapshot()
+    return hashlib.sha256(
+        json.dumps(snap, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def test_seeded_run_fingerprint_unchanged():
+    hydra = build_hydra_cluster(machines=10, k=4, r=2, delta=1, seed=7)
+    rm = hydra.remote_memory(0)
+    sim = hydra.sim
+    make_page = page_generator()
+    pages = [make_page(pid) for pid in range(32)]
+    digest = hashlib.sha256()
+
+    def driver():
+        for i in range(200):
+            pid = i % 32
+            yield rm.write(pid, pages[pid])
+            data = yield rm.read(pid)
+            digest.update(data)
+
+    run_process(sim, sim.process(driver(), name="fp"), until=1e12)
+
+    assert sim.now == pytest.approx(1722.486783623721, abs=0, rel=0)
+    assert digest.hexdigest() == (
+        "ebbc2035edb9416b042e621f1efc8b45dfd266d254ff6a1a460c007e26b06b9e"
+    )
+    assert rm.read_latency.p50 == pytest.approx(5.798503346925713, abs=0, rel=0)
+    assert rm.write_latency.p50 == pytest.approx(1.7684307657343084, abs=0, rel=0)
+    assert dict(sorted(rm.events.counts.items())) == {
+        "decoded_reads": 188,
+        "parity_writes": 400,
+        "ranges_placed": 1,
+        "reads": 200,
+        "writes": 200,
+    }
+    assert _metrics_sha(hydra.obs.metrics) == (
+        "9d0c5f87b62ba909f89594291a7a22cfe76f963d94c0f2db1be6155b37fa5267"
+    )
+
+
+def test_seeded_failure_run_fingerprint_unchanged():
+    hydra = build_hydra_cluster(machines=10, k=4, r=2, delta=1, seed=11)
+    rm = hydra.remote_memory(0)
+    sim = hydra.sim
+    make_page = page_generator()
+    pages = [make_page(pid) for pid in range(16)]
+    digest = hashlib.sha256()
+
+    def driver():
+        for pid in range(16):
+            yield rm.write(pid, pages[pid])
+        victim = rm.space.get(0).handle(0).machine_id
+        hydra.cluster.machine(victim).fail()
+        yield sim.timeout(200)
+        for i in range(64):
+            pid = i % 16
+            yield rm.write(pid, pages[pid])
+            data = yield rm.read(pid)
+            digest.update(data)
+        yield sim.timeout(5_000_000)
+
+    run_process(sim, sim.process(driver(), name="fp2"), until=1e12)
+
+    assert sim.now == pytest.approx(5000882.758883418, abs=0, rel=0)
+    assert digest.hexdigest() == (
+        "2787081113f4cd3c8f0c1af600477130c8a6efc524b536d313f461aa65eae550"
+    )
+    events = dict(sorted(rm.events.counts.items()))
+    assert events["regenerations"] == 1
+    assert events["disconnects"] == 1
+    assert events["reads"] == 64 and events["writes"] == 80
