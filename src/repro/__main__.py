@@ -20,10 +20,14 @@ def main(argv=None) -> int:
         from repro.harness.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r}; "
-            "usage: python -m repro [trace ... | perf ...]"
+            "usage: python -m repro [trace ... | perf ... | chaos ...]"
         )
         return 2
 

@@ -1,0 +1,47 @@
+"""Deterministic chaos engine with no-data-loss invariant checkers.
+
+``repro.chaos`` turns the hand-written fault schedules of the test suite
+into a systematic stress campaign: a single seed samples a randomized —
+but *tolerance-budgeted* — schedule of machine crashes, correlated
+outages, corruption bursts, background flows, local-memory-pressure
+ramps and request bursts, runs it against a full cluster, and checks
+three absolute invariants through passive ResilienceManager observer
+hooks:
+
+* **durability** — every write that completed (data *and* parity phases)
+  stays decodable from the splits actually stored on surviving machines,
+  at every checkpoint and at the final audit;
+* **consistency** — a read never returns content older than the last
+  acked write for that page (concurrent writes widen the acceptable set
+  to everything acked during the read);
+* **liveness** — every started slab regeneration resolves to a terminal
+  outcome, no ``(range, position)`` entry stays stuck mid-rebuild, and
+  after quiescing every range is whole again.
+
+On violation the engine emits a trace-linked repro bundle (seed,
+schedule JSON, invariant report, Perfetto trace) and can greedily shrink
+the schedule to a minimal failing counterexample. Everything is
+deterministic: same seed, byte-identical schedule and report.
+
+Entry points: ``python -m repro chaos [--seed N] [--shrink]`` and
+:func:`run_chaos` / ``tests/test_chaos_engine.py``.
+"""
+
+from .engine import ChaosConfig, ChaosResult, run_chaos
+from .bundle import write_bundle
+from .invariants import InvariantMonitor, Violation
+from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .shrink import shrink_schedule
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosResult",
+    "ChaosSchedule",
+    "InvariantMonitor",
+    "Violation",
+    "run_chaos",
+    "sample_schedule",
+    "shrink_schedule",
+    "write_bundle",
+]

@@ -1,0 +1,102 @@
+"""Repro bundles: everything needed to replay a chaos violation.
+
+A bundle is a directory containing:
+
+* ``schedule.json`` — the fault schedule that ran (canonical JSON);
+* ``report.json`` — the full run report with the invariant verdicts;
+* ``trace.json`` — Chrome/Perfetto ``trace_event`` timeline of the run
+  (load in https://ui.perfetto.dev), when tracing was enabled;
+* ``shrunk_schedule.json`` / ``shrunk_report.json`` — the minimal
+  counterexample, when the shrinker ran;
+* ``README.txt`` — the exact replay commands.
+
+Bundles contain no wall-clock timestamps: re-running the same seed
+produces byte-identical ``schedule.json`` and ``report.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .engine import ChaosResult
+
+__all__ = ["write_bundle"]
+
+
+def write_bundle(
+    result: ChaosResult,
+    out_dir: str,
+    shrunk: Optional[ChaosResult] = None,
+) -> List[str]:
+    """Write ``result`` (and optionally its shrunk counterexample) to
+    ``out_dir``; returns the list of files written."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        written.append(path)
+
+    emit("schedule.json", result.schedule.to_json())
+    emit("report.json", result.report_json())
+
+    if result.cluster is not None:
+        obs = getattr(result.cluster, "obs", None)
+        if obs is not None and obs.tracer.finished_spans():
+            trace_path = os.path.join(out_dir, "trace.json")
+            obs.export_trace(trace_path)
+            written.append(trace_path)
+
+    if shrunk is not None:
+        emit("shrunk_schedule.json", shrunk.schedule.to_json())
+        emit("shrunk_report.json", shrunk.report_json())
+
+    emit("README.txt", _readme(result, shrunk))
+    return written
+
+
+def _readme(result: ChaosResult, shrunk: Optional[ChaosResult]) -> str:
+    bug_flag = f" --inject-bug {result.inject_bug}" if result.inject_bug else ""
+    lines = [
+        "Chaos repro bundle",
+        "==================",
+        "",
+        f"seed       : {result.seed}",
+        f"events     : {len(result.schedule)}",
+        f"violations : {len(result.violations)}",
+        f"verdict    : {'OK' if result.ok else 'VIOLATED'}",
+        "",
+        "Replay the full schedule:",
+        "",
+        f"  PYTHONPATH=src python -m repro chaos --seed {result.seed}"
+        f" --replay <bundle>/schedule.json{bug_flag}",
+        "",
+    ]
+    if shrunk is not None:
+        lines += [
+            f"Shrunk counterexample ({len(shrunk.schedule)} events):",
+            "",
+            f"  PYTHONPATH=src python -m repro chaos --seed {result.seed}"
+            f" --replay <bundle>/shrunk_schedule.json{bug_flag}",
+            "",
+        ]
+    if result.violations:
+        lines.append("Violations:")
+        for violation in result.violations:
+            lines.append(
+                f"  [{violation.invariant}] t={violation.at_us:.1f}us "
+                f"{violation.detail}"
+            )
+        lines.append("")
+    lines += [
+        "Files: schedule.json (canonical fault schedule), report.json",
+        "(invariant report), trace.json (Perfetto timeline — open in",
+        "https://ui.perfetto.dev), shrunk_schedule.json/shrunk_report.json",
+        "(minimal counterexample, when the shrinker ran).",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""``python -m repro chaos`` — run a seeded chaos campaign from the CLI.
+
+Exit status 0 when every invariant held, 1 on a violation (the repro
+bundle is written either way; CI uploads it as an artifact on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from ..harness import banner, format_kv
+from .bundle import write_bundle
+from .engine import INJECTABLE_BUGS, ChaosConfig, ChaosResult, run_chaos
+from .schedule import ChaosSchedule
+from .shrink import shrink_schedule
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Seeded, deterministic chaos campaign with "
+        "durability/consistency/liveness invariant checking.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="campaign seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run (~3 simulated seconds)"
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on violation, shrink the schedule to a minimal counterexample",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="SCHEDULE_JSON",
+        help="replay a schedule from a repro bundle instead of sampling one",
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=INJECTABLE_BUGS,
+        help="plant a known fault in the system under test (checker self-test)",
+    )
+    parser.add_argument(
+        "--out",
+        default="chaos-bundle",
+        help="repro bundle output directory (default: chaos-bundle)",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip span collection (faster; bundle ships no trace.json)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    config = ChaosConfig.quick() if args.quick else ChaosConfig()
+
+    schedule = None
+    if args.replay:
+        with open(args.replay) as fh:
+            schedule = ChaosSchedule.from_json(fh.read())
+
+    print(banner(f"chaos seed={args.seed}" + (" (quick)" if args.quick else "")))
+    result = run_chaos(
+        args.seed,
+        config=config,
+        schedule=schedule,
+        inject_bug=args.inject_bug,
+        trace=not args.no_trace,
+    )
+
+    print("Schedule:")
+    for event in result.schedule.events:
+        print("  " + event.describe())
+    print()
+    print(
+        format_kv(
+            {
+                "events": len(result.schedule),
+                "workload ops": sum(
+                    result.report["workload"][key] for key in ("writes", "reads")
+                ),
+                "workload errors": result.report["workload"]["errors"],
+                "regens started": result.report["invariants"]["counters"][
+                    "regens_started"
+                ],
+                "violations": len(result.violations),
+            }
+        )
+    )
+
+    shrunk: Optional[ChaosResult] = None
+    if result.violations:
+        print("\nVIOLATIONS:")
+        for violation in result.violations:
+            print(
+                f"  [{violation.invariant}] t={violation.at_us:.1f}us "
+                f"{violation.detail}"
+            )
+        if args.shrink and len(result.schedule) > 0:
+            print("\nShrinking...")
+            shrunk_schedule, shrunk, runs = shrink_schedule(
+                args.seed,
+                result.schedule,
+                config=config,
+                inject_bug=args.inject_bug,
+                progress=lambda msg: print("  " + msg),
+            )
+            print(
+                f"  minimal counterexample: {len(shrunk_schedule)} events "
+                f"({runs} shrink runs)"
+            )
+            for event in shrunk_schedule.events:
+                print("    " + event.describe())
+
+    files = write_bundle(result, args.out, shrunk=shrunk)
+    print(f"\nbundle: {len(files)} files in {args.out}/")
+    if result.ok:
+        print("all invariants held")
+        return 0
+    print("invariant VIOLATED — bundle has the repro")
+    return 1

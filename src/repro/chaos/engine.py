@@ -1,0 +1,350 @@
+"""The chaos run itself: cluster + workload + schedule + invariants.
+
+:func:`run_chaos` builds a fresh cluster and Hydra deployment, registers
+an :class:`~repro.chaos.invariants.InvariantMonitor` on the client's
+ResilienceManager, drives a steady read/write workload while a schedule
+driver applies the sampled fault events, then quiesces, audits every
+page end to end and returns a deterministic :class:`ChaosResult`.
+
+Everything — schedule sampling, workload pacing, fault victims, network
+jitter — derives from the one seed, so two runs with the same seed
+produce byte-identical schedule JSON and reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster, CorruptionInjector, FailureInjector, LocalMemoryPressure
+from ..core import HydraConfig, HydraDeployment
+from ..core.resilience_manager import HydraError
+from ..net import BackgroundFlow, NetworkConfig
+from ..sim import RandomSource
+from .invariants import InvariantMonitor, Violation
+from .schedule import ChaosSchedule, sample_schedule
+
+__all__ = ["ChaosConfig", "ChaosResult", "run_chaos"]
+
+# The one debug fault the engine knows how to inject into the system
+# under test (used by the self-test and the --inject-bug CLI flag).
+INJECTABLE_BUGS = ("drop_parity",)
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs of one chaos campaign. Defaults give a ~10 simulated-second
+    run against a 12-machine cluster; :meth:`quick` shrinks everything
+    for CI smoke tests."""
+
+    machines: int = 12
+    memory_per_machine: int = 1 << 26
+    k: int = 4
+    r: int = 2
+    delta: int = 1
+    slab_size_bytes: int = 1 << 20
+    payload_mode: str = "real"
+    control_period_us: float = 20_000.0
+    jitter_sigma: float = 0.03
+    straggler_prob: float = 0.01
+
+    pages: int = 24
+    horizon_us: float = 10_000_000.0
+    settle_us: float = 12_000_000.0
+    events: int = 14
+    op_gap_us: float = 20_000.0  # mean gap of the steady workload
+    burst_ops: int = 40
+    flow_message_bytes: int = 1 << 24
+
+    check_interval_us: float = 100_000.0
+    confirm_grace_us: float = 50_000.0
+    regen_slack_us: float = 2_000_000.0
+    mean_outage_us: float = 600_000.0
+
+    @classmethod
+    def quick(cls) -> "ChaosConfig":
+        """A CI-sized campaign (~3 simulated seconds, fewer events)."""
+        return cls(
+            machines=10,
+            pages=12,
+            horizon_us=3_000_000.0,
+            settle_us=8_000_000.0,
+            events=8,
+            op_gap_us=15_000.0,
+            burst_ops=20,
+        )
+
+    def hydra_config(self) -> HydraConfig:
+        return HydraConfig(
+            k=self.k,
+            r=self.r,
+            delta=self.delta,
+            slab_size_bytes=self.slab_size_bytes,
+            payload_mode=self.payload_mode,
+            control_period_us=self.control_period_us,
+        )
+
+    def to_dict(self) -> Dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced (the bundle serializes it)."""
+
+    seed: int
+    config: ChaosConfig
+    schedule: ChaosSchedule
+    report: Dict
+    violations: List[Violation]
+    inject_bug: Optional[str] = None
+    cluster: object = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report_json(self) -> str:
+        """Canonical JSON — byte-stable across runs of the same seed."""
+        return json.dumps(self.report, indent=2, sort_keys=True)
+
+
+def _page_maker(seed: int, page_size: int):
+    """Deterministic page content keyed by (campaign seed, page, version)."""
+
+    def make(page_id: int, version: int) -> bytes:
+        rng = np.random.default_rng((seed, page_id, version))
+        return rng.integers(0, 256, page_size, dtype=np.uint8).tobytes()
+
+    return make
+
+
+def run_chaos(
+    seed: int,
+    config: Optional[ChaosConfig] = None,
+    schedule: Optional[ChaosSchedule] = None,
+    *,
+    inject_bug: Optional[str] = None,
+    trace: bool = False,
+) -> ChaosResult:
+    """Run one chaos campaign and return its result.
+
+    ``schedule`` replays a previously sampled (or shrunk) schedule
+    instead of sampling a fresh one — the rest of the run (workload,
+    network, cluster) still derives from ``seed``, so a replayed
+    counterexample reproduces exactly. ``inject_bug`` plants a known
+    fault in the system under test (``"drop_parity"``) so the checkers
+    can prove they catch real data loss. ``trace`` enables full span
+    collection so a violation bundle can ship a Perfetto timeline.
+    """
+    config = config or ChaosConfig()
+    if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
+        raise ValueError(f"unknown injectable bug {inject_bug!r}")
+
+    cluster = Cluster(
+        machines=config.machines,
+        memory_per_machine=config.memory_per_machine,
+        network=NetworkConfig(
+            jitter_sigma=config.jitter_sigma, straggler_prob=config.straggler_prob
+        ),
+        seed=seed,
+    )
+    sim = cluster.sim
+    if trace:
+        cluster.obs.enable_tracing(1)
+    hydra_config = config.hydra_config()
+    deployment = HydraDeployment(cluster, hydra_config, seed=seed)
+    rm = deployment.manager(0)
+    if inject_bug == "drop_parity":
+        rm.debug_drop_parity = True
+
+    monitor = InvariantMonitor(
+        cluster,
+        rm,
+        hydra_config,
+        check_interval_us=config.check_interval_us,
+        confirm_grace_us=config.confirm_grace_us,
+    )
+    rm.add_observer(monitor)
+    monitor.start()
+
+    rng = RandomSource(seed, "chaos")
+    if schedule is None:
+        victims = [m.id for m in cluster.machines if m.id != 0]
+        schedule = sample_schedule(
+            rng.child("schedule"),
+            victims,
+            tolerance=config.r,
+            horizon_us=config.horizon_us,
+            events=config.events,
+            regen_slack_us=config.regen_slack_us,
+            mean_outage_us=config.mean_outage_us,
+            burst_ops=config.burst_ops,
+        )
+
+    failures = FailureInjector(sim)
+    corruption = CorruptionInjector(sim, rng.child("corrupt"))
+    make_page = _page_maker(seed, hydra_config.page_size)
+    versions: Dict[int, int] = {}
+    writing: set = set()  # pages with a workload write in flight
+    workload = {"writes": 0, "reads": 0, "errors": 0, "burst_ops": 0}
+
+    def do_op(op_rng: RandomSource):
+        """One random read or write against a random page (generator).
+
+        Two overlapping writes to one page would interleave their splits
+        (the application's problem, not Hydra's — writes carry no page
+        lock), so concurrent burst/steady ops degrade to reads when their
+        page already has a write in flight.
+        """
+        page_id = op_rng.randint(0, config.pages - 1)
+        write = op_rng.bernoulli(0.5) and page_id not in writing
+        try:
+            if write:
+                writing.add(page_id)
+                versions[page_id] = versions.get(page_id, 0) + 1
+                data = (
+                    make_page(page_id, versions[page_id])
+                    if config.payload_mode == "real"
+                    else None
+                )
+                yield rm.write(page_id, data)
+                workload["writes"] += 1
+            else:
+                yield rm.read(page_id)
+                workload["reads"] += 1
+        except HydraError:
+            workload["errors"] += 1
+        finally:
+            if write:
+                writing.discard(page_id)
+
+    def burst(index: int, ops: int):
+        burst_rng = rng.child(f"burst{index}")
+        for _ in range(ops):
+            workload["burst_ops"] += 1
+            yield from do_op(burst_rng)
+
+    def apply_event(index: int, event) -> None:
+        """Fire one schedule event (called at its time, zero sim cost)."""
+        if event.kind in ("crash", "outage"):
+            for victim in event.machines:
+                failures.crash_at(
+                    cluster.machine(victim),
+                    at_us=sim.now,
+                    recover_after_us=event.duration_us,
+                )
+        elif event.kind == "corrupt":
+            monitor.note_corruption()
+            for victim in event.machines:
+                corruption.corrupt_machine(
+                    cluster.machine(victim), fraction=event.fraction
+                )
+        elif event.kind == "flow":
+            for victim in event.machines:
+                BackgroundFlow(
+                    cluster.fabric,
+                    victim,
+                    message_bytes=config.flow_message_bytes,
+                    duration_us=event.duration_us,
+                ).start()
+        elif event.kind == "pressure":
+            for victim in event.machines:
+                machine = cluster.machine(victim)
+                target = int(event.fraction * machine.total_memory_bytes)
+                LocalMemoryPressure(sim, machine).ramp(
+                    target, over_us=event.duration_us
+                )
+        elif event.kind == "burst":
+            sim.process(
+                burst(index, event.ops), name=f"chaos-burst:{index}"
+            )
+
+    def schedule_driver():
+        for index, event in enumerate(schedule.events):
+            if event.at_us > sim.now:
+                yield sim.timeout(event.at_us - sim.now)
+            apply_event(index, event)
+
+    def campaign():
+        # Seed the working set so every fault hits live data.
+        for page_id in range(config.pages):
+            versions[page_id] = 1
+            data = (
+                make_page(page_id, 1) if config.payload_mode == "real" else None
+            )
+            yield rm.write(page_id, data)
+            workload["writes"] += 1
+
+        sim.process(schedule_driver(), name="chaos-schedule")
+
+        # Steady workload until the horizon.
+        steady_rng = rng.child("workload")
+        while sim.now < config.horizon_us:
+            yield sim.timeout(steady_rng.exponential(config.op_gap_us))
+            if sim.now >= config.horizon_us:
+                break
+            yield from do_op(steady_rng)
+
+        # Quiesce: release pressure, recover everyone, let regen finish.
+        for machine in cluster.machines:
+            machine.set_local_app_bytes(0)
+            if not machine.alive:
+                machine.recover()
+        yield sim.timeout(config.settle_us)
+
+        # Final end-to-end audit: read back every page through the RM.
+        for page_id in sorted(monitor.pages):
+            state = monitor.pages[page_id]
+            try:
+                got = yield rm.read(page_id)
+            except HydraError as exc:
+                monitor.record_audit_mismatch(
+                    page_id, f"audit read of page {page_id} failed: {exc}"
+                )
+                continue
+            if config.payload_mode == "real" and state.data is not None:
+                if got != state.data:
+                    monitor.record_audit_mismatch(
+                        page_id,
+                        f"audit read of page {page_id} returned bytes that do "
+                        f"not match the last acked write (v{state.version})",
+                    )
+        monitor.final_check()
+
+    driver = sim.process(campaign(), name="chaos-campaign")
+    sim.run_until_triggered(driver, until=1e12)
+    if not driver.triggered:
+        raise RuntimeError(f"chaos campaign stalled at t={sim.now}")
+    driver.value  # re-raise a crashed campaign
+
+    kind_counts: Dict[str, int] = {}
+    for event in schedule.events:
+        kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
+
+    report = {
+        "seed": seed,
+        "inject_bug": inject_bug,
+        "horizon_us": schedule.horizon_us,
+        "end_time_us": sim.now,
+        "schedule_events": len(schedule),
+        "event_kinds": dict(sorted(kind_counts.items())),
+        "workload": dict(sorted(workload.items())),
+        "rm_events": dict(sorted(rm.events.counts.items())),
+        "invariants": monitor.report(),
+        "ok": monitor.ok,
+    }
+    return ChaosResult(
+        seed=seed,
+        config=config,
+        schedule=schedule,
+        report=report,
+        violations=list(monitor.violations),
+        inject_bug=inject_bug,
+        cluster=cluster,
+    )

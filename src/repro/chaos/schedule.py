@@ -1,0 +1,267 @@
+"""Fault schedules: the sampled, serializable unit of chaos.
+
+A :class:`ChaosSchedule` is a time-ordered list of self-contained
+:class:`ChaosEvent`\\ s. Victims are resolved at *sampling* time (events
+carry explicit machine ids), so replaying or shrinking a schedule never
+re-rolls dice: removing one event cannot change who another event hits.
+
+Sampling is **tolerance-budgeted**: Hydra guarantees no data loss while
+at most ``r`` of a range's hosts are unavailable at once, so the sampler
+never schedules more than ``r`` overlapping "unsafe" machines. A crash
+occupies its machine from the crash until recovery *plus a regeneration
+slack* (recovery brings the machine back empty — the range is whole only
+once the slab is rebuilt elsewhere); a corruption burst conservatively
+occupies its machine until the end of the horizon (splits heal only when
+reads touch them); a local-memory-pressure ramp occupies its machine for
+the ramp plus the slack (pressure can evict hosted slabs, making their
+positions unavailable exactly like a crash would). Background flows and
+request bursts consume no budget: they stress timing, not redundancy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim import RandomSource
+
+__all__ = ["ChaosEvent", "ChaosSchedule", "sample_schedule", "EVENT_KINDS"]
+
+EVENT_KINDS = ("crash", "outage", "corrupt", "flow", "pressure", "burst")
+
+# Weights of the §2.2 uncertainty scenarios in a sampled schedule.
+_KIND_WEIGHTS = (
+    ("crash", 0.30),
+    ("outage", 0.10),
+    ("corrupt", 0.15),
+    ("flow", 0.15),
+    ("pressure", 0.10),
+    ("burst", 0.20),
+)
+
+
+@dataclass
+class ChaosEvent:
+    """One self-contained fault event.
+
+    ``machines`` lists explicit victim ids (one for crash/corrupt/flow/
+    pressure, several for a correlated outage, none for a burst).
+    ``duration_us`` is the recovery delay (crash/outage), flow duration,
+    or pressure-ramp length. ``fraction`` is the corrupted-page fraction
+    or the pressure target as a fraction of machine DRAM. ``ops`` is the
+    request-burst size.
+    """
+
+    kind: str
+    at_us: float
+    machines: List[int] = field(default_factory=list)
+    duration_us: float = 0.0
+    fraction: float = 0.0
+    ops: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosEvent":
+        return cls(
+            kind=data["kind"],
+            at_us=float(data["at_us"]),
+            machines=[int(m) for m in data.get("machines", [])],
+            duration_us=float(data.get("duration_us", 0.0)),
+            fraction=float(data.get("fraction", 0.0)),
+            ops=int(data.get("ops", 0)),
+        )
+
+    def describe(self) -> str:
+        target = ",".join(str(m) for m in self.machines) or "-"
+        return (
+            f"{self.at_us:>12.1f}us {self.kind:<8} m[{target}] "
+            f"dur={self.duration_us:.0f}us frac={self.fraction:.2f} ops={self.ops}"
+        )
+
+
+@dataclass
+class ChaosSchedule:
+    """A time-ordered fault schedule plus the horizon it was sampled for."""
+
+    events: List[ChaosEvent]
+    horizon_us: float
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.at_us, e.kind, e.machines))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_json(self) -> str:
+        """Canonical JSON form — byte-stable for one schedule."""
+        return json.dumps(
+            {
+                "horizon_us": self.horizon_us,
+                "events": [e.to_dict() for e in self.events],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        data = json.loads(text)
+        return cls(
+            events=[ChaosEvent.from_dict(e) for e in data["events"]],
+            horizon_us=float(data["horizon_us"]),
+        )
+
+    def without(self, indices) -> "ChaosSchedule":
+        """A copy with the events at ``indices`` removed (shrinker step)."""
+        drop = set(indices)
+        return ChaosSchedule(
+            events=[e for i, e in enumerate(self.events) if i not in drop],
+            horizon_us=self.horizon_us,
+        )
+
+
+def _weighted_kind(rng: RandomSource) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for kind, weight in _KIND_WEIGHTS:
+        acc += weight
+        if roll < acc:
+            return kind
+    return _KIND_WEIGHTS[-1][0]
+
+
+class _Budget:
+    """Tracks per-machine unsafe intervals against the tolerance ``r``."""
+
+    def __init__(self, tolerance: int):
+        self.tolerance = tolerance
+        self.intervals: List[Tuple[float, float, int]] = []  # (start, end, machine)
+
+    def overlapping(self, start: float, end: float) -> List[int]:
+        return [
+            m for (s, e, m) in self.intervals if not (e <= start or end <= s)
+        ]
+
+    def free_slots(self, start: float, end: float) -> int:
+        return self.tolerance - len(self.overlapping(start, end))
+
+    def occupied_machines(self, start: float, end: float) -> set:
+        return set(self.overlapping(start, end))
+
+    def take(self, start: float, end: float, machine: int) -> None:
+        self.intervals.append((start, end, machine))
+
+
+def sample_schedule(
+    rng: RandomSource,
+    machine_ids: List[int],
+    tolerance: int,
+    horizon_us: float,
+    events: int,
+    *,
+    regen_slack_us: float = 2_000_000.0,
+    mean_outage_us: float = 600_000.0,
+    burst_ops: int = 40,
+) -> ChaosSchedule:
+    """Sample ``events`` fault events within the tolerance budget.
+
+    ``machine_ids`` are the eligible victims (the client machine must not
+    be listed). ``tolerance`` is the redundancy budget ``r``: at no point
+    do more than ``tolerance`` machines sit in an unsafe interval. Event
+    times land in the first 3/4 of the horizon so the run can quiesce.
+    """
+    if tolerance < 1:
+        raise ValueError(f"tolerance must be >= 1, got {tolerance}")
+    budget = _Budget(tolerance)
+    sampled: List[ChaosEvent] = []
+    for _ in range(events):
+        at_us = rng.uniform(0.05, 0.75) * horizon_us
+        kind = _weighted_kind(rng)
+        if kind in ("crash", "outage"):
+            recover = rng.uniform(0.5, 1.5) * mean_outage_us
+            start, end = at_us, at_us + recover + regen_slack_us
+            slots = budget.free_slots(start, end)
+            busy = budget.occupied_machines(start, end)
+            candidates = [m for m in machine_ids if m not in busy]
+            if slots < 1 or not candidates:
+                kind = "burst"  # budget exhausted here: degrade to a burst
+            else:
+                count = 1 if kind == "crash" else min(slots, max(2, tolerance))
+                count = min(count, len(candidates))
+                if kind == "outage" and count < 2:
+                    kind, count = "crash", 1
+                victims = sorted(rng.sample(candidates, count))
+                for victim in victims:
+                    budget.take(start, end, victim)
+                sampled.append(
+                    ChaosEvent(
+                        kind=kind,
+                        at_us=at_us,
+                        machines=victims,
+                        duration_us=recover,
+                    )
+                )
+                continue
+        if kind == "corrupt":
+            # Conservative: a corrupted machine stays unsafe until the end
+            # of the horizon (healing is read-driven and not guaranteed).
+            start, end = at_us, horizon_us
+            busy = budget.occupied_machines(start, end)
+            candidates = [m for m in machine_ids if m not in busy]
+            if budget.free_slots(start, end) < 1 or not candidates:
+                kind = "burst"
+            else:
+                victim = rng.choice(candidates)
+                budget.take(start, end, victim)
+                sampled.append(
+                    ChaosEvent(
+                        kind="corrupt",
+                        at_us=at_us,
+                        machines=[victim],
+                        fraction=rng.uniform(0.2, 0.8),
+                    )
+                )
+                continue
+        if kind == "flow":
+            sampled.append(
+                ChaosEvent(
+                    kind="flow",
+                    at_us=at_us,
+                    machines=[rng.choice(machine_ids)],
+                    duration_us=rng.uniform(0.5, 2.0) * mean_outage_us,
+                )
+            )
+            continue
+        if kind == "pressure":
+            # Pressure can evict hosted slabs — budget it like a crash.
+            ramp = rng.uniform(0.5, 1.5) * mean_outage_us
+            start, end = at_us, at_us + ramp + regen_slack_us
+            busy = budget.occupied_machines(start, end)
+            candidates = [m for m in machine_ids if m not in busy]
+            if budget.free_slots(start, end) < 1 or not candidates:
+                kind = "burst"
+            else:
+                victim = rng.choice(candidates)
+                budget.take(start, end, victim)
+                sampled.append(
+                    ChaosEvent(
+                        kind="pressure",
+                        at_us=at_us,
+                        machines=[victim],
+                        duration_us=ramp,
+                        fraction=rng.uniform(0.4, 0.8),
+                    )
+                )
+                continue
+        # burst (sampled directly, or any budget-exhausted fallback)
+        sampled.append(
+            ChaosEvent(
+                kind="burst",
+                at_us=at_us,
+                ops=max(1, int(round(rng.uniform(0.5, 1.5) * burst_ops))),
+            )
+        )
+    return ChaosSchedule(events=sampled, horizon_us=horizon_us)

@@ -36,7 +36,8 @@ class FailureInjector:
         def run():
             yield self.sim.timeout(at_us - self.sim.now)
             machine.fail()
-            self.crashed.append(machine.id)
+            if machine.id not in self.crashed:
+                self.crashed.append(machine.id)
             if recover_after_us is not None:
                 yield self.sim.timeout(recover_after_us)
                 machine.recover()
@@ -47,9 +48,17 @@ class FailureInjector:
         self, machines: List[Machine], fraction: float, at_us: float, rng: RandomSource
     ) -> List[Machine]:
         """Correlated failure: crash a random ``fraction`` of ``machines``
-        simultaneously (§5.2's power-outage scenario). Returns the victims."""
-        count = max(1, int(round(len(machines) * fraction)))
-        victims = rng.sample(machines, count)
+        simultaneously (§5.2's power-outage scenario). Returns the victims.
+
+        Victims are sampled from the machines still alive — sampling an
+        already-crashed machine would silently shrink the outage below
+        ``fraction``. The fraction is measured against the full ``machines``
+        list (the outage size the scenario asks for), capped by how many
+        candidates remain.
+        """
+        candidates = [m for m in machines if m.alive]
+        count = min(len(candidates), max(1, int(round(len(machines) * fraction))))
+        victims = rng.sample(candidates, count)
         for victim in victims:
             self.crash_at(victim, at_us)
         return victims
@@ -80,6 +89,8 @@ class CorruptionInjector:
         if at_us is None:
             self._apply(machine, fraction)
             return
+        if at_us < self.sim.now:
+            raise ValueError(f"corruption time {at_us} is in the past")
 
         def run():
             yield self.sim.timeout(at_us - self.sim.now)

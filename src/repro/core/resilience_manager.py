@@ -206,6 +206,14 @@ class ResilienceManager:
         # caching them here turns two fabric lookups per posted split into
         # one dict hit.
         self._endpoints: Dict[int, tuple] = {}
+        # Passive observers (chaos invariant checkers, repro.chaos): every
+        # hook site is guarded by `if self._observers`, so the happy path
+        # costs one truthiness check per request when none are registered.
+        self._observers: List[object] = []
+        # Fault injection for the chaos engine's self-test: silently drop
+        # every asynchronous parity write while still reporting the write
+        # durable. MUST stay False outside `repro chaos --inject-bug`.
+        self.debug_drop_parity = False
 
         # Observability: by default the RM joins the cluster-wide bundle on
         # the fabric; explicit tracer/metrics override for isolated tests.
@@ -222,6 +230,30 @@ class ResilienceManager:
 
         endpoint.register("evict_slab", self._on_evict_notice)
         endpoint.register("slab_regenerated", self._on_slab_regenerated)
+
+    # ==================================================================
+    # observer hooks (repro.chaos invariant checkers)
+    # ==================================================================
+    def add_observer(self, observer: object) -> None:
+        """Register a passive observer of the RM's lifecycle events.
+
+        Observers may implement any subset of: ``on_write_acked(page_id,
+        version, data)``, ``on_write_durable(page_id, version)``,
+        ``on_read_done(page_id, version, data, start_us)``,
+        ``on_read_failed(page_id)``, ``on_regen_start(range_id, position)``
+        and ``on_regen_end(range_id, position, outcome)``. Hooks are
+        best-effort notifications; they must not mutate RM state.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: object) -> None:
+        self._observers.remove(observer)
+
+    def _notify(self, method: str, *args) -> None:
+        for observer in self._observers:
+            fn = getattr(observer, method, None)
+            if fn is not None:
+                fn(*args)
 
     # ==================================================================
     # public pool interface
@@ -382,6 +414,15 @@ class ResilienceManager:
                 self._record_or_post_catchup(
                     address_range, position, offset, page_id, version, data
                 )
+            if self._observers:
+                self._notify("on_write_acked", page_id, version, data)
+                if full_done.triggered:
+                    self._notify("on_write_durable", page_id, version)
+                else:
+                    def _notify_durable(_e, page_id=page_id, version=version):
+                        self._notify("on_write_durable", page_id, version)
+
+                    full_done.callbacks.append(_notify_durable)
             self.write_latency.record(self.sim.now - start)
             self.events.incr("writes")
             return None
@@ -447,6 +488,16 @@ class ResilienceManager:
         yield self.sim.timeout(encode_latency_us(config))
         if span is not None:
             span.set_tag("encode_done_us", round(self.sim.now, 4))
+        if self.debug_drop_parity:
+            # Injected durability bug (chaos self-test): every parity write
+            # is silently dropped, yet the write still reports durable.
+            if span is not None:
+                span.set_tag("parities", 0)
+                span.set_tag("debug_dropped", True)
+                span.finish()
+            if not full_done.triggered:
+                full_done.succeed_now()
+            return
         if config.payload_mode == "real":
             parity = self.codec.code.encode(data_splits)
         else:
@@ -610,6 +661,8 @@ class ResilienceManager:
 
         if len(gather.valid) < config.k:
             self.events.incr("read_failures")
+            if self._observers:
+                self._notify("on_read_failed", page_id)
             detail = []
             for position, payload in sorted(gather.arrivals.items()):
                 if isinstance(payload, PhantomSplit):
@@ -657,6 +710,8 @@ class ResilienceManager:
                         verify_span,
                     )
 
+        if self._observers:
+            self._notify("on_read_done", page_id, version, page, start)
         self.read_latency.record(self.sim.now - start)
         return page
 
@@ -890,6 +945,8 @@ class ResilienceManager:
         if key in self._regenerating:
             return
         self._regenerating.add(key)
+        if self._observers:
+            self._notify("on_regen_start", address_range.range_id, position)
         self.sim.process(
             self._regenerate(address_range, position),
             name=f"hydra-regen:{key}",
@@ -905,8 +962,10 @@ class ResilienceManager:
             tags={"range": address_range.range_id, "position": position},
         )
         phases = self.tracer.phases(span)
+        outcome: List[str] = []
 
         def _outcome(value: str) -> None:
+            outcome.append(value)
             if span is not None:
                 span.set_tag("outcome", value)
 
@@ -969,8 +1028,15 @@ class ResilienceManager:
             if not waiter.triggered:
                 self.events.incr("regen_timeouts")
                 _outcome("timeout")
-                self._retry_regeneration_later(address_range, position, delay=1.0)
+                # Back off for a control period before retrying: a ~1 µs
+                # retry after a 5 s silent-target timeout would hot-loop
+                # RPCs against a cluster that just demonstrated it is slow.
+                self._retry_regeneration_later(address_range, position)
                 return
+            if not deadline.processed:
+                # The RPC won the race: revoke the 5 s deadline timer so it
+                # does not linger in the engine heap until it expires.
+                deadline.cancel()
             result = waiter.value
             new_handle = SlabHandle(
                 machine_id=result["machine_id"], slab_id=result["slab_id"]
@@ -994,6 +1060,13 @@ class ResilienceManager:
                 span.finish()
             self._regenerating.discard(key)
             self._regen_waiters.pop(key, None)
+            if self._observers:
+                self._notify(
+                    "on_regen_end",
+                    address_range.range_id,
+                    position,
+                    outcome[-1] if outcome else "error",
+                )
 
     def _record_or_post_catchup(
         self,

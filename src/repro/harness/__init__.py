@@ -13,6 +13,7 @@ from .report import (
     ascii_timeline,
     banner,
     format_breakdown,
+    format_kv,
     format_series,
     format_table,
     span_phase_breakdown,
@@ -45,6 +46,7 @@ __all__ = [
     "ascii_timeline",
     "banner",
     "format_breakdown",
+    "format_kv",
     "format_series",
     "format_table",
     "span_phase_breakdown",

@@ -18,6 +18,7 @@ __all__ = [
     "banner",
     "span_phase_breakdown",
     "format_breakdown",
+    "format_kv",
 ]
 
 
@@ -173,3 +174,17 @@ def format_breakdown(breakdown: Dict) -> str:
     )
     title = f"{breakdown['root']} latency breakdown"
     return f"{banner(title)}\n{table}"
+
+
+def format_kv(pairs: Dict, floatfmt: str = ".2f") -> str:
+    """Render a flat key/value mapping as aligned ``key : value`` lines
+    (used by the chaos CLI's invariant report)."""
+    if not pairs:
+        return "(empty)"
+    width = max(len(str(k)) for k in pairs)
+    lines = []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = format(value, floatfmt)
+        lines.append(f"{str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -61,3 +61,13 @@ class Observability:
             ),
             metrics=MetricsRegistry(),
         )
+
+    def enable_tracing(self, sample_every: int = 1) -> None:
+        """Turn on span collection mid-run (chaos runs trace everything so
+        a violation's repro bundle can ship the full Perfetto timeline)."""
+        self.tracer.set_sampling(sample_every)
+
+    def export_trace(self, path: str) -> int:
+        """Write every finished span as a Chrome/Perfetto trace; returns
+        the exported event count."""
+        return write_chrome_trace(self.tracer.finished_spans(), path)

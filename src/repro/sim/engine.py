@@ -71,6 +71,15 @@ class Interrupt(Exception):
 _PENDING = 0  # not yet triggered
 _TRIGGERED = 1  # scheduled for processing, value/exception set
 _PROCESSED = 2  # callbacks have run
+# Negative so the `triggered` check (state >= _TRIGGERED) stays one compare.
+_CANCELLED = -1  # scheduled entry revoked; the dispatcher discards it
+
+_STATE_NAMES = {
+    _PENDING: "pending",
+    _TRIGGERED: "triggered",
+    _PROCESSED: "processed",
+    _CANCELLED: "cancelled",
+}
 
 
 class Event:
@@ -102,6 +111,11 @@ class Event:
         return self._state == _PROCESSED
 
     @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has revoked the scheduled event."""
+        return self._state == _CANCELLED
+
+    @property
     def ok(self) -> bool:
         """True when the event succeeded (valid only once triggered)."""
         return self._ok
@@ -109,8 +123,8 @@ class Event:
     @property
     def value(self) -> Any:
         """The event's result; raises its exception if the event failed."""
-        if self._state == _PENDING:
-            raise SimulationError(f"value of {self!r} is not yet available")
+        if self._state == _PENDING or self._state == _CANCELLED:
+            raise SimulationError(f"value of {self!r} is not available")
         if not self._ok:
             raise self._value
         return self._value
@@ -167,15 +181,28 @@ class Event:
         self.sim._schedule(self)
         return self
 
+    def cancel(self) -> "Event":
+        """Revoke a triggered-but-unprocessed event (e.g. a pending
+        :class:`Timeout` deadline that lost a race).
+
+        The heap entry itself cannot be removed in O(log n), so the
+        dispatcher discards cancelled entries when they surface: callbacks
+        are dropped now and the eventual pop neither advances the clock
+        nor runs anything. Cancelling an event that has not been scheduled
+        (pending) or has already been processed is an error.
+        """
+        if self._state != _TRIGGERED:
+            raise SimulationError(f"cannot cancel {self!r}")
+        self._state = _CANCELLED
+        self.callbacks = []
+        return self
+
     def _mark_processed(self) -> None:
         self._state = _PROCESSED
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
-        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}[
-            self._state
-        ]
-        return f"<{label} {state}>"
+        return f"<{label} {_STATE_NAMES[self._state]}>"
 
 
 class Timeout(Event):
@@ -199,10 +226,7 @@ class Timeout(Event):
         sim._schedule(self, delay=delay)
 
     def __repr__(self) -> str:
-        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}[
-            self._state
-        ]
-        return f"<Timeout({self.delay:g}) {state}>"
+        return f"<Timeout({self.delay:g}) {_STATE_NAMES[self._state]}>"
 
 
 class Process(Event):
@@ -435,18 +459,24 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (discarding cancelled entries, which
+        neither advance the clock nor count as the processed event)."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
-        self.now = when
-        if isinstance(event, Event):
-            callbacks, event.callbacks = event.callbacks, []
-            event._state = _PROCESSED
-            for callback in callbacks:
-                callback(event)
-        else:
-            event()  # bare call_later callable
+        while self._queue:
+            when, _seq, event = heapq.heappop(self._queue)
+            if isinstance(event, Event):
+                if event._state == _CANCELLED:
+                    continue
+                self.now = when
+                callbacks, event.callbacks = event.callbacks, []
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+            else:
+                self.now = when
+                event()  # bare call_later callable
+            return
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.
@@ -465,14 +495,17 @@ class Simulator:
             if until is not None and queue[0][0] > until:
                 break
             when, _seq, event = pop(queue)
-            self.now = when
             if isinstance(event, Event):
+                if event._state == _CANCELLED:
+                    continue  # revoked deadline: no clock advance, no work
+                self.now = when
                 callbacks = event.callbacks
                 event.callbacks = []
                 event._state = _PROCESSED
                 for callback in callbacks:
                     callback(event)
             else:
+                self.now = when
                 event()  # bare call_later callable
         if until is not None:
             self.now = max(self.now, until)
@@ -489,12 +522,15 @@ class Simulator:
             if until is not None and queue[0][0] > until:
                 break
             when, _seq, current = pop(queue)
-            self.now = when
             if isinstance(current, Event):
+                if current._state == _CANCELLED:
+                    continue  # revoked deadline: no clock advance, no work
+                self.now = when
                 callbacks = current.callbacks
                 current.callbacks = []
                 current._state = _PROCESSED
                 for callback in callbacks:
                     callback(current)
             else:
+                self.now = when
                 current()  # bare call_later callable

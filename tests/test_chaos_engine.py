@@ -1,0 +1,149 @@
+"""The chaos engine: determinism, soak invariants, and checker self-test."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    ChaosSchedule,
+    run_chaos,
+    sample_schedule,
+    shrink_schedule,
+    write_bundle,
+)
+from repro.sim import RandomSource
+
+
+class TestScheduleSampling:
+    def test_sampling_is_deterministic(self):
+        a = sample_schedule(
+            RandomSource(9, "s"), list(range(1, 12)), tolerance=2,
+            horizon_us=5e6, events=10,
+        )
+        b = sample_schedule(
+            RandomSource(9, "s"), list(range(1, 12)), tolerance=2,
+            horizon_us=5e6, events=10,
+        )
+        assert a.to_json() == b.to_json()
+
+    def test_roundtrips_through_json(self):
+        schedule = sample_schedule(
+            RandomSource(3, "s"), list(range(1, 10)), tolerance=2,
+            horizon_us=4e6, events=8,
+        )
+        again = ChaosSchedule.from_json(schedule.to_json())
+        assert again.to_json() == schedule.to_json()
+
+    def test_never_exceeds_tolerance_budget(self):
+        # At no instant may more than r machines sit in an unsafe window
+        # (crash/outage: until recovery + slack; corrupt/pressure: per
+        # the sampler's conservative occupancy rules).
+        slack = 2_000_000.0
+        for seed in range(12):
+            schedule = sample_schedule(
+                RandomSource(seed, "s"), list(range(1, 13)), tolerance=2,
+                horizon_us=8e6, events=16, regen_slack_us=slack,
+            )
+            windows = []
+            for event in schedule.events:
+                if event.kind in ("crash", "outage", "pressure"):
+                    for machine in event.machines:
+                        windows.append(
+                            (event.at_us, event.at_us + event.duration_us + slack)
+                        )
+                elif event.kind == "corrupt":
+                    for machine in event.machines:
+                        windows.append((event.at_us, schedule.horizon_us))
+            for start, _end in windows:
+                overlap = sum(
+                    1 for (s, e) in windows if s <= start < e
+                )
+                assert overlap <= 2, f"seed {seed}: budget exceeded at {start}"
+
+    def test_victims_are_explicit_and_exclude_client(self):
+        schedule = sample_schedule(
+            RandomSource(5, "s"), list(range(1, 12)), tolerance=2,
+            horizon_us=6e6, events=12,
+        )
+        for event in schedule.events:
+            assert 0 not in event.machines
+            if event.kind in ("crash", "outage", "corrupt", "flow", "pressure"):
+                assert event.machines
+
+    def test_without_removes_events(self):
+        schedule = sample_schedule(
+            RandomSource(5, "s"), list(range(1, 12)), tolerance=2,
+            horizon_us=6e6, events=10,
+        )
+        smaller = schedule.without([0, 2])
+        assert len(smaller) == len(schedule) - 2
+
+
+class TestChaosRuns:
+    def test_same_seed_is_byte_identical(self):
+        a = run_chaos(7, config=ChaosConfig.quick())
+        b = run_chaos(7, config=ChaosConfig.quick())
+        assert a.schedule.to_json() == b.schedule.to_json()
+        assert a.report_json() == b.report_json()
+
+    @pytest.mark.parametrize("seed", [2, 11, 23])
+    def test_soak_invariants_hold_on_unmodified_system(self, seed):
+        result = run_chaos(seed, config=ChaosConfig.quick())
+        assert result.ok, "\n".join(v.detail for v in result.violations)
+        assert result.report["workload"]["writes"] > 0
+        assert result.report["workload"]["reads"] > 0
+        # The checkers actually looked at something.
+        counters = result.report["invariants"]["counters"]
+        assert counters["writes_acked"] > 0
+        assert counters["durability_checks"] > 0
+
+    def test_replaying_a_schedule_reproduces_the_report(self):
+        first = run_chaos(5, config=ChaosConfig.quick())
+        again = run_chaos(
+            5,
+            config=ChaosConfig.quick(),
+            schedule=ChaosSchedule.from_json(first.schedule.to_json()),
+        )
+        assert again.report_json() == first.report_json()
+
+
+class TestCheckerSelfTest:
+    def test_injected_parity_drop_is_caught_and_shrinks(self):
+        # Plant a real durability bug (parity writes silently dropped):
+        # the invariant checkers must catch it and the shrinker must
+        # reduce the schedule to a handful of events.
+        config = ChaosConfig.quick()
+        result = run_chaos(7, config=config, inject_bug="drop_parity")
+        assert not result.ok
+        invariants = {v.invariant for v in result.violations}
+        assert "durability" in invariants
+
+        shrunk, failing, runs = shrink_schedule(
+            7, result.schedule, config=config, inject_bug="drop_parity"
+        )
+        assert len(shrunk) <= 5
+        assert not failing.ok
+        assert runs >= 2
+
+    def test_unknown_bug_name_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos(1, config=ChaosConfig.quick(), inject_bug="nope")
+
+
+class TestBundle:
+    def test_bundle_has_schedule_report_and_readme(self, tmp_path):
+        result = run_chaos(3, config=ChaosConfig.quick(), trace=True)
+        files = write_bundle(result, str(tmp_path / "bundle"))
+        names = sorted(os.path.basename(f) for f in files)
+        assert "schedule.json" in names
+        assert "report.json" in names
+        assert "README.txt" in names
+        assert "trace.json" in names
+        report = json.loads((tmp_path / "bundle" / "report.json").read_text())
+        assert report["ok"] is True
+        replay = ChaosSchedule.from_json(
+            (tmp_path / "bundle" / "schedule.json").read_text()
+        )
+        assert replay.to_json() == result.schedule.to_json()

@@ -1,0 +1,135 @@
+"""Regression tests for the §2.2 uncertainty injectors."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CorruptionInjector,
+    FailureInjector,
+    LocalMemoryPressure,
+)
+from repro.sim import RandomSource
+
+from .conftest import drive
+
+
+def small_cluster(machines=8, seed=3):
+    return Cluster(machines=machines, memory_per_machine=1 << 24, seed=seed)
+
+
+class TestFailureInjector:
+    def test_crash_and_recover(self):
+        cluster = small_cluster()
+        injector = FailureInjector(cluster.sim)
+        victim = cluster.machine(2)
+        injector.crash_at(victim, at_us=100.0, recover_after_us=500.0)
+
+        def proc():
+            yield cluster.sim.timeout(200.0)
+            assert not victim.alive
+            yield cluster.sim.timeout(500.0)
+            assert victim.alive
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+        assert injector.crashed == [2]
+
+    def test_crash_in_the_past_rejected(self):
+        cluster = small_cluster()
+        injector = FailureInjector(cluster.sim)
+
+        def proc():
+            yield cluster.sim.timeout(1000.0)
+            with pytest.raises(ValueError):
+                injector.crash_at(cluster.machine(1), at_us=500.0)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+
+    def test_crash_ledger_dedupes_repeat_crashes(self):
+        # crash -> recover -> crash again must count the machine once.
+        cluster = small_cluster()
+        injector = FailureInjector(cluster.sim)
+        victim = cluster.machine(4)
+        injector.crash_at(victim, at_us=100.0, recover_after_us=100.0)
+        injector.crash_at(victim, at_us=500.0)
+
+        def proc():
+            yield cluster.sim.timeout(1000.0)
+            return list(injector.crashed)
+
+        assert drive(cluster.sim, proc()) == [4]
+
+    def test_crash_fraction_skips_already_crashed_machines(self):
+        cluster = small_cluster(machines=10)
+        injector = FailureInjector(cluster.sim)
+        rng = RandomSource(7, "outage")
+        # Pre-crash half the cluster; the correlated outage must only
+        # sample from the survivors.
+        dead = [0, 1, 2, 3, 4]
+        for machine_id in dead:
+            cluster.machine(machine_id).fail()
+        victims = injector.crash_fraction_at(
+            cluster.machines, fraction=0.4, at_us=100.0, rng=rng
+        )
+        assert all(v.id not in dead for v in victims)
+        assert len(victims) == 4  # 0.4 of 10, all placeable on survivors
+
+        def proc():
+            yield cluster.sim.timeout(200.0)
+            return sorted(m.id for m in cluster.machines if not m.alive)
+
+        downed = drive(cluster.sim, proc())
+        assert downed == sorted(set(dead) | {v.id for v in victims})
+
+    def test_crash_fraction_capped_by_survivors(self):
+        cluster = small_cluster(machines=6)
+        injector = FailureInjector(cluster.sim)
+        for machine_id in range(4):
+            cluster.machine(machine_id).fail()
+        victims = injector.crash_fraction_at(
+            cluster.machines, fraction=0.9, at_us=50.0, rng=RandomSource(1, "x")
+        )
+        # 0.9 of 6 rounds to 5, but only 2 machines are still alive.
+        assert len(victims) == 2
+
+
+class TestCorruptionInjector:
+    def test_corruption_in_the_past_rejected(self):
+        cluster = small_cluster()
+        injector = CorruptionInjector(cluster.sim, RandomSource(2, "inj"))
+
+        def proc():
+            yield cluster.sim.timeout(1000.0)
+            with pytest.raises(ValueError):
+                injector.corrupt_machine(cluster.machine(1), at_us=999.0)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+
+    def test_immediate_corruption_still_allowed(self):
+        # at_us=None applies right now, whatever the clock says.
+        cluster = small_cluster()
+        injector = CorruptionInjector(cluster.sim, RandomSource(2, "inj"))
+
+        def proc():
+            yield cluster.sim.timeout(1000.0)
+            injector.corrupt_machine(cluster.machine(1))
+            return injector.corrupted_splits
+
+        assert drive(cluster.sim, proc()) == 0  # no slabs hosted; no error
+
+
+class TestLocalMemoryPressure:
+    def test_ramp_reaches_target(self):
+        cluster = small_cluster()
+        machine = cluster.machine(0)
+        LocalMemoryPressure(cluster.sim, machine).ramp(
+            1 << 22, over_us=1000.0, steps=4
+        )
+
+        def proc():
+            yield cluster.sim.timeout(2000.0)
+            return machine.local_app_bytes
+
+        assert drive(cluster.sim, proc()) == 1 << 22

@@ -403,3 +403,106 @@ class TestDatapathSemantics:
             return got
 
         assert drive(cluster.sim, proc()) == make_page(11)
+
+
+class TestRegenerationScheduling:
+    def test_regen_deadline_cancelled_after_success(self):
+        """When the regeneration RPC wins the race, the 5 s give-up timer
+        must be revoked, not left live in the engine heap."""
+        from repro.sim import Event
+
+        cluster, rm = deploy(k=4, r=2, machines=10)
+
+        def proc():
+            for pid in range(4):
+                yield rm.write(pid, make_page(pid))
+            victim = rm.space.get(0).handle(0).machine_id
+            cluster.machine(victim).fail()
+            yield cluster.sim.timeout(2_000_000)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+        assert rm.events["regenerations"] >= 1
+        sim = cluster.sim
+        stale_timers = [
+            when
+            for (when, _seq, entry) in sim._queue
+            if isinstance(entry, Event)
+            and not entry.cancelled
+            and not entry.processed
+            and when > sim.now + 1_000_000
+        ]
+        assert stale_timers == []
+
+    def test_regen_retry_backs_off_a_control_period(self):
+        """A timed-out regeneration must retry after a control period,
+        not spin with a microsecond delay."""
+        cluster, rm = deploy(k=4, r=2, machines=10)
+        sim = cluster.sim
+
+        def proc():
+            yield rm.write(0, make_page(0))
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+        address_range = rm.space.get(0)
+        address_range.handle(0).available = False
+        fired = []
+        rm._start_regeneration = lambda ar, pos: fired.append(sim.now)
+        start = sim.now
+        rm._retry_regeneration_later(address_range, 0)
+        sim.run(until=start + rm.config.control_period_us / 2)
+        assert fired == []  # a 1 us hot retry would already have fired
+        sim.run(until=start + 2 * rm.config.control_period_us)
+        assert fired and fired[0] >= start + rm.config.control_period_us
+
+    def test_observer_hooks_fire_on_write_read_and_regen(self):
+        cluster, rm = deploy(k=4, r=2, machines=10)
+        calls = []
+
+        class Observer:
+            def on_write_acked(self, page_id, version, data):
+                calls.append(("acked", page_id, version))
+
+            def on_write_durable(self, page_id, version):
+                calls.append(("durable", page_id, version))
+
+            def on_read_done(self, page_id, version, data, start_us):
+                calls.append(("read", page_id, version))
+
+            def on_regen_start(self, range_id, position):
+                calls.append(("regen_start", range_id, position))
+
+            def on_regen_end(self, range_id, position, outcome):
+                calls.append(("regen_end", range_id, position, outcome))
+
+        rm.add_observer(Observer())
+
+        def proc():
+            yield rm.write(0, make_page(0))
+            yield rm.read(0)
+            victim = rm.space.get(0).handle(0).machine_id
+            cluster.machine(victim).fail()
+            yield cluster.sim.timeout(2_000_000)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+        kinds = [c[0] for c in calls]
+        assert ("acked", 0, 1) in calls
+        assert ("durable", 0, 1) in calls
+        assert ("read", 0, 1) in calls
+        assert "regen_start" in kinds
+        regen_ends = [c for c in calls if c[0] == "regen_end"]
+        assert regen_ends and regen_ends[-1][3] == "regenerated"
+
+    def test_observer_hooks_cost_nothing_when_unused(self):
+        """No observers registered: the happy path must not notify."""
+        cluster, rm = deploy(k=4, r=2, machines=8)
+        rm._notify = None  # would crash if any hook site ran unguarded
+
+        def proc():
+            yield rm.write(0, make_page(0))
+            got = yield rm.read(0)
+            return got
+
+        assert drive(cluster.sim, proc()) == make_page(0)

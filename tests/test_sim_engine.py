@@ -316,3 +316,60 @@ class TestSimulatorRun:
     def test_call_later_negative_rejected(self, sim):
         with pytest.raises(SimulationError):
             sim.call_later(-1.0, lambda: None)
+
+
+class TestCancel:
+    def test_cancel_skips_callbacks_and_clock(self, sim):
+        seen = []
+        late = sim.timeout(50.0)
+        late.callbacks.append(lambda e: seen.append(sim.now))
+        sim.timeout(10.0)
+        late.cancel()
+        sim.run()
+        assert seen == []
+        assert late.cancelled
+        assert sim.now == 10.0  # the cancelled entry never advanced time
+
+    def test_cancel_pending_event_rejected(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    def test_cancel_processed_event_rejected(self, sim):
+        timeout = sim.timeout(1.0)
+        sim.run()
+        assert timeout.processed
+        with pytest.raises(SimulationError):
+            timeout.cancel()
+
+    def test_cancel_twice_rejected(self, sim):
+        timeout = sim.timeout(1.0)
+        timeout.cancel()
+        with pytest.raises(SimulationError):
+            timeout.cancel()
+
+    def test_cancelled_value_raises(self, sim):
+        timeout = sim.timeout(1.0)
+        timeout.cancel()
+        with pytest.raises(SimulationError):
+            _ = timeout.value
+
+    def test_step_processes_exactly_one_real_event(self, sim):
+        first = sim.timeout(1.0)
+        second = sim.timeout(2.0)
+        first.cancel()
+        sim.step()  # must skip the cancelled entry and process the 2.0
+        assert second.processed
+        assert sim.now == 2.0
+
+    def test_run_until_triggered_skips_cancelled(self, sim):
+        doomed = sim.timeout(5.0)
+        doomed.cancel()
+
+        def target():
+            yield sim.timeout(10.0)
+            return "done"
+
+        process = sim.process(target())
+        sim.run_until_triggered(process, until=100)
+        assert process.value == "done"
