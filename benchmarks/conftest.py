@@ -13,19 +13,31 @@ once per backend and shared across the three benchmarks via a
 session-scoped fixture.
 """
 
+import hashlib
 import os
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# ``repro bench`` points shards at a scratch results dir via this env var
+# (the determinism gate test diffs the files from two runs byte for byte).
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_BENCH_RESULTS_DIR") or Path(__file__).parent / "results"
+)
+
+# (name, sha256) of every report written by this process — read back by
+# ``repro.parallel.bench`` after an in-worker pytest run so each shard can
+# attribute exactly the artifacts it produced.
+WRITTEN_REPORTS = []
 
 
 def write_report(name: str, text: str) -> Path:
     """Persist a benchmark's table/figure text under benchmarks/results."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    data = text + "\n"
+    path.write_text(data)
+    WRITTEN_REPORTS.append((name, hashlib.sha256(data.encode()).hexdigest()))
     print(text)
     return path
 
@@ -33,17 +45,6 @@ def write_report(name: str, text: str) -> Path:
 @pytest.fixture(scope="session")
 def cluster_runs():
     """The §7.4 cluster experiment, once per backend (Figs 17-18, Tab 3)."""
-    from repro.harness import ClusterExperiment
+    from repro.harness.fixtures import run_cluster_experiments
 
-    runs = {}
-    for backend in ("ssd_backup", "hydra", "replication"):
-        experiment = ClusterExperiment(
-            backend,
-            machines=50,
-            containers=250,
-            pages_per_container=400,
-            ops_per_container=150,
-            seed=11,
-        )
-        runs[backend] = experiment.run()
-    return runs
+    return run_cluster_experiments()

@@ -24,10 +24,14 @@ def main(argv=None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.parallel.bench import main as bench_main
+
+        return bench_main(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r}; "
-            "usage: python -m repro [trace ... | perf ... | chaos ...]"
+            "usage: python -m repro [trace ... | perf ... | chaos ... | bench ...]"
         )
         return 2
 

@@ -32,6 +32,7 @@ from .bundle import write_bundle
 from .invariants import InvariantMonitor, Violation
 from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
 from .shrink import shrink_schedule
+from .soak import run_soak, run_soak_shard, soak_json
 
 __all__ = [
     "ChaosConfig",
@@ -41,7 +42,10 @@ __all__ = [
     "InvariantMonitor",
     "Violation",
     "run_chaos",
+    "run_soak",
+    "run_soak_shard",
     "sample_schedule",
     "shrink_schedule",
+    "soak_json",
     "write_bundle",
 ]

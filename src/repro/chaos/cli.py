@@ -2,11 +2,18 @@
 
 Exit status 0 when every invariant held, 1 on a violation (the repro
 bundle is written either way; CI uploads it as an artifact on failure).
+
+``--soak S`` switches to a multi-seed soak: ``S`` campaigns at seeds
+``--seed .. --seed + S - 1``, sharded across ``-j`` worker processes,
+with a deterministic merged summary written to ``<out>/soak.json``
+(byte-identical for every ``-j`` value). Reproduce a violating seed with
+the single-campaign mode.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Optional
 
 from ..harness import banner, format_kv
@@ -14,6 +21,7 @@ from .bundle import write_bundle
 from .engine import INJECTABLE_BUGS, ChaosConfig, ChaosResult, run_chaos
 from .schedule import ChaosSchedule
 from .shrink import shrink_schedule
+from .soak import run_soak, soak_json
 
 __all__ = ["main"]
 
@@ -53,11 +61,92 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip span collection (faster; bundle ships no trace.json)",
     )
+    parser.add_argument(
+        "--soak",
+        type=int,
+        metavar="S",
+        help="run S campaigns at seeds --seed .. --seed+S-1 and merge a "
+        "deterministic summary (<out>/soak.json)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for --soak shards (number or 'auto'; "
+        "default 1 = serial in-process)",
+    )
     return parser
+
+
+def _parse_jobs(value: str):
+    return value if value == "auto" else int(value)
+
+
+def _soak_main(args) -> int:
+    config = ChaosConfig.quick() if args.quick else ChaosConfig()
+    jobs = _parse_jobs(args.jobs)
+    print(
+        banner(
+            f"chaos soak seeds={args.seed}..{args.seed + args.soak - 1} "
+            f"-j {jobs}" + (" (quick)" if args.quick else "")
+        )
+    )
+    doc = run_soak(
+        args.seed,
+        args.soak,
+        config=config,
+        jobs=jobs,
+        inject_bug=args.inject_bug,
+        progress=print,
+    )
+    for entry in doc["seeds"]:
+        if entry["ok"]:
+            workload = entry["workload"]
+            print(
+                f"  seed {entry['seed']}: ok — "
+                f"{entry['schedule_events']} events, "
+                f"{workload['writes'] + workload['reads']} ops, "
+                f"report sha {entry['report_sha256'][:12]}"
+            )
+        elif entry.get("error"):
+            print(f"  seed {entry['seed']}: ERROR — {entry['error']}")
+        else:
+            for violation in entry["violations"]:
+                print(
+                    f"  seed {entry['seed']}: VIOLATED "
+                    f"[{violation['invariant']}] t={violation['at_us']:.1f}us "
+                    f"{violation['detail']}"
+                )
+    os.makedirs(args.out, exist_ok=True)
+    summary_path = os.path.join(args.out, "soak.json")
+    with open(summary_path, "w") as fh:
+        fh.write(soak_json(doc))
+    print(f"\nsoak summary: {summary_path}")
+    if doc["ok"]:
+        print(f"all invariants held across {args.soak} seeds")
+        return 0
+    bad = ", ".join(str(seed) for seed in doc["violating_seeds"])
+    print(
+        f"violations at seed(s) {bad} — reproduce with "
+        f"`python -m repro chaos --seed <S>"
+        + (" --quick" if args.quick else "")
+        + " --shrink`"
+    )
+    return 1
 
 
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
+    if args.soak is not None:
+        if args.replay or args.shrink:
+            print("--soak is incompatible with --replay/--shrink; "
+                  "reproduce one seed with the single-campaign mode")
+            return 2
+        if args.soak < 1:
+            print(f"--soak needs at least 1 seed, got {args.soak}")
+            return 2
+        return _soak_main(args)
     config = ChaosConfig.quick() if args.quick else ChaosConfig()
 
     schedule = None

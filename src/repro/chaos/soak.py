@@ -1,0 +1,116 @@
+"""Multi-seed chaos soaks — ``python -m repro chaos --soak S [-j N]``.
+
+A soak runs ``S`` independent chaos campaigns at seeds ``base_seed ..
+base_seed + S - 1`` and merges their outcomes into one deterministic
+summary document. Each seed is one shard of the parallel runner
+(:mod:`repro.parallel`), so 100-seed soaks scale with cores while the
+summary stays byte-identical to a serial run: per-seed entries are
+ordered by seed, and the entries themselves carry only seed-determined
+fields (violations, workload counts, a SHA-256 over the campaign's
+canonical report JSON) — never wall-clock timings or worker identity.
+
+A violating seed is reproduced exactly by the single-campaign CLI
+(``python -m repro chaos --seed S [--shrink]``), which also writes the
+full repro bundle; the soak stays lean on purpose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Optional, Union
+
+from .engine import ChaosConfig, run_chaos
+
+__all__ = ["SOAK_SCHEMA", "run_soak_shard", "run_soak", "soak_json"]
+
+SOAK_SCHEMA = "hydra-chaos-soak/1"
+
+
+def run_soak_shard(seed: int, config: ChaosConfig, inject_bug: Optional[str] = None) -> dict:
+    """One soak shard: a full chaos campaign at ``seed``, summarized.
+
+    Top-level (picklable) for worker dispatch. The returned dict contains
+    only seed-determined fields, so merged soak documents are
+    byte-identical across ``-j`` values.
+    """
+    result = run_chaos(seed, config=config, inject_bug=inject_bug, trace=False)
+    return {
+        "seed": seed,
+        "ok": result.ok,
+        "violations": [violation.to_dict() for violation in result.violations],
+        "schedule_events": len(result.schedule),
+        "event_kinds": result.report["event_kinds"],
+        "workload": result.report["workload"],
+        "report_sha256": hashlib.sha256(
+            result.report_json().encode()
+        ).hexdigest(),
+    }
+
+
+def run_soak(
+    base_seed: int,
+    count: int,
+    config: Optional[ChaosConfig] = None,
+    jobs: Union[int, str, None] = 1,
+    *,
+    inject_bug: Optional[str] = None,
+    metrics=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run ``count`` campaigns at consecutive seeds; return the summary.
+
+    Campaigns that raise (a harness bug, not an invariant violation) or
+    whose worker crashes after retries are recorded per seed with
+    ``"error"`` set and count against ``ok`` — a soak never silently
+    drops a seed.
+    """
+    from ..parallel import ShardTask, resolve_jobs, run_shards
+
+    if count < 1:
+        raise ValueError(f"soak needs at least 1 seed, got {count}")
+    config = config or ChaosConfig()
+    jobs = resolve_jobs(jobs)
+
+    tasks = [
+        ShardTask(
+            key=(seed,),
+            fn=run_soak_shard,
+            args=(seed, config),
+            kwargs={"inject_bug": inject_bug},
+            label=f"chaos:seed={seed}",
+        )
+        for seed in range(base_seed, base_seed + count)
+    ]
+    results = run_shards(
+        tasks, jobs=jobs, name="chaos_soak", metrics=metrics, progress=progress
+    )
+
+    seeds = []
+    for result in results:
+        if result.ok:
+            seeds.append(result.value)
+        else:
+            seeds.append(
+                {
+                    "seed": result.key[0],
+                    "ok": False,
+                    "error": result.failure_summary(),
+                    "violations": [],
+                }
+            )
+    return {
+        "schema": SOAK_SCHEMA,
+        "base_seed": base_seed,
+        "count": count,
+        "inject_bug": inject_bug,
+        "config": config.to_dict(),
+        "seeds": seeds,
+        "violating_seeds": [entry["seed"] for entry in seeds if not entry["ok"]],
+        "ok": all(entry["ok"] for entry in seeds),
+    }
+
+
+def soak_json(doc: dict) -> str:
+    """Canonical JSON — byte-stable across runs and ``-j`` values."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

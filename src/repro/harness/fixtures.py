@@ -1,0 +1,71 @@
+"""Seeded fixture helpers shared by ``tests/`` and ``benchmarks/``.
+
+Both suites need the same three things — deterministic page content, a
+run-this-process-to-completion driver, and the §7.4 50-machine cluster
+experiment — and used to carry private copies in their respective
+``conftest.py`` files. One definition here keeps the seeds (and
+therefore every pinned fingerprint that depends on them) in a single
+place; the conftests re-export these so test imports stay unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CLUSTER_BACKENDS",
+    "make_page",
+    "drive",
+    "build_cluster_experiment",
+    "run_cluster_experiments",
+]
+
+# The backends Figures 17-18 and Table 3 compare, in presentation order.
+CLUSTER_BACKENDS = ("ssd_backup", "hydra", "replication")
+
+
+def make_page(page_id: int = 0, size: int = 4096, seed: int = 1234) -> bytes:
+    """Deterministic pseudo-random page content, keyed by page id."""
+    rng = np.random.default_rng((seed, page_id))
+    return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+
+
+def drive(sim, generator, until=None, name="test-driver"):
+    """Run a generator as a process to completion and return its value."""
+    process = sim.process(generator, name=name)
+    sim.run_until_triggered(process, until=until)
+    assert process.triggered, f"{name} did not finish by t={sim.now}"
+    return process.value
+
+
+def build_cluster_experiment(
+    backend: str,
+    machines: int = 50,
+    containers: int = 250,
+    pages_per_container: int = 400,
+    ops_per_container: int = 150,
+    seed: int = 11,
+):
+    """The §7.4 cluster experiment at its canonical size for ``backend``."""
+    from .cluster_run import ClusterExperiment
+
+    return ClusterExperiment(
+        backend,
+        machines=machines,
+        containers=containers,
+        pages_per_container=pages_per_container,
+        ops_per_container=ops_per_container,
+        seed=seed,
+    )
+
+
+def run_cluster_experiments(
+    backends: Sequence[str] = CLUSTER_BACKENDS, **overrides
+) -> Dict[str, object]:
+    """Run the cluster experiment once per backend (Figs 17-18, Tab 3)."""
+    return {
+        backend: build_cluster_experiment(backend, **overrides).run()
+        for backend in backends
+    }

@@ -31,7 +31,7 @@ import json
 import platform
 import sys
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,12 +40,71 @@ from ..sim import Simulator
 from .builders import build_hydra_cluster
 from .microbench import page_generator, run_process
 
-__all__ = ["SCHEMA", "run_perf_suite", "format_results", "main"]
+__all__ = [
+    "SCHEMA",
+    "PERF_BENCH_NAMES",
+    "run_perf_shard",
+    "run_perf_suite",
+    "deterministic_anchors",
+    "format_results",
+    "main",
+]
 
 SCHEMA = "hydra-perf/1"
 
 PAGE_SIZE = 4096
 _MB = 1024 * 1024
+
+# Canonical benchmark order; also the shard decomposition for ``-j``.
+PERF_BENCH_NAMES = (
+    "engine_events",
+    "ec_encode",
+    "ec_decode",
+    "ec_verify",
+    "ec_correct",
+    "ec_batch_encode",
+    "ec_batch_decode",
+    "rm_end_to_end",
+)
+
+_EC_OPS = (
+    "ec_encode",
+    "ec_decode",
+    "ec_verify",
+    "ec_correct",
+    "ec_batch_encode",
+    "ec_batch_decode",
+)
+
+# Simulated-time (or size-derived) fields per benchmark that must be
+# byte-identical across hosts, repeat counts, and ``-j`` values — the
+# determinism contract the parallel runner is held to. Wall-clock fields
+# (``seconds`` and the rates derived from it) are deliberately absent.
+_ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "engine_events": ("events", "sim_now_us"),
+    "ec_encode": ("pages", "mb"),
+    "ec_decode": ("pages", "mb"),
+    "ec_verify": ("pages", "mb"),
+    "ec_correct": ("pages", "mb"),
+    "ec_batch_encode": ("pages", "mb"),
+    "ec_batch_decode": ("pages", "mb"),
+    "rm_end_to_end": (
+        "ops",
+        "page_ops",
+        "sim_now_us",
+        "pages_sha256",
+        "read_p50_us",
+        "write_p50_us",
+        "queue_entries",
+    ),
+}
+
+
+def _suite_sizes(quick: bool) -> Tuple[int, int, int, int]:
+    """(engine_events, ec_pages, correct_pages, rm_ops) for a mode."""
+    if quick:
+        return 40_000, 256, 8, 300
+    return 200_000, 2048, 48, 2000
 
 
 def _best_of(workload: Callable[[], dict], repeats: int) -> Tuple[float, dict]:
@@ -99,115 +158,138 @@ def _ec_pages(codec: PageCodec, n_pages: int) -> list:
     return [make_page(i) for i in range(n_pages)]
 
 
-def bench_ec(n_pages: int, correct_pages: int, repeats: int, k: int = 8, r: int = 2) -> Dict[str, dict]:
+def bench_ec(
+    n_pages: int,
+    correct_pages: int,
+    repeats: int,
+    k: int = 8,
+    r: int = 2,
+    ops: Optional[Sequence[str]] = None,
+) -> Dict[str, dict]:
     """Per-page and batched codec throughput at the paper's RS(8+2) point.
 
     ``decode`` uses a non-systematic split set (one data split replaced by
     a parity split) — the case late-binding reads actually hit. ``verify``
     checks k+1 splits, ``correct`` localizes one corrupted split from
     k+2Δ+1 = 11 splits (Δ=1).
+
+    ``ops`` restricts the run to a subset of :data:`PERF_BENCH_NAMES`'s
+    ``ec_*`` entries (the parallel runner shards one op per worker);
+    ``None`` runs all six. Each op's setup and measurement are identical
+    either way.
     """
+    selected = tuple(_EC_OPS) if ops is None else tuple(ops)
+    unknown = set(selected) - set(_EC_OPS)
+    if unknown:
+        raise ValueError(f"unknown ec benchmark(s): {sorted(unknown)}")
     codec = PageCodec(k, r, page_size=PAGE_SIZE)
     pages = _ec_pages(codec, n_pages)
-    encoded = [codec.encode(page) for page in pages]
+    needs_encoded = set(selected) - {"ec_encode", "ec_batch_encode"}
+    encoded = [codec.encode(page) for page in pages] if needs_encoded else []
     mb = n_pages * PAGE_SIZE / _MB
+    indices = list(range(k - 1)) + [k]  # drop data split k-1, use parity k
     results: Dict[str, dict] = {}
 
     # -- encode (page -> k+r splits, the write path) -------------------
-    def encode_workload() -> dict:
-        for page in pages:
-            codec.encode(page)
-        return {}
+    if "ec_encode" in selected:
+        def encode_workload() -> dict:
+            for page in pages:
+                codec.encode(page)
+            return {}
 
-    seconds, _ = _best_of(encode_workload, repeats)
-    results["ec_encode"] = {
-        "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
-        "mb_per_sec": round(mb / seconds, 2),
-    }
+        seconds, _ = _best_of(encode_workload, repeats)
+        results["ec_encode"] = {
+            "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
+        }
 
     # -- decode (non-systematic k of k+r, the late-binding read path) --
-    indices = list(range(k - 1)) + [k]  # drop data split k-1, use parity k
-    received = [{i: splits[i] for i in indices} for splits in encoded]
+    if "ec_decode" in selected:
+        received = [{i: splits[i] for i in indices} for splits in encoded]
 
-    def decode_workload() -> dict:
-        for splits in received:
-            codec.decode(splits)
-        return {}
+        def decode_workload() -> dict:
+            for splits in received:
+                codec.decode(splits)
+            return {}
 
-    seconds, _ = _best_of(decode_workload, repeats)
-    results["ec_decode"] = {
-        "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
-        "mb_per_sec": round(mb / seconds, 2),
-    }
+        seconds, _ = _best_of(decode_workload, repeats)
+        results["ec_decode"] = {
+            "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
+        }
 
     # -- verify (k+1 splits, the background consistency check) ---------
-    verify_sets = [
-        {i: splits[i] for i in range(k + 1)} for splits in encoded
-    ]
+    if "ec_verify" in selected:
+        verify_sets = [
+            {i: splits[i] for i in range(k + 1)} for splits in encoded
+        ]
 
-    def verify_workload() -> dict:
-        ok = 0
-        for splits in verify_sets:
-            ok += codec.verify(splits)
-        return {"ok": ok}
+        def verify_workload() -> dict:
+            ok = 0
+            for splits in verify_sets:
+                ok += codec.verify(splits)
+            return {"ok": ok}
 
-    seconds, payload = _best_of(verify_workload, repeats)
-    if payload["ok"] != n_pages:
-        raise RuntimeError("verify benchmark saw an inconsistent page")
-    results["ec_verify"] = {
-        "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
-        "mb_per_sec": round(mb / seconds, 2),
-    }
+        seconds, payload = _best_of(verify_workload, repeats)
+        if payload["ok"] != n_pages:
+            raise RuntimeError("verify benchmark saw an inconsistent page")
+        results["ec_verify"] = {
+            "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
+        }
 
     # -- correct (1 corrupted split among all k+r, majority decoding; the
     # RM clamps correction fanout to n and localizes best-effort) ------
-    corrupt_sets = []
-    for splits in encoded[:correct_pages]:
-        received_all = {i: splits[i].copy() for i in range(codec.n)}
-        received_all[2][:16] ^= 0xA5  # deterministic corruption
-        corrupt_sets.append(received_all)
-    correct_mb = correct_pages * PAGE_SIZE / _MB
+    if "ec_correct" in selected:
+        corrupt_sets = []
+        for splits in encoded[:correct_pages]:
+            received_all = {i: splits[i].copy() for i in range(codec.n)}
+            received_all[2][:16] ^= 0xA5  # deterministic corruption
+            corrupt_sets.append(received_all)
+        correct_mb = correct_pages * PAGE_SIZE / _MB
 
-    def correct_workload() -> dict:
-        located = 0
-        for splits in corrupt_sets:
-            _, corrupted = codec.correct(splits, max_errors=1, best_effort=True)
-            located += corrupted == [2]
-        return {"located": located}
+        def correct_workload() -> dict:
+            located = 0
+            for splits in corrupt_sets:
+                _, corrupted = codec.correct(splits, max_errors=1, best_effort=True)
+                located += corrupted == [2]
+            return {"located": located}
 
-    seconds, payload = _best_of(correct_workload, repeats)
-    if payload["located"] != correct_pages:
-        raise RuntimeError("correct benchmark failed to localize corruption")
-    results["ec_correct"] = {
-        "pages": correct_pages, "mb": round(correct_mb, 3),
-        "seconds": round(seconds, 6),
-        "mb_per_sec": round(correct_mb / seconds, 2),
-    }
+        seconds, payload = _best_of(correct_workload, repeats)
+        if payload["located"] != correct_pages:
+            raise RuntimeError("correct benchmark failed to localize corruption")
+        results["ec_correct"] = {
+            "pages": correct_pages, "mb": round(correct_mb, 3),
+            "seconds": round(seconds, 6),
+            "mb_per_sec": round(correct_mb / seconds, 2),
+        }
 
     # -- batched encode/decode (the vectorized slab paths) -------------
-    def batch_encode_workload() -> dict:
-        codec.encode_batch(pages)
-        return {}
+    if "ec_batch_encode" in selected:
+        def batch_encode_workload() -> dict:
+            codec.encode_batch(pages)
+            return {}
 
-    seconds, _ = _best_of(batch_encode_workload, repeats)
-    results["ec_batch_encode"] = {
-        "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
-        "mb_per_sec": round(mb / seconds, 2),
-    }
+        seconds, _ = _best_of(batch_encode_workload, repeats)
+        results["ec_batch_encode"] = {
+            "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
+        }
 
-    stack = np.stack([
-        np.stack([splits[i] for i in indices]) for splits in encoded
-    ])
+    if "ec_batch_decode" in selected:
+        stack = np.stack([
+            np.stack([splits[i] for i in indices]) for splits in encoded
+        ])
 
-    def batch_decode_workload() -> dict:
-        codec.decode_batch(indices, stack)
-        return {}
+        def batch_decode_workload() -> dict:
+            codec.decode_batch(indices, stack)
+            return {}
 
-    seconds, _ = _best_of(batch_decode_workload, repeats)
-    results["ec_batch_decode"] = {
-        "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
-        "mb_per_sec": round(mb / seconds, 2),
-    }
+        seconds, _ = _best_of(batch_decode_workload, repeats)
+        results["ec_batch_decode"] = {
+            "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
+        }
     return results
 
 
@@ -266,29 +348,94 @@ def bench_rm_end_to_end(ops: int, repeats: int) -> dict:
 # ----------------------------------------------------------------------
 # suite driver
 # ----------------------------------------------------------------------
-def run_perf_suite(quick: bool = False, repeats: Optional[int] = None) -> dict:
-    """Run every benchmark; returns the BENCH_perf.json document."""
+def run_perf_shard(name: str, quick: bool, repeats: int) -> Dict[str, dict]:
+    """One shard of the suite: the benchmark(s) behind ``name``.
+
+    Top-level (picklable) so the parallel runner can dispatch it to a
+    worker process. Returns a ``{benchmark_name: payload}`` fragment that
+    merges into the suite document; the payload is identical to what the
+    serial suite computes for that benchmark.
+    """
+    engine_events, ec_pages, correct_pages, rm_ops = _suite_sizes(quick)
+    if name == "engine_events":
+        return {"engine_events": bench_engine(engine_events, repeats)}
+    if name in _EC_OPS:
+        return bench_ec(ec_pages, correct_pages, repeats, ops=(name,))
+    if name == "rm_end_to_end":
+        return {"rm_end_to_end": bench_rm_end_to_end(rm_ops, repeats)}
+    raise ValueError(f"unknown perf shard {name!r}")
+
+
+def run_perf_suite(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    jobs: Union[int, str, None] = 1,
+    metrics=None,
+    progress=None,
+) -> dict:
+    """Run every benchmark; returns the BENCH_perf.json document.
+
+    ``jobs`` shards the suite one benchmark per worker process through
+    :func:`repro.parallel.run_shards` (``"auto"`` = core count). The
+    simulated-time anchors in the document are byte-identical for every
+    ``jobs`` value (see :func:`deterministic_anchors`); only the
+    wall-clock ``seconds`` fields vary run to run.
+    """
+    from ..parallel import ShardTask, require_ok, resolve_jobs, run_shards
+
     if repeats is None:
         repeats = 1 if quick else 3
-    if quick:
-        engine_events, ec_pages, correct_pages, rm_ops = 40_000, 256, 8, 300
-    else:
-        engine_events, ec_pages, correct_pages, rm_ops = 200_000, 2048, 48, 2000
+    jobs = resolve_jobs(jobs)
 
+    tasks = [
+        ShardTask(
+            key=(index, name),
+            fn=run_perf_shard,
+            args=(name, quick, repeats),
+            label=f"perf:{name}",
+        )
+        for index, name in enumerate(PERF_BENCH_NAMES)
+    ]
+    results = require_ok(
+        run_shards(
+            tasks, jobs=jobs, name="perf", metrics=metrics, progress=progress
+        ),
+        "perf",
+    )
     benchmarks: Dict[str, dict] = {}
-    benchmarks["engine_events"] = bench_engine(engine_events, repeats)
-    benchmarks.update(bench_ec(ec_pages, correct_pages, repeats))
-    benchmarks["rm_end_to_end"] = bench_rm_end_to_end(rm_ops, repeats)
+    for result in results:
+        benchmarks.update(result.value)
 
     return {
         "schema": SCHEMA,
         "quick": quick,
         "repeats": repeats,
+        "jobs": jobs,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "benchmarks": benchmarks,
     }
+
+
+def deterministic_anchors(doc: dict) -> str:
+    """Canonical JSON of every deterministic field of a suite document.
+
+    Two runs at the same seed — any host, any ``--repeats``, any ``-j`` —
+    must produce byte-identical anchor JSON; the determinism gate test
+    pins this. Wall-clock fields (``seconds``, rates, platform strings)
+    are excluded because they describe the host, not the simulation.
+    """
+    anchors = {
+        "schema": doc["schema"],
+        "quick": doc["quick"],
+        "benchmarks": {
+            name: {field: doc["benchmarks"][name][field] for field in fields}
+            for name, fields in _ANCHOR_FIELDS.items()
+            if name in doc["benchmarks"]
+        },
+    }
+    return json.dumps(anchors, indent=2, sort_keys=True) + "\n"
 
 
 def format_results(doc: dict) -> str:
@@ -322,11 +469,17 @@ def format_results(doc: dict) -> str:
 
 
 def main(argv=None) -> int:
-    """CLI: ``python -m repro perf [--quick] [--repeats N] [--output PATH]``."""
+    """CLI: ``python -m repro perf [--quick] [--repeats N] [-j N|auto]
+    [--output PATH]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     quick = False
     repeats: Optional[int] = None
+    jobs: Union[int, str] = 1
     output = "BENCH_perf.json"
+    usage = (
+        "python -m repro perf [--quick] [--repeats N] [-j N|auto] "
+        "[--output PATH]"
+    )
     while argv:
         arg = argv.pop(0)
         if arg == "--quick":
@@ -336,19 +489,21 @@ def main(argv=None) -> int:
                 print("--repeats needs a value", file=sys.stderr)
                 return 2
             repeats = int(argv.pop(0))
+        elif arg in ("-j", "--jobs"):
+            if not argv:
+                print(f"{arg} needs a value (or 'auto')", file=sys.stderr)
+                return 2
+            value = argv.pop(0)
+            jobs = value if value == "auto" else int(value)
         elif arg == "--output":
             if not argv:
                 print("--output needs a path", file=sys.stderr)
                 return 2
             output = argv.pop(0)
         else:
-            print(
-                f"unknown argument {arg!r}; usage: "
-                "python -m repro perf [--quick] [--repeats N] [--output PATH]",
-                file=sys.stderr,
-            )
+            print(f"unknown argument {arg!r}; usage: {usage}", file=sys.stderr)
             return 2
-    doc = run_perf_suite(quick=quick, repeats=repeats)
+    doc = run_perf_suite(quick=quick, repeats=repeats, jobs=jobs, progress=print)
     with open(output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

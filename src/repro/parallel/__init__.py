@@ -1,0 +1,27 @@
+"""Deterministic multi-core experiment runner (``repro.parallel``).
+
+:mod:`repro.parallel.runner` is the generic shard scheduler;
+:mod:`repro.parallel.bench` drives the ``benchmarks/`` figure suite
+through it (``python -m repro bench -j N``). The perf suite
+(:mod:`repro.harness.perf`) and chaos soaks (:mod:`repro.chaos.soak`)
+build their shards on the same runner, so all three CLIs share one
+sharding/determinism contract (documented in ``docs/PERFORMANCE.md``).
+"""
+
+from .runner import (
+    ShardFailure,
+    ShardResult,
+    ShardTask,
+    require_ok,
+    resolve_jobs,
+    run_shards,
+)
+
+__all__ = [
+    "ShardFailure",
+    "ShardResult",
+    "ShardTask",
+    "require_ok",
+    "resolve_jobs",
+    "run_shards",
+]

@@ -1,8 +1,13 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
 
-import numpy as np
+``make_page`` and ``drive`` live in :mod:`repro.harness.fixtures` (one
+definition shared with ``benchmarks/conftest.py``); they are re-exported
+here so tests keep importing them from ``.conftest``.
+"""
+
 import pytest
 
+from repro.harness.fixtures import drive, make_page  # noqa: F401  (re-export)
 from repro.sim import Simulator
 
 
@@ -10,17 +15,3 @@ from repro.sim import Simulator
 def sim():
     """A fresh simulator per test."""
     return Simulator()
-
-
-def make_page(page_id: int = 0, size: int = 4096) -> bytes:
-    """Deterministic pseudo-random page content."""
-    rng = np.random.default_rng((1234, page_id))
-    return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
-
-
-def drive(sim, generator, until=None, name="test-driver"):
-    """Run a generator as a process to completion and return its value."""
-    process = sim.process(generator, name=name)
-    sim.run_until_triggered(process, until=until)
-    assert process.triggered, f"{name} did not finish by t={sim.now}"
-    return process.value

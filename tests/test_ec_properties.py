@@ -1,0 +1,178 @@
+"""Property-based tests for the coding path (seeded random draws).
+
+Hypothesis-style testing on the sim's own :class:`RandomSource`: every
+test draws a random ``(k, r, page_size, erasure set, Δ-error pattern)``
+per seed and checks the codec's contracts — roundtrip from any ``k``
+survivors, detection with ``k + Δ`` splits, guaranteed correction with
+``k + 2Δ + 1``, best-effort localization — across the whole operating
+region, not just the paper's RS(8, 2) point. Seeded draws keep each case
+deterministic and individually replayable (the seed is the parametrize
+id), which is why these use the sim RNG rather than time-salted fuzzing.
+
+The cached-row-plan tests deliberately reuse one codec across many
+random index tuples so the ``_decode_plans`` / ``_extras_plans`` /
+``_rebuild_cache`` fast paths are hit both cold and warm and compared
+against a fresh codec each time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ec import CorruptionDetected, DecodeError, PageCodec
+from repro.sim import RandomSource
+
+SEEDS = range(20)
+
+
+def _draw_codec(rng, k_max=10, r_max=4):
+    """A random codec: k, r, and a page size that often needs padding."""
+    k = rng.randint(2, k_max)
+    r = rng.randint(1, r_max)
+    page_size = rng.randint(max(k, 64), 1024)
+    return PageCodec(k, r, page_size=page_size)
+
+
+def _random_page(rng, size):
+    return rng.numpy.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def _corrupt(rng, split):
+    """Flip at least one byte of ``split`` (xor with a nonzero mask)."""
+    corrupted = split.copy()
+    pos = rng.randint(0, len(corrupted) - 1)
+    corrupted[pos] ^= rng.randint(1, 255)
+    return corrupted
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_roundtrip_from_any_k_survivors(seed):
+    rng = RandomSource(seed, "ec-prop/roundtrip")
+    codec = _draw_codec(rng)
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+    assert splits.shape == (codec.n, codec.split_size)
+
+    # Any k of the k+r splits reconstruct the page — including sets that
+    # replace data splits with parity (the late-binding read path).
+    for _ in range(4):
+        survivors = rng.sample(range(codec.n), codec.k)
+        received = {i: splits[i] for i in survivors}
+        assert codec.decode(received) == page
+
+    # k-1 splits are information-theoretically insufficient.
+    short = rng.sample(range(codec.n), codec.k - 1)
+    with pytest.raises(DecodeError):
+        codec.decode({i: splits[i] for i in short})
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_verify_detects_delta_corruptions_with_k_plus_delta(seed):
+    rng = RandomSource(seed, "ec-prop/verify")
+    codec = _draw_codec(rng)
+    delta = rng.randint(1, codec.r)
+    assert codec.splits_required(detect_errors=delta) == codec.k + delta
+
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+    chosen = rng.sample(range(codec.n), codec.k + delta)
+    received = {i: splits[i].copy() for i in chosen}
+    assert codec.verify(received)
+    assert codec.decode_verified(received) == page
+
+    # Corrupt up to delta of the received splits: detection is guaranteed.
+    for index in rng.sample(chosen, delta):
+        received[index] = _corrupt(rng, received[index])
+    assert not codec.verify(received)
+    with pytest.raises(CorruptionDetected):
+        codec.decode_verified(received)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_correct_guaranteed_with_k_plus_2delta_plus_1(seed):
+    rng = RandomSource(seed, "ec-prop/correct")
+    # Guaranteed correction of delta=1 needs k + 3 splits, so r >= 3;
+    # keep k small so the C(m, k) majority decode stays cheap.
+    k = rng.randint(2, 6)
+    r = rng.randint(3, 4)
+    codec = PageCodec(k, r, page_size=rng.randint(max(k, 64), 1024))
+    assert codec.splits_required(correct_errors=1) == k + 3
+
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+    chosen = rng.sample(range(codec.n), k + 3)
+    received = {i: splits[i].copy() for i in chosen}
+
+    # No corruption: clean page, nothing located.
+    data, corrupted = codec.correct(received, max_errors=1)
+    assert data == page and corrupted == []
+
+    # One corrupted split: located exactly, page still exact.
+    victim = rng.choice(chosen)
+    received[victim] = _corrupt(rng, received[victim])
+    data, corrupted = codec.correct(received, max_errors=1)
+    assert data == page
+    assert corrupted == [victim]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_correct_best_effort_localizes_from_k_plus_2(seed):
+    rng = RandomSource(seed, "ec-prop/best-effort")
+    k = rng.randint(2, 6)
+    r = rng.randint(2, 4)
+    codec = PageCodec(k, r, page_size=rng.randint(256, 1024))
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+    chosen = rng.sample(range(codec.n), k + 2)
+    received = {i: splits[i].copy() for i in chosen}
+    victim = rng.choice(chosen)
+    received[victim] = _corrupt(rng, received[victim])
+    data, corrupted = codec.correct(received, max_errors=1, best_effort=True)
+    assert data == page
+    assert corrupted == [victim]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cached_row_plans_match_fresh_codec(seed):
+    """One codec serving many index tuples (warm caches) must agree with
+    a cold codec per call — the cached fast paths cannot drift."""
+    rng = RandomSource(seed, "ec-prop/plans")
+    k = rng.randint(2, 8)
+    r = rng.randint(1, 4)
+    page_size = rng.randint(max(k, 64), 1024)
+    warm = PageCodec(k, r, page_size=page_size)
+    pages = [_random_page(rng, page_size) for _ in range(3)]
+    encoded = [warm.encode(page) for page in pages]
+
+    for _ in range(8):
+        survivors = rng.sample(range(warm.n), warm.k)
+        which = rng.randint(0, len(pages) - 1)
+        received = {i: encoded[which][i] for i in survivors}
+        cold = PageCodec(k, r, page_size=page_size)
+        assert warm.decode(received) == cold.decode(received) == pages[which]
+        # Repeat with the warm cache populated for this exact tuple.
+        assert warm.decode(received) == pages[which]
+
+    delta = rng.randint(1, warm.r)
+    chosen = rng.sample(range(warm.n), warm.k + delta)
+    received = {i: encoded[0][i] for i in chosen}
+    cold = PageCodec(k, r, page_size=page_size)
+    assert warm.verify(received) and cold.verify(received)
+    assert warm.verify(received)  # warm _extras_plans path
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_paths_match_per_page(seed):
+    rng = RandomSource(seed, "ec-prop/batch")
+    codec = _draw_codec(rng, k_max=8)
+    pages = [_random_page(rng, codec.page_size) for _ in range(5)]
+
+    batch = codec.encode_batch(pages)
+    singles = [codec.encode(page) for page in pages]
+    assert batch.shape == (len(pages), codec.n, codec.split_size)
+    for got, want in zip(batch, singles):
+        assert np.array_equal(got, want)
+
+    indices = sorted(rng.sample(range(codec.n), codec.k))
+    stack = np.stack([np.stack([s[i] for i in indices]) for s in singles])
+    decoded = codec.decode_batch(indices, stack)
+    assert decoded == pages

@@ -1,0 +1,51 @@
+"""The determinism gate: parallel output is byte-identical to serial.
+
+This is the contract every ``-j`` flag in the repository is held to
+(``docs/PERFORMANCE.md``): sharding an experiment across worker
+processes may change only wall-clock time, never a single byte of the
+deterministic outputs. Each test runs the same seeded workload twice —
+once on the in-process serial reference path (``jobs=1``) and once
+sharded across two workers — and compares canonical artifacts:
+
+* perf suite — :func:`repro.harness.perf.deterministic_anchors`;
+* chaos soak — :func:`repro.chaos.soak_json` (the ``soak.json`` bytes);
+* figure suite — :func:`repro.parallel.bench.bench_report_digest` plus
+  the raw ``results/*.txt`` bytes the benchmark wrote.
+"""
+
+from pathlib import Path
+
+from repro.chaos import ChaosConfig, run_soak, soak_json
+from repro.harness.perf import deterministic_anchors, run_perf_suite
+from repro.parallel.bench import bench_report_digest, run_bench
+
+
+def test_perf_suite_parallel_matches_serial_anchors():
+    serial = run_perf_suite(quick=True, repeats=1, jobs=1)
+    parallel = run_perf_suite(quick=True, repeats=1, jobs=2)
+    assert serial["jobs"] == 1 and parallel["jobs"] == 2
+    assert deterministic_anchors(parallel) == deterministic_anchors(serial)
+
+
+def test_chaos_soak_parallel_matches_serial_bytes():
+    config = ChaosConfig.quick()
+    serial = run_soak(3, 2, config=config, jobs=1)
+    parallel = run_soak(3, 2, config=config, jobs=2)
+    assert soak_json(parallel) == soak_json(serial)
+    assert [entry["seed"] for entry in serial["seeds"]] == [3, 4]
+    assert all("report_sha256" in entry for entry in serial["seeds"])
+
+
+def test_figure_benchmark_parallel_matches_serial_bytes(tmp_path):
+    dirs = {1: tmp_path / "j1", 2: tmp_path / "j2"}
+    docs = {
+        jobs: run_bench(jobs=jobs, substring="fig01", results_dir=str(path))
+        for jobs, path in dirs.items()
+    }
+    assert all(doc["ok"] for doc in docs.values())
+    assert bench_report_digest(docs[1]) == bench_report_digest(docs[2])
+
+    serial_report = (dirs[1] / "fig01_tradeoff.txt").read_bytes()
+    parallel_report = (dirs[2] / "fig01_tradeoff.txt").read_bytes()
+    assert serial_report == parallel_report
+    assert b"Figure 1" in serial_report

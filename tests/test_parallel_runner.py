@@ -1,0 +1,197 @@
+"""Unit tests for the deterministic process-pool runner (repro.parallel).
+
+The crash-path tests must run with ``jobs >= 2`` (or
+``serial_in_process=False``): a shard that calls ``os._exit`` in the
+in-process serial path would take pytest down with it.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    ShardFailure,
+    ShardTask,
+    require_ok,
+    resolve_jobs,
+    run_shards,
+)
+
+
+# Shard functions must be top-level (picklable under any start method).
+def _square(x):
+    return x * x
+
+
+def _sleepy_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _crash_once(marker_path, x):
+    """Die without reporting on the first attempt, succeed on the second."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("attempted")
+        os._exit(17)
+    return x + 100
+
+
+def _crash_always(x):
+    os._exit(23)
+
+
+def _tasks(fn, values, **kwargs):
+    return [
+        ShardTask(key=(v,), fn=fn, args=(v,), label=f"t{v}", **kwargs)
+        for v in values
+    ]
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("3") == 3
+
+    def test_auto_is_core_count(self):
+        auto = resolve_jobs("auto")
+        assert auto >= 1
+        assert resolve_jobs(None) == auto
+        assert resolve_jobs(0) == auto
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestSerial:
+    def test_values_in_key_order(self):
+        results = run_shards(_tasks(_square, [3, 1, 2]), jobs=1)
+        assert [r.key for r in results] == [(1,), (2,), (3,)]
+        assert [r.value for r in results] == [1, 4, 9]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_exception_recorded_not_raised(self):
+        results = run_shards(_tasks(_boom, [5]), jobs=1)
+        assert not results[0].ok
+        assert "boom 5" in results[0].error
+        assert "boom 5" in results[0].failure_summary()
+
+    def test_duplicate_keys_rejected(self):
+        tasks = _tasks(_square, [1]) + _tasks(_square, [1])
+        with pytest.raises(ValueError, match="unique"):
+            run_shards(tasks, jobs=1)
+
+
+class TestParallel:
+    def test_matches_serial_values(self):
+        tasks = _tasks(_square, list(range(7)))
+        serial = run_shards(tasks, jobs=1)
+        parallel = run_shards(tasks, jobs=3)
+        assert [r.value for r in parallel] == [r.value for r in serial]
+        assert [r.key for r in parallel] == [r.key for r in serial]
+
+    def test_merge_order_is_key_order_not_completion_order(self):
+        # Key (1,) sleeps longest so it completes *last*; it must still
+        # come back first.
+        tasks = [
+            ShardTask(key=(1,), fn=_sleepy_square, args=(1, 0.4), label="slow"),
+            ShardTask(key=(2,), fn=_sleepy_square, args=(2, 0.0), label="fast"),
+            ShardTask(key=(3,), fn=_sleepy_square, args=(3, 0.0), label="fast2"),
+        ]
+        results = run_shards(tasks, jobs=3)
+        assert [r.key for r in results] == [(1,), (2,), (3,)]
+        assert [r.value for r in results] == [1, 4, 9]
+
+    def test_exception_fails_immediately_without_retry(self):
+        metrics = MetricsRegistry()
+        tasks = _tasks(_square, [1]) + _tasks(_boom, [9])
+        results = run_shards(tasks, jobs=2, max_retries=3, metrics=metrics)
+        by_key = {r.key: r for r in results}
+        assert by_key[(1,)].ok and by_key[(1,)].value == 1
+        failed = by_key[(9,)]
+        assert not failed.ok and not failed.crashed
+        assert failed.attempts == 1  # deterministic failure: no retry
+        assert "boom 9" in failed.error
+        snap = metrics.snapshot()
+        assert snap["parallel.shards_done"] == 1
+        assert snap["parallel.shards_failed"] == 1
+        assert snap["parallel.worker_retries"] == 0
+
+    def test_worker_crash_retried_on_fresh_worker(self, tmp_path):
+        marker = str(tmp_path / "crash-once-marker")
+        metrics = MetricsRegistry()
+        lines = []
+        task = ShardTask(
+            key=(0,), fn=_crash_once, args=(marker, 1), label="flaky"
+        )
+        results = run_shards(
+            [task], jobs=2, metrics=metrics, progress=lines.append
+        )
+        assert results[0].ok
+        assert results[0].value == 101
+        assert results[0].attempts == 2
+        assert metrics.snapshot()["parallel.worker_retries"] == 1
+        assert any("crashed" in line and "retrying" in line for line in lines)
+
+    def test_crash_exhausts_retries(self):
+        metrics = MetricsRegistry()
+        results = run_shards(
+            _tasks(_crash_always, [1]), jobs=2, max_retries=1, metrics=metrics
+        )
+        result = results[0]
+        assert not result.ok
+        assert result.crashed
+        assert result.exitcode == 23
+        assert result.attempts == 2  # first try + one retry
+        assert "crashed" in result.failure_summary()
+        assert metrics.snapshot()["parallel.worker_retries"] == 1
+
+    def test_serial_in_process_false_uses_workers_at_jobs_1(self):
+        # Same crash semantics as jobs >= 2 — the calling process survives.
+        results = run_shards(
+            _tasks(_crash_always, [1]),
+            jobs=1,
+            max_retries=0,
+            serial_in_process=False,
+        )
+        assert results[0].crashed
+
+
+class TestProgressAndRequireOk:
+    def test_progress_lines_and_counters(self):
+        metrics = MetricsRegistry()
+        lines = []
+        run_shards(
+            _tasks(_square, [1, 2, 3]),
+            jobs=1,
+            metrics=metrics,
+            progress=lines.append,
+            name="demo",
+        )
+        assert len(lines) == 3
+        assert lines[-1].startswith("[demo 3/3]")
+        assert "done=3 failed=0" in lines[-1]
+        snap = metrics.snapshot()
+        assert snap["demo.shards_done"] == 3
+        assert snap["demo.shards_failed"] == 0
+
+    def test_require_ok_passes_through_success(self):
+        results = run_shards(_tasks(_square, [1, 2]), jobs=1)
+        assert require_ok(results, "demo") == results
+
+    def test_require_ok_raises_listing_failures(self):
+        results = run_shards(_tasks(_boom, [1, 2]) + _tasks(_square, [3]), jobs=1)
+        with pytest.raises(ShardFailure, match="2/3 demo shards failed"):
+            require_ok(results, "demo")
+        try:
+            require_ok(results, "demo")
+        except ShardFailure as exc:
+            assert len(exc.results) == 3
