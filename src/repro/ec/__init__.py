@@ -11,6 +11,7 @@ from .matrix import (
 from .pagecodec import PAGE_SIZE, PageCodec
 from .rs import CorruptionDetected, DecodeError, ReedSolomonCode
 from .vectorized import (
+    correct_pages,
     decode_pages,
     encode_pages,
     rebuild_position,
@@ -38,6 +39,7 @@ __all__ = [
     "ReedSolomonCode",
     "encode_pages",
     "decode_pages",
+    "correct_pages",
     "reencode_split_pages",
     "rebuild_position",
     "rebuild_transform",

@@ -17,6 +17,7 @@ __all__ = [
     "gf_matmul_rows",
     "gf_row_plan",
     "gf_apply_row_plan",
+    "gf_apply_row_plan_into",
     "gf_mat_inverse",
     "cauchy_parity_matrix",
     "systematic_generator",
@@ -62,6 +63,7 @@ def gf_matmul_rows(a: np.ndarray, rows_b) -> np.ndarray:
     call. Exact same result as stacking first.
     """
     out = np.zeros((a.shape[0], rows_b[0].shape[0]), dtype=np.uint8)
+    scratch = np.empty(rows_b[0].shape[0], dtype=np.uint8)
     for i, coefficients in enumerate(a.tolist()):
         acc = out[i]
         for coefficient, b_row in zip(coefficients, rows_b):
@@ -70,8 +72,10 @@ def gf_matmul_rows(a: np.ndarray, rows_b) -> np.ndarray:
             if coefficient == 1:
                 acc ^= b_row
             else:
-                # ndarray.take, not np.take: same gather, no dispatch wrapper
-                acc ^= MUL_TABLE[coefficient].take(b_row)
+                # ndarray.take into scratch: one gather temp for the whole
+                # product instead of one fresh array per term
+                MUL_TABLE[coefficient].take(b_row, out=scratch)
+                np.bitwise_xor(acc, scratch, out=acc)
     return out
 
 
@@ -100,6 +104,20 @@ def gf_apply_row_plan(plan, rows_b) -> np.ndarray:
     """Apply a :func:`gf_row_plan` to row vectors — same result as
     ``gf_matmul_rows`` with the planned matrix."""
     out = np.empty((len(plan), rows_b[0].shape[0]), dtype=np.uint8)
+    return gf_apply_row_plan_into(plan, rows_b, out)
+
+
+def gf_apply_row_plan_into(plan, rows_b, out, scratch=None) -> np.ndarray:
+    """Apply a row plan into the preallocated ``(len(plan), L)`` ``out``.
+
+    The fused form of :func:`gf_apply_row_plan`: every term's table gather
+    lands in ``scratch`` (one ``L``-byte buffer for the whole product,
+    allocated here when the caller doesn't pass one) and accumulates into
+    ``out`` with in-place XOR, so a planned multiply touches no fresh
+    memory beyond what the caller provides. ``out`` is returned.
+    """
+    if scratch is None:
+        scratch = np.empty(rows_b[0].shape[0], dtype=np.uint8)
     for i, row_plan in enumerate(plan):
         if type(row_plan) is int:
             out[i] = rows_b[row_plan]
@@ -112,12 +130,13 @@ def gf_apply_row_plan(plan, rows_b) -> np.ndarray:
         if coefficient == 1:
             acc[:] = rows_b[j]
         else:
-            acc[:] = MUL_TABLE[coefficient].take(rows_b[j])
+            MUL_TABLE[coefficient].take(rows_b[j], out=acc)
         for coefficient, j in row_plan[1:]:
             if coefficient == 1:
-                acc ^= rows_b[j]
+                np.bitwise_xor(acc, rows_b[j], out=acc)
             else:
-                acc ^= MUL_TABLE[coefficient].take(rows_b[j])
+                MUL_TABLE[coefficient].take(rows_b[j], out=scratch)
+                np.bitwise_xor(acc, scratch, out=acc)
     return out
 
 

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .rs import ReedSolomonCode
-from .vectorized import decode_pages, encode_pages
+from .vectorized import correct_pages, decode_pages, encode_pages
 
 __all__ = ["PAGE_SIZE", "PageCodec"]
 
@@ -122,6 +122,29 @@ class PageCodec:
         ``decode``.
         """
         return self.join_pages(decode_pages(self.code, indices, payload_stack))
+
+    def correct_batch(
+        self,
+        indices: Sequence[int],
+        payload_stack: np.ndarray,
+        max_errors: Optional[int] = None,
+        best_effort: bool = False,
+    ) -> Tuple[List[bytes], List[List[int]]]:
+        """Correct many pages that share one split-index combination.
+
+        ``payload_stack`` is (pages, len(indices), split_size). Returns
+        ``(pages, corrupted)`` with per-page located corruption lists —
+        exact match for per-page :meth:`correct`, but clean pages ride one
+        batched residual check + decode (see ``vectorized.correct_pages``).
+        """
+        data_stack, corrupted = correct_pages(
+            self.code,
+            indices,
+            payload_stack,
+            max_errors=max_errors,
+            best_effort=best_effort,
+        )
+        return self.join_pages(data_stack), corrupted
 
     # ------------------------------------------------------------------
     def encode(self, page: bytes) -> np.ndarray:

@@ -19,9 +19,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .galois import MUL_TABLE, gf_inv
 from .matrix import (
     SingularMatrixError,
     gf_apply_row_plan,
+    gf_apply_row_plan_into,
     gf_mat_inverse,
     gf_matmul,
     gf_row_plan,
@@ -36,20 +38,27 @@ __all__ = [
 
 
 class DecodeError(ValueError):
-    """Raised when reconstruction is impossible (too few splits, etc.)."""
+    """Raised when reconstruction is impossible (too few splits, etc.).
 
-
-class CorruptionDetected(DecodeError):
-    """Raised when split consistency checking finds corrupted splits.
-
-    ``suspect_indices`` lists split indices implicated by the check; with
-    only ``k + d`` splits the code can prove corruption exists but cannot
-    always localize it — in that case the list holds every received index.
+    ``suspect_indices`` lists the split indices implicated by whatever
+    evidence the failing operation gathered before giving up — e.g. the
+    disagreement sets of tied correction candidates. Empty when the
+    failure carries no localization information (too few splits, more
+    corruption than the code can pin down).
     """
 
     def __init__(self, message: str, suspect_indices: Sequence[int] = ()):
         super().__init__(message)
         self.suspect_indices = list(suspect_indices)
+
+
+class CorruptionDetected(DecodeError):
+    """Raised when split consistency checking finds corrupted splits.
+
+    With only ``k + d`` splits the code can prove corruption exists but
+    cannot always localize it — in that case ``suspect_indices`` holds
+    every received index.
+    """
 
 
 class ReedSolomonCode:
@@ -85,6 +94,21 @@ class ReedSolomonCode:
         self._decode_plans: Dict[Tuple[int, ...], list] = {}
         self._extras_plans: Dict[Tuple[int, ...], list] = {}
         self._parity_plan = gf_row_plan(self.generator[self.k :]) if r else None
+        # (transform, inv of its first row, row ratios) per received-index
+        # tuple, for residual-guided pivot-error localization.
+        self._residual_ratio_cache: Dict[
+            Tuple[int, ...], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        # One reusable gather buffer for the in-place kernels; reallocated
+        # only when the split length changes (it never does in steady state).
+        self._scratch: Optional[np.ndarray] = None
+
+    def _scratch_for(self, length: int) -> np.ndarray:
+        scratch = self._scratch
+        if scratch is None or scratch.shape[0] != length:
+            scratch = np.empty(length, dtype=np.uint8)
+            self._scratch = scratch
+        return scratch
 
     # ------------------------------------------------------------------
     def encode(self, data_splits: np.ndarray) -> np.ndarray:
@@ -96,12 +120,26 @@ class ReedSolomonCode:
         data_splits = self._check_splits(data_splits, expected_rows=self.k)
         if self.r == 0:
             return np.zeros((0, data_splits.shape[1]), dtype=np.uint8)
-        return gf_apply_row_plan(self._parity_plan, list(data_splits))
+        length = data_splits.shape[1]
+        out = np.empty((self.r, length), dtype=np.uint8)
+        return gf_apply_row_plan_into(
+            self._parity_plan, list(data_splits), out, self._scratch_for(length)
+        )
 
     def encode_page(self, data_splits: np.ndarray) -> np.ndarray:
         """All ``k + r`` splits (data stacked above parity)."""
-        parity = self.encode(data_splits)
-        return np.vstack([np.asarray(data_splits, dtype=np.uint8), parity])
+        data_splits = self._check_splits(data_splits, expected_rows=self.k)
+        length = data_splits.shape[1]
+        out = np.empty((self.n, length), dtype=np.uint8)
+        out[: self.k] = data_splits
+        if self.r:
+            gf_apply_row_plan_into(
+                self._parity_plan,
+                list(data_splits),
+                out[self.k :],
+                self._scratch_for(length),
+            )
+        return out
 
     # ------------------------------------------------------------------
     def decode(self, splits: Dict[int, np.ndarray]) -> np.ndarray:
@@ -120,13 +158,23 @@ class ReedSolomonCode:
         use = received[: self.k]
         indices = tuple(index for index, _ in use)
         payload_rows = [self._check_vector(split) for _, split in use]
+        return self._decode_rows(indices, payload_rows)
+
+    def _decode_rows(
+        self, indices: Tuple[int, ...], payload_rows: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Decode from exactly ``k`` already-validated rows at ``indices``."""
         if indices == tuple(range(self.k)):
             return np.stack(payload_rows)  # all-systematic fast path
         plan = self._decode_plans.get(indices)
         if plan is None:
             plan = gf_row_plan(self._decode_matrix(indices))
             self._decode_plans[indices] = plan
-        return gf_apply_row_plan(plan, payload_rows)
+        length = payload_rows[0].shape[0]
+        out = np.empty((self.k, length), dtype=np.uint8)
+        return gf_apply_row_plan_into(
+            plan, payload_rows, out, self._scratch_for(length)
+        )
 
     def reencode_split(self, data_splits: np.ndarray, index: int) -> np.ndarray:
         """Regenerate the single split ``index`` from the k data splits."""
@@ -190,12 +238,7 @@ class ReedSolomonCode:
         first = indices[: self.k]
         extras = indices[self.k :]
         base_rows = [self._check_vector(splits[i]) for i in first]
-        key = tuple(indices)
-        plan = self._extras_plans.get(key)
-        if plan is None:
-            plan = gf_row_plan(self._extras_transform(key))
-            self._extras_plans[key] = plan
-        expected = gf_apply_row_plan(plan, base_rows)
+        expected = gf_apply_row_plan(self._extras_plan(tuple(indices)), base_rows)
         for row, index in enumerate(extras):
             if not np.array_equal(expected[row], self._check_vector(splits[index])):
                 return False
@@ -224,12 +267,11 @@ class ReedSolomonCode:
         """Locate and correct up to ``max_errors`` corrupted splits.
 
         Per Table 1, correcting ``d`` errors *with a guarantee* requires
-        ``k + 2d + 1`` received splits. The implementation is majority
-        decoding: each k-subset of the received splits proposes a decoding,
-        and a proposal is accepted when it is consistent with at least
-        ``len(splits) - max_errors`` received splits — a threshold only the
-        true codeword can reach when at most ``max_errors`` splits are
-        corrupted.
+        ``k + 2d + 1`` received splits. The contract is majority decoding:
+        a candidate codeword is accepted when it is consistent with at
+        least ``len(splits) - max_errors`` received splits — a threshold
+        only the true codeword can reach when at most ``max_errors``
+        splits are corrupted.
 
         With ``best_effort=True`` the split-count precondition is relaxed:
         the method returns the *unique* candidate codeword with maximal
@@ -241,9 +283,17 @@ class ReedSolomonCode:
 
         Returns ``(data_splits, corrupted_indices)``.
 
-        Complexity is C(m, k) decodings in the worst case, which is fine
-        for the paper's operating points (e.g. m=11, k=8, d=1 -> 165
-        subsets); the common no-corruption case returns after one decode.
+        The implementation is residual-guided: decode once from the pivot
+        (first ``k`` received) subset, re-encode through the cached extras
+        transform, and read the error location out of which residual rows
+        disagree — O(d) decodings for the corruption patterns the §5.1
+        read path actually sees, instead of the C(m, k) subset scan. The
+        guided path only accepts a candidate whose agreement provably
+        makes it the codeword the exhaustive scan would return (see
+        :meth:`_correct_guided`); every other case — ambiguous residuals,
+        deep pivot contamination, the best-effort tail — falls back to
+        :meth:`correct_reference`, so results, errors, and localization
+        lists are byte-identical to the scan by construction.
         """
         m = len(splits)
         if max_errors is None:
@@ -259,17 +309,250 @@ class ReedSolomonCode:
                 f"localization needs at least k + 1 = {self.k + 1} splits, got {m}"
             )
         items = sorted(splits.items())
-        payloads = {idx: self._check_vector(p) for idx, p in items}
-        agreement_threshold = m - max_errors if guaranteed else m
         idx_list = [idx for idx, _ in items]
-        stacked = np.stack([payloads[idx] for idx in idx_list])
+        payload_rows = [self._check_vector(p) for _, p in items]
+        result = self._correct_guided(
+            idx_list, payload_rows, max_errors, guaranteed, best_effort
+        )
+        if result is not None:
+            return result
+        return self._correct_scan(
+            idx_list, payload_rows, max_errors, guaranteed, best_effort
+        )
+
+    def correct_reference(
+        self,
+        splits: Dict[int, np.ndarray],
+        max_errors: Optional[int] = None,
+        best_effort: bool = False,
+    ) -> Tuple[np.ndarray, List[int]]:
+        """The exhaustive C(m, k) majority decoder :meth:`correct` replaces.
+
+        Same contract, same results, same errors — this is both the
+        fallback for inputs the guided path cannot settle and the oracle
+        the property tests pin the fast path against byte for byte.
+        """
+        m = len(splits)
+        if max_errors is None:
+            max_errors = max(0, (m - self.k - 1) // 2)
+        needed = self.k + 2 * max_errors + 1
+        guaranteed = m >= needed
+        if not guaranteed and not best_effort:
+            raise DecodeError(
+                f"correcting {max_errors} errors needs {needed} splits, got {m}"
+            )
+        if m < self.k + 1:
+            raise DecodeError(
+                f"localization needs at least k + 1 = {self.k + 1} splits, got {m}"
+            )
+        items = sorted(splits.items())
+        idx_list = [idx for idx, _ in items]
+        payload_rows = [self._check_vector(p) for _, p in items]
+        return self._correct_scan(
+            idx_list, payload_rows, max_errors, guaranteed, best_effort
+        )
+
+    def _correct_guided(
+        self,
+        idx_list: List[int],
+        payload_rows: List[np.ndarray],
+        max_errors: int,
+        guaranteed: bool,
+        best_effort: bool,
+    ) -> Optional[Tuple[np.ndarray, List[int]]]:
+        """Residual-guided localization; ``None`` defers to the scan.
+
+        Decode the pivot (first ``k`` received) subset and compare the
+        remaining rows against the cached extras transform of the pivot.
+        The residual pattern localizes the error without searching:
+
+        * all-zero residual — the received set is consistent; the pivot
+          decoding agrees with every split.
+        * exactly one nonzero residual row — that extra split alone is
+          corrupt (the pivot decoding agrees with everything else).
+        * every residual row nonzero — consistent with one corrupt pivot
+          column ``c``: then residual row ``j`` must equal
+          ``T[j, c] ⊗ e`` for a single error vector ``e``, checkable per
+          column with a scalar prefilter at the first nonzero byte. (Every
+          ``T[j, c]`` is nonzero — a zero entry would make generator rows
+          ``pivot∖{c} ∪ {extra_j}`` dependent, contradicting the Cauchy
+          MDS property — so a real single-pivot error marks *all* rows.)
+        * anything else — at least two corruptions; try swapping one pivot
+          row for each of the first ``max_errors`` non-pivot rows (if one
+          pivot row is corrupt, at most ``max_errors - 1`` extras are, so
+          one of those replacements is clean) before giving up.
+
+        A candidate with agreement ``a`` (out of ``m``) is accepted only
+        when it is provably the scan's answer: in guaranteed mode when
+        ``a >= m - max_errors`` (two codewords at that threshold would
+        share ``m - 2·max_errors >= k + 1`` splits and be equal), and in
+        best-effort mode when ``a >= k + 1`` and ``2a - m >= k`` (any
+        rival with agreement ``>= a`` shares ``>= 2a - m >= k`` splits
+        with the candidate, hence equals it — so it is the unique
+        maximum the reference ranking returns). Anything weaker returns
+        ``None`` and the exhaustive scan decides, including raising the
+        classified errors.
+        """
+        k = self.k
+        m = len(idx_list)
+        extras_count = m - k
+
+        def accepts(agreement: int) -> bool:
+            if guaranteed and agreement >= m - max_errors:
+                return True
+            return (
+                best_effort
+                and agreement >= k + 1
+                and 2 * agreement - m >= k
+            )
+
+        pivot = tuple(idx_list[:k])
+        pivot_rows = payload_rows[:k]
+        length = payload_rows[0].shape[0]
+        residual = np.empty((extras_count, length), dtype=np.uint8)
+        gf_apply_row_plan_into(
+            self._extras_plan(tuple(idx_list)),
+            pivot_rows,
+            residual,
+            self._scratch_for(length),
+        )
+        for row in range(extras_count):
+            np.bitwise_xor(residual[row], payload_rows[k + row], out=residual[row])
+        bad_rows = np.nonzero(residual.any(axis=1))[0]
+
+        if len(bad_rows) == 0:
+            # Consistent: the pivot decoding agrees with all m splits, the
+            # strongest possible majority in either mode.
+            return self._decode_rows(pivot, pivot_rows), []
+
+        if not accepts(m - 1):
+            # No single-error candidate can be accepted (agreement is at
+            # most m - 1 once any residual row is nonzero), and multi-error
+            # candidates are weaker still.
+            return None
+
+        if len(bad_rows) == 1 and extras_count >= 2:
+            # One corrupt extra; the pivot decoding disagrees only with it.
+            return (
+                self._decode_rows(pivot, pivot_rows),
+                [idx_list[k + int(bad_rows[0])]],
+            )
+
+        if len(bad_rows) == extras_count and extras_count >= 2:
+            located = self._locate_pivot_error(idx_list, residual)
+            if located is not None:
+                column, error = located
+                rows = list(pivot_rows)
+                rows[column] = rows[column] ^ error
+                return self._decode_rows(pivot, rows), [pivot[column]]
+
+        if max_errors >= 2:
+            return self._correct_by_swap(
+                idx_list, payload_rows, max_errors, accepts
+            )
+        return None
+
+    def _locate_pivot_error(
+        self, idx_list: List[int], residual: np.ndarray
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        """Find the unique (column, error) explaining an all-rows residual.
+
+        For a corrupt pivot column ``c`` with error ``e``, residual row
+        ``j`` is ``T[j, c] ⊗ e``, i.e. row ``j`` is row 0 scaled by the
+        cached ratio ``T[j, c] ⊗ T[0, c]⁻¹``. Prefilter: at the first
+        nonzero byte of row 0, one vectorized gather checks which columns
+        predict every other row's byte; survivors (generically exactly
+        one) get the full vector check. Returns ``None`` when no column
+        explains the rows (>= 2 corruptions) or more than one does
+        (ambiguous — impossible for m >= k + 2, but guarded anyway).
+        """
+        key = tuple(idx_list)
+        cached = self._residual_ratio_cache.get(key)
+        if cached is None:
+            transform = self._extras_transform(key)
+            inv_row0 = np.array(
+                [gf_inv(int(t)) for t in transform[0]], dtype=np.uint8
+            )
+            # ratios[j - 1, c] = T[j, c] ⊗ T[0, c]⁻¹
+            ratios = MUL_TABLE[transform[1:], inv_row0]
+            cached = (transform, inv_row0, ratios)
+            self._residual_ratio_cache[key] = cached
+        transform, inv_row0, ratios = cached
+        extras_count = residual.shape[0]
+        row0 = residual[0]
+        p0 = int(np.flatnonzero(row0)[0])
+        predicted = MUL_TABLE[ratios, row0[p0]]
+        survivors = np.nonzero(
+            (predicted == residual[1:, p0, None]).all(axis=0)
+        )[0]
+        located = None
+        for column in survivors:
+            column = int(column)
+            error = MUL_TABLE[inv_row0[column]].take(row0)
+            if all(
+                np.array_equal(
+                    MUL_TABLE[int(transform[j, column])].take(error), residual[j]
+                )
+                for j in range(1, extras_count)
+            ):
+                if located is not None:  # pragma: no cover - see docstring
+                    return None
+                located = (column, error)
+        return located
+
+    def _correct_by_swap(
+        self,
+        idx_list: List[int],
+        payload_rows: List[np.ndarray],
+        max_errors: int,
+        accepts,
+    ) -> Optional[Tuple[np.ndarray, List[int]]]:
+        """Try pivot subsets with one row swapped for an early extra.
+
+        Covers multi-error patterns with exactly one corruption inside the
+        pivot: at most ``max_errors - 1`` extras are then corrupt, so among
+        the first ``max_errors`` non-pivot rows at least one replacement is
+        clean. Deeper contamination returns ``None`` (scan fallback).
+        """
+        k = self.k
+        m = len(idx_list)
+        stacked = np.stack(payload_rows)
+        by_index = dict(zip(idx_list, payload_rows))
+        for replacement in idx_list[k : k + max_errors]:
+            for drop in range(k):
+                subset = tuple(idx_list[:drop] + idx_list[drop + 1 : k] + [replacement])
+                try:
+                    candidate = self._decode_rows(
+                        subset, [by_index[i] for i in subset]
+                    )
+                except SingularMatrixError:  # pragma: no cover - Cauchy prevents this
+                    continue
+                expected = self._reencode_rows(idx_list, candidate)
+                bad_rows = np.nonzero((expected != stacked).any(axis=1))[0]
+                if accepts(m - len(bad_rows)):
+                    return candidate, [idx_list[int(row)] for row in bad_rows]
+        return None
+
+    def _correct_scan(
+        self,
+        idx_list: List[int],
+        payload_rows: List[np.ndarray],
+        max_errors: int,
+        guaranteed: bool,
+        best_effort: bool,
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Exhaustive majority decode over every k-subset (the fallback)."""
+        m = len(idx_list)
+        agreement_threshold = m - max_errors if guaranteed else m
+        by_index = dict(zip(idx_list, payload_rows))
+        stacked = np.stack(payload_rows)
 
         # Distinct candidate codewords, keyed by content, with the set of
         # splits each disagrees with.
         candidates: Dict[bytes, Tuple[np.ndarray, List[int]]] = {}
-        for subset in combinations(payloads.keys(), self.k):
+        for subset in combinations(idx_list, self.k):
             try:
-                candidate = self.decode({idx: payloads[idx] for idx in subset})
+                candidate = self._decode_rows(subset, [by_index[i] for i in subset])
             except SingularMatrixError:  # pragma: no cover - Cauchy prevents this
                 continue
             key = candidate.tobytes()
@@ -289,8 +572,22 @@ class ReedSolomonCode:
             unique = len(ranked) == 1 or len(ranked[1][1]) > len(best_bad)
             if unique and best_agreement >= self.k + 1:
                 return best, best_bad
+            if not unique:
+                tied = [bad for _, bad in ranked if len(bad) == len(best_bad)]
+                raise DecodeError(
+                    f"ambiguous correction: {len(tied)} candidate codewords tie "
+                    f"at {best_agreement} of {m} agreeing splits",
+                    suspect_indices=sorted({i for bad in tied for i in bad}),
+                )
+            raise DecodeError(
+                f"insufficient agreement: best candidate matches only "
+                f"{best_agreement} of {m} splits (localization needs "
+                f"k + 1 = {self.k + 1})",
+                suspect_indices=best_bad,
+            )
         raise DecodeError(
-            f"more than {max_errors} corrupted splits; correction impossible"
+            f"more than {max_errors} corrupted splits among {m} received; "
+            "correction impossible"
         )
 
     # ------------------------------------------------------------------
@@ -342,6 +639,14 @@ class ReedSolomonCode:
         return cached
 
     # -- internals -------------------------------------------------------
+    def _extras_plan(self, indices: Tuple[int, ...]) -> list:
+        """Compiled row plan of :meth:`_extras_transform`, cached alike."""
+        plan = self._extras_plans.get(indices)
+        if plan is None:
+            plan = gf_row_plan(self._extras_transform(indices))
+            self._extras_plans[indices] = plan
+        return plan
+
     def _extras_transform(self, indices: Tuple[int, ...]) -> np.ndarray:
         """Cached (d x k) map from the first-k received splits to the
         expected values of the remaining ``d`` received splits."""

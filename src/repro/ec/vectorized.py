@@ -13,7 +13,7 @@ produce (tested against it).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ __all__ = [
     "rebuild_position",
     "encode_pages",
     "decode_pages",
+    "correct_pages",
     "reencode_split_pages",
 ]
 
@@ -107,10 +108,16 @@ def encode_pages(
             f"expected (pages, k={code.k}, split) stack, got {stack.shape}"
         )
     pages, _k, split_size = stack.shape
-    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
-    parity_flat = gf_matmul(code.generator[code.k :], flat)
-    parity = parity_flat.reshape(code.r, pages, split_size).transpose(1, 0, 2)
-    return np.concatenate([stack, parity], axis=1)
+    # One preallocated output instead of a stack+parity concatenate copy.
+    out = np.empty((pages, code.n, split_size), dtype=np.uint8)
+    out[:, : code.k] = stack
+    if code.r:
+        flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+        parity_flat = gf_matmul(code.generator[code.k :], flat)
+        out[:, code.k :] = parity_flat.reshape(
+            code.r, pages, split_size
+        ).transpose(1, 0, 2)
+    return out
 
 
 def decode_pages(
@@ -139,6 +146,79 @@ def decode_pages(
     flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
     decoded = gf_matmul(code.decode_matrix(index_tuple), flat)
     return decoded.reshape(code.k, pages, split_size).transpose(1, 0, 2)
+
+
+def correct_pages(
+    code: ReedSolomonCode,
+    indices: Sequence[int],
+    payload_stack: np.ndarray,
+    max_errors: Optional[int] = None,
+    best_effort: bool = False,
+) -> Tuple[np.ndarray, List[List[int]]]:
+    """Correct many pages that all arrived with the same split indices.
+
+    ``payload_stack`` has shape (pages, m, split_size) with row ``j`` of
+    each page holding the payload received at ``indices[j]``. Returns
+    ``(data_stack, corrupted)``: the (pages, k, split_size) corrected data
+    splits and, per page, the located corrupt split indices.
+
+    Equivalent to calling ``code.correct`` page by page in stack order —
+    including raising the same :class:`DecodeError` the first failing page
+    would raise — but the pages that turn out clean (the overwhelmingly
+    common case in a corruption sweep) share *one* batched residual check
+    and *one* batched decode, so per-page cost approaches plain decode.
+    """
+    stack = np.asarray(payload_stack, dtype=np.uint8)
+    idx = [int(i) for i in indices]
+    m = len(idx)
+    if len(set(idx)) != m:
+        raise DecodeError(f"duplicate split indices in {idx}")
+    if stack.ndim != 3 or stack.shape[1] != m:
+        raise DecodeError(
+            f"expected (pages, {m}, split) stack, got {stack.shape}"
+        )
+    # Same preconditions (and messages) as ``ReedSolomonCode.correct``.
+    if max_errors is None:
+        max_errors = max(0, (m - code.k - 1) // 2)
+    needed = code.k + 2 * max_errors + 1
+    if m < needed and not best_effort:
+        raise DecodeError(
+            f"correcting {max_errors} errors needs {needed} splits, got {m}"
+        )
+    if m < code.k + 1:
+        raise DecodeError(
+            f"localization needs at least k + 1 = {code.k + 1} splits, got {m}"
+        )
+    order = sorted(range(m), key=idx.__getitem__)
+    if order != list(range(m)):
+        stack = np.ascontiguousarray(stack[:, order])
+        idx = [idx[pos] for pos in order]
+    pages, _m, split_size = stack.shape
+    corrupted: List[List[int]] = [[] for _ in range(pages)]
+    if pages == 0:
+        return np.empty((0, code.k, split_size), dtype=np.uint8), corrupted
+
+    # Batched residual over every page at once: expected extras from the
+    # pivot (first k) columns vs the extras actually received.
+    pivot = stack[:, : code.k]
+    flat = pivot.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+    transform = code._extras_transform(tuple(idx))
+    expected = gf_matmul(transform, flat).reshape(m - code.k, pages, split_size)
+    actual = stack[:, code.k :].transpose(1, 0, 2)
+    dirty = np.nonzero((expected != actual).any(axis=(0, 2)))[0]
+
+    out = decode_pages(code, idx[: code.k], pivot)
+    if len(dirty):
+        out = np.ascontiguousarray(out)
+        for page in dirty:
+            page = int(page)
+            received = {idx[row]: stack[page, row] for row in range(m)}
+            data, bad = code.correct(
+                received, max_errors=max_errors, best_effort=best_effort
+            )
+            out[page] = data
+            corrupted[page] = bad
+    return out, corrupted
 
 
 def reencode_split_pages(

@@ -46,6 +46,7 @@ __all__ = [
     "run_perf_shard",
     "run_perf_suite",
     "deterministic_anchors",
+    "compare_results",
     "format_results",
     "main",
 ]
@@ -62,9 +63,12 @@ PERF_BENCH_NAMES = (
     "ec_decode",
     "ec_verify",
     "ec_correct",
+    "ec_correct_guaranteed",
+    "ec_correct_best_effort",
     "ec_batch_encode",
     "ec_batch_decode",
     "rm_end_to_end",
+    "rm_corrupted",
 )
 
 _EC_OPS = (
@@ -72,6 +76,8 @@ _EC_OPS = (
     "ec_decode",
     "ec_verify",
     "ec_correct",
+    "ec_correct_guaranteed",
+    "ec_correct_best_effort",
     "ec_batch_encode",
     "ec_batch_decode",
 )
@@ -86,6 +92,8 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
     "ec_decode": ("pages", "mb"),
     "ec_verify": ("pages", "mb"),
     "ec_correct": ("pages", "mb"),
+    "ec_correct_guaranteed": ("pages", "mb"),
+    "ec_correct_best_effort": ("pages", "mb", "corrupt_pages"),
     "ec_batch_encode": ("pages", "mb"),
     "ec_batch_decode": ("pages", "mb"),
     "rm_end_to_end": (
@@ -97,14 +105,30 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
         "write_p50_us",
         "queue_entries",
     ),
+    "rm_corrupted": (
+        "ops",
+        "sim_now_us",
+        "pages_sha256",
+        "corrected_reads",
+        "healed_splits",
+    ),
 }
 
+# Wall-clock throughput fields per benchmark, for ``--compare``: the new
+# run regresses when any of these drops below baseline * (1 - tolerance).
+_RATE_FIELDS = ("events_per_sec", "mb_per_sec", "pages_per_sec")
 
-def _suite_sizes(quick: bool) -> Tuple[int, int, int, int]:
-    """(engine_events, ec_pages, correct_pages, rm_ops) for a mode."""
+
+def _suite_sizes(quick: bool) -> Tuple[int, int, int, int, int]:
+    """(engine_events, ec_pages, correct_pages, rm_ops, rm_corrupt_ops).
+
+    ``correct_pages`` sized for a multi-millisecond timed region: the
+    guided localizer corrects a page in ~0.1 ms, so the old 8-page
+    workload (sized for the combinatorial scan) timed mostly noise.
+    """
     if quick:
-        return 40_000, 256, 8, 300
-    return 200_000, 2048, 48, 2000
+        return 40_000, 256, 64, 300, 120
+    return 200_000, 2048, 384, 2000, 800
 
 
 def _best_of(workload: Callable[[], dict], repeats: int) -> Tuple[float, dict]:
@@ -184,7 +208,9 @@ def bench_ec(
         raise ValueError(f"unknown ec benchmark(s): {sorted(unknown)}")
     codec = PageCodec(k, r, page_size=PAGE_SIZE)
     pages = _ec_pages(codec, n_pages)
-    needs_encoded = set(selected) - {"ec_encode", "ec_batch_encode"}
+    needs_encoded = set(selected) - {
+        "ec_encode", "ec_batch_encode", "ec_correct_guaranteed",
+    }
     encoded = [codec.encode(page) for page in pages] if needs_encoded else []
     mb = n_pages * PAGE_SIZE / _MB
     indices = list(range(k - 1)) + [k]  # drop data split k-1, use parity k
@@ -247,6 +273,10 @@ def bench_ec(
             received_all[2][:16] ^= 0xA5  # deterministic corruption
             corrupt_sets.append(received_all)
         correct_mb = correct_pages * PAGE_SIZE / _MB
+        # Warm the compiled GF plan caches (decode plans, extras
+        # transform, residual ratios) so the timed region measures
+        # steady-state correction, not one-time plan compilation.
+        codec.correct(corrupt_sets[0], max_errors=1, best_effort=True)
 
         def correct_workload() -> dict:
             located = 0
@@ -262,6 +292,69 @@ def bench_ec(
             "pages": correct_pages, "mb": round(correct_mb, 3),
             "seconds": round(seconds, 6),
             "mb_per_sec": round(correct_mb / seconds, 2),
+        }
+
+    # -- correct, guaranteed mode (k+2Δ+1 = 11 splits at RS(8+3): any
+    # single corruption is provably localized, no best-effort caveats) --
+    if "ec_correct_guaranteed" in selected:
+        codec_g = PageCodec(k, 3, page_size=PAGE_SIZE)
+        guaranteed_sets = []
+        for page in pages[:correct_pages]:
+            splits = codec_g.encode(page)
+            received_all = {i: splits[i].copy() for i in range(codec_g.n)}
+            received_all[2][:16] ^= 0xA5  # deterministic corruption
+            guaranteed_sets.append(received_all)
+        guaranteed_mb = correct_pages * PAGE_SIZE / _MB
+        # Same steady-state warm-up as ec_correct, for this codec's caches.
+        codec_g.correct(guaranteed_sets[0], max_errors=1)
+
+        def correct_guaranteed_workload() -> dict:
+            located = 0
+            for splits in guaranteed_sets:
+                _, corrupted = codec_g.correct(splits, max_errors=1)
+                located += corrupted == [2]
+            return {"located": located}
+
+        seconds, payload = _best_of(correct_guaranteed_workload, repeats)
+        if payload["located"] != correct_pages:
+            raise RuntimeError(
+                "guaranteed correct benchmark failed to localize corruption"
+            )
+        results["ec_correct_guaranteed"] = {
+            "pages": correct_pages, "mb": round(guaranteed_mb, 3),
+            "seconds": round(seconds, 6),
+            "mb_per_sec": round(guaranteed_mb / seconds, 2),
+        }
+
+    # -- batched best-effort correct (a corruption sweep: most pages are
+    # clean and ride the batched residual check; every 16th page carries
+    # one corrupted split that the per-page localizer must fix) ---------
+    if "ec_correct_best_effort" in selected:
+        all_indices = list(range(codec.n))
+        sweep_stack = np.stack([
+            np.stack([splits[i] for i in all_indices]) for splits in encoded
+        ])
+        dirty_pages = list(range(0, n_pages, 16))
+        for page in dirty_pages:
+            sweep_stack[page, 2, :16] ^= 0xA5  # deterministic corruption
+
+        def correct_sweep_workload() -> dict:
+            _, corrupted = codec.correct_batch(
+                all_indices, sweep_stack, max_errors=1, best_effort=True
+            )
+            located = [page for page, bad in enumerate(corrupted) if bad == [2]]
+            return {"located": located}
+
+        seconds, payload = _best_of(correct_sweep_workload, repeats)
+        if payload["located"] != dirty_pages:
+            raise RuntimeError(
+                "batched correct benchmark failed to localize corruption"
+            )
+        results["ec_correct_best_effort"] = {
+            "pages": n_pages, "mb": round(mb, 3),
+            "corrupt_pages": len(dirty_pages),
+            "seconds": round(seconds, 6),
+            "mb_per_sec": round(mb / seconds, 2),
         }
 
     # -- batched encode/decode (the vectorized slab paths) -------------
@@ -345,6 +438,65 @@ def bench_rm_end_to_end(ops: int, repeats: int) -> dict:
     }
 
 
+def bench_rm_corrupted(ops: int, repeats: int) -> dict:
+    """The corruption-heavy data path: the same cluster shape as
+    :func:`bench_rm_end_to_end` (different seed) with a
+    :class:`~repro.cluster.CorruptionInjector` flipping bytes in stored
+    splits every fourth op, so a steady fraction of reads exercises the
+    detect → correct → heal pipeline instead of the clean fast path.
+
+    Anchors: besides ``sim_now_us`` and the read-back SHA (corrected reads
+    must return the original bytes), the ``corrected_reads`` and
+    ``healed_splits`` RM counters pin *how much* correction happened — if
+    an optimization changes either, it changed semantics, not just speed.
+    """
+
+    def workload() -> dict:
+        from ..cluster import CorruptionInjector
+        from ..sim import RandomSource
+
+        hydra = build_hydra_cluster(machines=12, k=8, r=2, delta=1, seed=3)
+        rm = hydra.remote_memory(0)
+        sim = hydra.sim
+        injector = CorruptionInjector(sim, RandomSource(17, "perf-corrupt"))
+        make_page = page_generator()
+        pages = [make_page(pid) for pid in range(48)]
+        digest = hashlib.sha256()
+
+        def driver():
+            for i in range(ops):
+                pid = i % 48
+                yield rm.write(pid, pages[pid])
+                if i % 4 == 0:
+                    victim = hydra.cluster.machine(1 + i % 11)
+                    injector.corrupt_machine(victim, fraction=0.5)
+                data = yield rm.read(pid)
+                digest.update(data)
+
+        run_process(sim, sim.process(driver(), name="perf-rm-corrupt"), until=1e12)
+        return {
+            "sim_now_us": sim.now,
+            "pages_sha256": digest.hexdigest(),
+            "corrected_reads": rm.events["corrected_reads"],
+            "healed_splits": rm.events["healed_splits"],
+        }
+
+    seconds, payload = _best_of(workload, repeats)
+    page_ops = 2 * ops
+    if payload["corrected_reads"] == 0:
+        raise RuntimeError("corrupted-path benchmark never exercised correction")
+    return {
+        "ops": ops,
+        "page_ops": page_ops,
+        "seconds": round(seconds, 6),
+        "pages_per_sec": round(page_ops / seconds, 1),
+        "sim_now_us": payload["sim_now_us"],
+        "pages_sha256": payload["pages_sha256"],
+        "corrected_reads": payload["corrected_reads"],
+        "healed_splits": payload["healed_splits"],
+    }
+
+
 # ----------------------------------------------------------------------
 # suite driver
 # ----------------------------------------------------------------------
@@ -356,13 +508,17 @@ def run_perf_shard(name: str, quick: bool, repeats: int) -> Dict[str, dict]:
     merges into the suite document; the payload is identical to what the
     serial suite computes for that benchmark.
     """
-    engine_events, ec_pages, correct_pages, rm_ops = _suite_sizes(quick)
+    engine_events, ec_pages, correct_pages, rm_ops, rm_corrupt_ops = (
+        _suite_sizes(quick)
+    )
     if name == "engine_events":
         return {"engine_events": bench_engine(engine_events, repeats)}
     if name in _EC_OPS:
         return bench_ec(ec_pages, correct_pages, repeats, ops=(name,))
     if name == "rm_end_to_end":
         return {"rm_end_to_end": bench_rm_end_to_end(rm_ops, repeats)}
+    if name == "rm_corrupted":
+        return {"rm_corrupted": bench_rm_corrupted(rm_corrupt_ops, repeats)}
     raise ValueError(f"unknown perf shard {name!r}")
 
 
@@ -438,6 +594,55 @@ def deterministic_anchors(doc: dict) -> str:
     return json.dumps(anchors, indent=2, sort_keys=True) + "\n"
 
 
+def compare_results(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> list:
+    """The regression gate behind ``--compare``: current vs baseline.
+
+    Returns a list of human-readable failure strings (empty = pass):
+
+    * every benchmark present in the baseline must exist in the current
+      document (benchmarks only in the current run are new — ignored);
+    * every wall-clock rate field (:data:`_RATE_FIELDS`) must satisfy
+      ``current >= baseline * (1 - tolerance)``. Rates are host-dependent,
+      so CI uses a loose tolerance; local A/B runs can use a tight one;
+    * when both documents ran the same mode (``quick`` flags match), the
+      simulated-time anchor fields must be *equal* — an anchor drift is a
+      semantics change, never acceptable at any tolerance.
+    """
+    failures = []
+    current_benchmarks = current.get("benchmarks", {})
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    same_mode = current.get("quick") == baseline.get("quick")
+    floor = 1.0 - tolerance
+    for name, base_row in baseline_benchmarks.items():
+        row = current_benchmarks.get(name)
+        if row is None:
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        for field in _RATE_FIELDS:
+            if field not in base_row:
+                continue
+            base_rate = base_row[field]
+            rate = row.get(field, 0.0)
+            if rate < base_rate * floor:
+                failures.append(
+                    f"{name}: {field} {rate:,.1f} < {floor:.2f} x "
+                    f"baseline {base_rate:,.1f}"
+                )
+        if not same_mode:
+            continue
+        for field in _ANCHOR_FIELDS.get(name, ()):
+            if field not in base_row:
+                continue  # baseline predates this anchor
+            if row.get(field) != base_row[field]:
+                failures.append(
+                    f"{name}: anchor {field} moved: "
+                    f"{base_row[field]!r} -> {row.get(field)!r}"
+                )
+    return failures
+
+
 def format_results(doc: dict) -> str:
     """Human-readable one-line-per-benchmark summary."""
     lines = [
@@ -447,38 +652,49 @@ def format_results(doc: dict) -> str:
     ]
     b = doc["benchmarks"]
     lines.append(
-        f"  engine          {b['engine_events']['events_per_sec']:>12,} events/s"
+        f"  {'engine':<22} {b['engine_events']['events_per_sec']:>12,} events/s"
         f"  ({b['engine_events']['events']:,} queue entries)"
     )
-    for name in (
-        "ec_encode", "ec_decode", "ec_verify", "ec_correct",
-        "ec_batch_encode", "ec_batch_decode",
-    ):
+    for name in _EC_OPS:
         row = b[name]
         lines.append(
-            f"  {name:<15} {row['mb_per_sec']:>12,.1f} MB/s"
+            f"  {name:<22} {row['mb_per_sec']:>12,.1f} MB/s"
             f"  ({row['pages']} pages in {row['seconds']:.4f}s)"
         )
     rm = b["rm_end_to_end"]
     lines.append(
-        f"  rm_end_to_end   {rm['pages_per_sec']:>12,.1f} pages/s"
+        f"  rm_end_to_end          {rm['pages_per_sec']:>12,.1f} pages/s"
         f"  ({rm['page_ops']} page ops in {rm['seconds']:.3f}s, "
         f"sim t={rm['sim_now_us']:.1f}us)"
+    )
+    rc = b["rm_corrupted"]
+    lines.append(
+        f"  rm_corrupted           {rc['pages_per_sec']:>12,.1f} pages/s"
+        f"  ({rc['corrected_reads']} corrected reads, "
+        f"{rc['healed_splits']} healed splits in {rc['seconds']:.3f}s)"
     )
     return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     """CLI: ``python -m repro perf [--quick] [--repeats N] [-j N|auto]
-    [--output PATH]``."""
+    [--output PATH] [--compare BASELINE] [--tolerance F]``.
+
+    With ``--compare`` the run is gated against a baseline document
+    (see :func:`compare_results`); regressions exit 3. The baseline is
+    read *before* the suite runs, so comparing against the same path
+    ``--output`` overwrites is safe.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     quick = False
     repeats: Optional[int] = None
     jobs: Union[int, str] = 1
     output = "BENCH_perf.json"
+    compare: Optional[str] = None
+    tolerance = 0.2
     usage = (
         "python -m repro perf [--quick] [--repeats N] [-j N|auto] "
-        "[--output PATH]"
+        "[--output PATH] [--compare BASELINE] [--tolerance F]"
     )
     while argv:
         arg = argv.pop(0)
@@ -500,8 +716,31 @@ def main(argv=None) -> int:
                 print("--output needs a path", file=sys.stderr)
                 return 2
             output = argv.pop(0)
+        elif arg == "--compare":
+            if not argv:
+                print("--compare needs a baseline path", file=sys.stderr)
+                return 2
+            compare = argv.pop(0)
+        elif arg == "--tolerance":
+            if not argv:
+                print("--tolerance needs a fraction in [0, 1)", file=sys.stderr)
+                return 2
+            tolerance = float(argv.pop(0))
+            if not 0.0 <= tolerance < 1.0:
+                print(f"--tolerance must be in [0, 1), got {tolerance}",
+                      file=sys.stderr)
+                return 2
         else:
             print(f"unknown argument {arg!r}; usage: {usage}", file=sys.stderr)
+            return 2
+    baseline: Optional[dict] = None
+    if compare is not None:
+        # Read up front: --output may overwrite the baseline path.
+        try:
+            with open(compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {compare!r}: {exc}", file=sys.stderr)
             return 2
     doc = run_perf_suite(quick=quick, repeats=repeats, jobs=jobs, progress=print)
     with open(output, "w") as fh:
@@ -509,4 +748,17 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(format_results(doc))
     print(f"wrote {output}")
+    if baseline is not None:
+        failures = compare_results(doc, baseline, tolerance=tolerance)
+        if failures:
+            print(f"perf regression vs {compare} (tolerance {tolerance:.2f}):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 3
+        print(
+            f"compare vs {compare}: ok "
+            f"({len(baseline.get('benchmarks', {}))} benchmarks, "
+            f"tolerance {tolerance:.2f})"
+        )
     return 0

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import Observability, Span
 from ..sim import Event, RandomSource, Simulator
-from ..sim.engine import _PROCESSED
+from ..sim.engine import _PROCESSED, _TRIGGERED
 from .config import NetworkConfig
 
 __all__ = [
@@ -150,6 +150,8 @@ class QueuePair:
         self._draw_normal = rng._rng.normalvariate
         self._draw_uniform = rng._rng.random
         self._draw_pareto = rng._rng.paretovariate
+        # Bound once: every posted verb schedules exactly one completion.
+        self._call_later = fabric.sim.call_later
         # Wire constants, hoisted off the per-verb path. These fields are
         # construction-time fixed; straggler_prob stays a live read because
         # benchmarks toggle it mid-run. Same divisor as transfer_us, so the
@@ -271,27 +273,36 @@ class QueuePair:
         self._local_nic.count_tx(size_bytes)
         self._remote_nic.count_rx(size_bytes)
 
-        latency, parts = self._op_latency(
-            size_bytes, one_sided, want_parts=verb_span is not None
-        )
-        completion = max(self.sim.now + latency, self._last_completion)
-        if verb_span is not None:
+        if verb_span is None:
+            latency = self._op_latency(size_bytes, one_sided)
+            now = self.sim.now
+            completion = max(now + latency, self._last_completion)
+        else:
+            latency, parts = self._op_latency_parts(size_bytes, one_sided)
+            now = self.sim.now
+            completion = max(now + latency, self._last_completion)
             # Queueing = delay imposed by per-QP completion ordering.
-            parts["queue"] = completion - (self.sim.now + latency)
+            parts["queue"] = completion - (now + latency)
             for part, value in parts.items():
                 verb_span.set_tag(f"{part}_us", round(value, 4))
         self._last_completion = completion
         self._pending.append(event)
 
         def complete():
-            if event.triggered:
+            if event._state >= _TRIGGERED:
                 return  # already failed by a disconnect
-            try:
-                self._pending.remove(event)
-            except ValueError:
-                # The QP disconnected before this op's completion time:
-                # the data never arrived; fail_pending will fail it.
-                return
+            # Per-QP ordering means completions run in post order, so the
+            # event is almost always at the head of the pending deque.
+            pending = self._pending
+            if pending and pending[0] is event:
+                del pending[0]
+            else:
+                try:
+                    pending.remove(event)
+                except ValueError:
+                    # The QP disconnected before this op's completion time:
+                    # the data never arrived; fail_pending will fail it.
+                    return
             try:
                 result = action()
             except RemoteAccessError as exc:
@@ -310,24 +321,51 @@ class QueuePair:
             for callback in callbacks:
                 callback(event)
 
-        self.sim.call_later(completion - self.sim.now, complete)
+        self._call_later(completion - now, complete)
         return event
 
-    def _op_latency(self, size_bytes: int, one_sided: bool, want_parts: bool = False):
-        """Latency of one verb; with ``want_parts`` also returns the
-        additive wire/congestion/jitter/straggler decomposition (only
-        computed for traced verbs — the hot path skips the dict)."""
+    def _op_latency(self, size_bytes: int, one_sided: bool) -> float:
+        """Latency of one verb — scalar hot path, no parts bookkeeping.
+
+        Float-op sequence and RNG draw order are bit-identical to
+        :meth:`_op_latency_parts`; only the decomposition dict and the
+        intermediate part variables are skipped.
+        """
+        cfg = self.config
+        transfer = size_bytes / self._bytes_per_us
+        latency = self._base_latency_us + transfer
+        if not one_sided:
+            latency += self._send_recv_overhead_us
+        # Congestion from background flows on either endpoint NIC. Queuing
+        # delay grows with the *bytes* this op must push through the busy
+        # link (plus a small fixed queue-entry cost) — small split-sized
+        # messages interleave past bulk flows far better than whole pages,
+        # which is part of why Hydra divides pages (§4.1).
+        local_nic = self._local_nic
+        if local_nic is None:
+            local_nic = self._local_nic = self.fabric.nic(self.local_id)
+            self._remote_nic = self.fabric.nic(self.remote_id)
+        remote_nic = self._remote_nic
+        if local_nic.background_flows or remote_nic.background_flows:
+            inflation = max(local_nic.inflation(), remote_nic.inflation())
+            if inflation > 1.0:
+                latency += (inflation - 1.0) * (transfer + 0.2 * self._base_latency_us)
+        # Ordinary fabric jitter.
+        latency *= exp(self._draw_normal(0.0, self._jitter_sigma))
+        # Rare straggler events with a heavy tail.
+        if cfg.straggler_prob > 0 and self._draw_uniform() < cfg.straggler_prob:
+            latency += cfg.straggler_scale_us * self._draw_pareto(cfg.straggler_shape)
+        return latency
+
+    def _op_latency_parts(self, size_bytes: int, one_sided: bool):
+        """Latency of one verb plus the additive wire/congestion/jitter/
+        straggler decomposition — only computed for traced verbs."""
         cfg = self.config
         transfer = size_bytes / self._bytes_per_us
         wire = self._base_latency_us + transfer
         if not one_sided:
             wire += self._send_recv_overhead_us
         latency = wire
-        # Congestion from background flows on either endpoint NIC. Queuing
-        # delay grows with the *bytes* this op must push through the busy
-        # link (plus a small fixed queue-entry cost) — small split-sized
-        # messages interleave past bulk flows far better than whole pages,
-        # which is part of why Hydra divides pages (§4.1).
         local_nic = self._local_nic
         if local_nic is None:
             local_nic = self._local_nic = self.fabric.nic(self.local_id)
@@ -339,17 +377,13 @@ class QueuePair:
             if inflation > 1.0:
                 congestion = (inflation - 1.0) * (transfer + 0.2 * self._base_latency_us)
                 latency += congestion
-        # Ordinary fabric jitter.
         jittered = latency * exp(self._draw_normal(0.0, self._jitter_sigma))
         jitter = jittered - latency
         latency = jittered
-        # Rare straggler events with a heavy tail.
         straggler = 0.0
         if cfg.straggler_prob > 0 and self._draw_uniform() < cfg.straggler_prob:
             straggler = cfg.straggler_scale_us * self._draw_pareto(cfg.straggler_shape)
             latency += straggler
-        if not want_parts:
-            return latency, None
         return latency, {
             "wire": wire,
             "congestion": congestion,

@@ -37,6 +37,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -214,8 +215,9 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         # Timeouts dominate event volume; initialize the slots directly
-        # (no super().__init__) and leave the display name to __repr__ so
-        # the hot path never formats a string.
+        # (no super().__init__), schedule inline (no _schedule call), and
+        # leave the display name to __repr__ so the hot path never formats
+        # a string.
         self.sim = sim
         self.callbacks = []
         self._state = _TRIGGERED
@@ -223,7 +225,8 @@ class Timeout(Event):
         self._ok = True
         self.name = ""
         self.delay = delay
-        sim._schedule(self, delay=delay)
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now + delay, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout({self.delay:g}) {_STATE_NAMES[self._state]}>"
@@ -412,13 +415,20 @@ class Simulator:
         self.now: float = 0.0
         self._queue: List[tuple] = []
         self._seq = 0
-        self._active = 0  # number of events ever scheduled (diagnostics)
+
+    @property
+    def _active(self) -> int:
+        """Number of entries ever scheduled (diagnostics).
+
+        Every schedule bumps ``_seq`` exactly once, so the FIFO tiebreaker
+        doubles as the counter — one increment per entry instead of two.
+        """
+        return self._seq
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        self._active += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        _heappush(self._queue, (self.now + delay, seq, event))
 
     # -- factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -435,9 +445,8 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._seq += 1
-        self._active += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+        self._seq = seq = self._seq + 1
+        _heappush(self._queue, (self.now + delay, seq, fn))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that succeeds after ``delay`` simulated microseconds."""
@@ -491,22 +500,31 @@ class Simulator:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
         queue = self._queue
         pop = heapq.heappop
+        horizon = float("inf") if until is None else until
         while queue:
-            if until is not None and queue[0][0] > until:
+            when = queue[0][0]
+            if when > horizon:
                 break
-            when, _seq, event = pop(queue)
-            if isinstance(event, Event):
-                if event._state == _CANCELLED:
-                    continue  # revoked deadline: no clock advance, no work
-                self.now = when
-                callbacks = event.callbacks
-                event.callbacks = []
-                event._state = _PROCESSED
-                for callback in callbacks:
-                    callback(event)
-            else:
-                self.now = when
-                event()  # bare call_later callable
+            # Batched same-timestamp dispatch: everything scheduled for
+            # this instant drains without re-checking the horizon (entries
+            # created during dispatch land at >= `when`, so FIFO order is
+            # unchanged; same-time arrivals join this drain). Cancelled
+            # entries are discarded without advancing the clock.
+            while True:
+                event = pop(queue)[2]
+                if isinstance(event, Event):
+                    if event._state != _CANCELLED:
+                        self.now = when
+                        callbacks = event.callbacks
+                        event.callbacks = []
+                        event._state = _PROCESSED
+                        for callback in callbacks:
+                            callback(event)
+                else:
+                    self.now = when
+                    event()  # bare call_later callable
+                if not queue or queue[0][0] != when:
+                    break
         if until is not None:
             self.now = max(self.now, until)
 
@@ -518,8 +536,9 @@ class Simulator:
         """
         queue = self._queue
         pop = heapq.heappop
+        horizon = float("inf") if until is None else until
         while event._state == _PENDING and queue:
-            if until is not None and queue[0][0] > until:
+            if queue[0][0] > horizon:
                 break
             when, _seq, current = pop(queue)
             if isinstance(current, Event):

@@ -176,3 +176,167 @@ def test_batch_paths_match_per_page(seed):
     stack = np.stack([np.stack([s[i] for i in indices]) for s in singles])
     decoded = codec.decode_batch(indices, stack)
     assert decoded == pages
+
+
+def _call_correct(fn, received, max_errors, best_effort):
+    """Canonical outcome tuple: result bytes or classified error."""
+    try:
+        data, bad = fn(received, max_errors=max_errors, best_effort=best_effort)
+    except DecodeError as exc:
+        return ("err", str(exc), sorted(exc.suspect_indices))
+    return ("ok", data.tobytes(), bad)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_fast_correct_byte_identical_to_reference(seed):
+    """The residual-guided ``correct`` must match the exhaustive-scan
+    ``correct_reference`` byte for byte — data, localization lists, error
+    messages, and suspect indices — across random codecs, split subsets,
+    corruption counts (including none and too many), and both modes."""
+    rng = RandomSource(seed, "ec-prop/fast-vs-ref")
+    k = rng.randint(2, 6)
+    r = rng.randint(1, 4)
+    codec = PageCodec(k, r, page_size=rng.randint(max(k, 64), 512))
+    code = codec.code
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+
+    for _ in range(6):
+        m = rng.randint(k + 1, code.n)
+        chosen = rng.sample(range(code.n), m)
+        received = {i: splits[i].copy() for i in chosen}
+        for victim in rng.sample(chosen, rng.randint(0, min(2, m))):
+            received[victim] = _corrupt(rng, received[victim])
+        max_errors = rng.randint(1, 2)
+        best_effort = bool(rng.randint(0, 1))
+        fast = _call_correct(code.correct, dict(received), max_errors, best_effort)
+        ref = _call_correct(
+            code.correct_reference, dict(received), max_errors, best_effort
+        )
+        assert fast == ref
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_correct_matches_reference_at_mode_boundaries(seed):
+    """m = k + 2d + 1 (guaranteed) vs m = k + 2d (best-effort only): the
+    fast path must agree with the scan exactly at the threshold where the
+    acceptance rule changes shape."""
+    rng = RandomSource(seed, "ec-prop/boundary")
+    k = rng.randint(2, 5)
+    codec = PageCodec(k, 4, page_size=rng.randint(max(k, 64), 512))
+    code = codec.code
+    page = _random_page(rng, codec.page_size)
+    splits = codec.encode(page)
+
+    for m in (k + 2, k + 3):  # d=1: best-effort-only vs guaranteed
+        chosen = rng.sample(range(code.n), m)
+        received = {i: splits[i].copy() for i in chosen}
+        victim = rng.choice(chosen)
+        received[victim] = _corrupt(rng, received[victim])
+        for best_effort in (False, True):
+            fast = _call_correct(code.correct, dict(received), 1, best_effort)
+            ref = _call_correct(
+                code.correct_reference, dict(received), 1, best_effort
+            )
+            assert fast == ref
+            if m == k + 3 or best_effort:
+                assert fast[0] == "ok"
+                assert fast[1] == code.decode(
+                    {i: splits[i] for i in chosen if i != victim}
+                ).tobytes()
+                assert fast[2] == [victim]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_correct_batch_matches_per_page(seed):
+    rng = RandomSource(seed, "ec-prop/correct-batch")
+    k = rng.randint(2, 6)
+    r = rng.randint(2, 4)
+    codec = PageCodec(k, r, page_size=rng.randint(256, 1024))
+    pages = [_random_page(rng, codec.page_size) for _ in range(6)]
+    encoded = [codec.encode(page) for page in pages]
+    indices = sorted(rng.sample(range(codec.n), k + 2))
+    stack = np.stack([
+        np.stack([s[i] for i in indices]) for s in encoded
+    ])
+    dirty = rng.sample(range(len(pages)), 2)
+    for page_index in dirty:
+        row = rng.randint(0, len(indices) - 1)
+        stack[page_index, row] = _corrupt(rng, stack[page_index, row])
+
+    got_pages, got_bad = codec.correct_batch(
+        indices, stack, max_errors=1, best_effort=True
+    )
+    for page_index in range(len(pages)):
+        received = {
+            index: stack[page_index, row]
+            for row, index in enumerate(indices)
+        }
+        want_page, want_bad = codec.correct(
+            received, max_errors=1, best_effort=True
+        )
+        assert got_pages[page_index] == want_page == pages[page_index]
+        assert got_bad[page_index] == want_bad
+        assert (page_index in dirty) == bool(want_bad)
+
+
+def test_correct_batch_does_not_mutate_input_stack():
+    codec = PageCodec(4, 3, page_size=256)
+    pages = [bytes(range(256)) for _ in range(3)]
+    encoded = [codec.encode(page) for page in pages]
+    indices = list(range(codec.n))
+    stack = np.stack([np.stack([s[i] for i in indices]) for s in encoded])
+    stack[1, 2, :8] ^= 0x5A
+    snapshot = stack.copy()
+    got_pages, got_bad = codec.correct_batch(
+        indices, stack, max_errors=1, best_effort=True
+    )
+    assert np.array_equal(stack, snapshot)
+    assert got_pages[1] == pages[1]
+    assert got_bad == [[], [2], []]
+
+
+class TestCorrectErrorClassification:
+    """``correct`` failures are differentiated and carry suspects."""
+
+    def test_ambiguous_candidates(self):
+        # k=2, r=1, all three splits, one corruption: every 2-subset
+        # decodes to a distinct codeword agreeing with exactly 2 of 3
+        # splits — a tie the decoder must refuse to break.
+        codec = PageCodec(2, 1, page_size=64)
+        page = bytes(range(64))
+        splits = codec.encode(page)
+        received = {i: splits[i].copy() for i in range(3)}
+        received[1][0] ^= 0xFF
+        with pytest.raises(DecodeError, match="ambiguous correction"):
+            codec.correct(received, max_errors=1, best_effort=True)
+        try:
+            codec.correct(received, max_errors=1, best_effort=True)
+        except DecodeError as exc:
+            assert exc.suspect_indices == [0, 1, 2]
+
+    def test_more_errors_than_correctable(self):
+        # Guaranteed mode with two corruptions but max_errors=1: no
+        # candidate reaches the majority threshold.
+        codec = PageCodec(3, 3, page_size=96)
+        page = bytes(range(96))
+        splits = codec.encode(page)
+        received = {i: splits[i].copy() for i in range(6)}  # m = k + 3
+        received[0][0] ^= 0x01
+        received[4][0] ^= 0x02
+        with pytest.raises(DecodeError, match="more than 1 corrupted"):
+            codec.correct(received, max_errors=1)
+        try:
+            codec.correct(received, max_errors=1)
+        except DecodeError as exc:
+            assert exc.suspect_indices == []
+
+    def test_too_few_splits_precondition(self):
+        codec = PageCodec(4, 2, page_size=64)
+        splits = codec.encode(bytes(64))
+        received = {i: splits[i] for i in range(5)}  # m=5 < k+2d+1=7
+        with pytest.raises(DecodeError, match="needs 7 splits, got 5"):
+            codec.correct(received, max_errors=1)
+        received_k = {i: splits[i] for i in range(4)}  # m=4 < k+1
+        with pytest.raises(DecodeError, match="localization needs at least"):
+            codec.correct(received_k, max_errors=1, best_effort=True)

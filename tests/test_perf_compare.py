@@ -1,0 +1,152 @@
+"""Tests for the ``repro perf --compare`` regression gate.
+
+The gate (``compare_results``) has three rules: baseline benchmarks must
+be present, wall-clock rates may not drop below ``baseline * (1 -
+tolerance)``, and — when both documents ran the same mode — the
+simulated-time anchors must be *equal* (drift is a semantics change, not
+a perf regression). The CLI returns 3 on gate failure, 2 on usage
+errors, 0 when green.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness import perf
+from repro.harness.perf import compare_results
+
+
+def _doc(quick=True):
+    return {
+        "schema": "hydra-perf/1",
+        "quick": quick,
+        "benchmarks": {
+            "engine_events": {
+                "events": 40_008,
+                "sim_now_us": 5000.0,
+                "events_per_sec": 800_000,
+                "seconds": 0.05,
+            },
+            "ec_correct": {
+                "pages": 64,
+                "mb": 0.25,
+                "mb_per_sec": 40.0,
+                "seconds": 0.006,
+            },
+            "rm_end_to_end": {
+                "ops": 300,
+                "sim_now_us": 2672.57,
+                "pages_sha256": "abc123",
+                "pages_per_sec": 4500.0,
+                "seconds": 0.13,
+            },
+        },
+    }
+
+
+def test_identical_documents_pass():
+    assert compare_results(_doc(), _doc()) == []
+
+
+def test_rate_regression_fails():
+    current = _doc()
+    current["benchmarks"]["ec_correct"]["mb_per_sec"] = 10.0
+    failures = compare_results(current, _doc(), tolerance=0.2)
+    assert len(failures) == 1
+    assert "ec_correct" in failures[0] and "mb_per_sec" in failures[0]
+
+
+def test_rate_within_tolerance_passes():
+    current = _doc()
+    current["benchmarks"]["ec_correct"]["mb_per_sec"] = 33.0  # floor is 32
+    assert compare_results(current, _doc(), tolerance=0.2) == []
+
+
+def test_rate_improvement_passes():
+    current = _doc()
+    current["benchmarks"]["ec_correct"]["mb_per_sec"] = 400.0
+    assert compare_results(current, _doc(), tolerance=0.0) == []
+
+
+def test_missing_benchmark_fails():
+    current = _doc()
+    del current["benchmarks"]["rm_end_to_end"]
+    failures = compare_results(current, _doc())
+    assert failures == ["rm_end_to_end: present in baseline but missing from run"]
+
+
+def test_benchmark_only_in_current_is_ignored():
+    current = _doc()
+    current["benchmarks"]["rm_corrupted"] = {"pages_per_sec": 1.0}
+    assert compare_results(current, _doc()) == []
+
+
+def test_anchor_drift_fails_at_any_tolerance():
+    current = _doc()
+    current["benchmarks"]["rm_end_to_end"]["pages_sha256"] = "def456"
+    failures = compare_results(current, _doc(), tolerance=0.99)
+    assert len(failures) == 1
+    assert "anchor pages_sha256 moved" in failures[0]
+
+
+def test_anchors_not_compared_across_modes():
+    current = _doc(quick=False)
+    current["benchmarks"]["rm_end_to_end"]["pages_sha256"] = "def456"
+    current["benchmarks"]["rm_end_to_end"]["sim_now_us"] = 9999.0
+    assert compare_results(current, _doc(quick=True)) == []
+
+
+def test_anchor_fields_absent_from_baseline_are_skipped():
+    # A baseline recorded before an anchor existed must still compare.
+    baseline = _doc()
+    del baseline["benchmarks"]["rm_end_to_end"]["pages_sha256"]
+    assert compare_results(_doc(), baseline) == []
+
+
+class TestCli:
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        doc = _doc()
+        monkeypatch.setattr(perf, "run_perf_suite", lambda **kw: copy.deepcopy(doc))
+        monkeypatch.setattr(perf, "format_results", lambda d: "(fake results)")
+        return doc
+
+    def test_green_gate_exits_zero(self, tmp_path, fake_suite):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_doc()))
+        out = tmp_path / "out.json"
+        assert perf.main(["--compare", str(base), "--output", str(out)]) == 0
+        assert json.loads(out.read_text())["schema"] == "hydra-perf/1"
+
+    def test_regression_exits_three(self, tmp_path, fake_suite):
+        baseline = _doc()
+        baseline["benchmarks"]["ec_correct"]["mb_per_sec"] = 4000.0
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(baseline))
+        out = tmp_path / "out.json"
+        assert (
+            perf.main(
+                ["--compare", str(base), "--tolerance", "0.5",
+                 "--output", str(out)]
+            )
+            == 3
+        )
+
+    def test_baseline_read_before_output_overwrites(self, tmp_path, fake_suite):
+        # --compare and --output pointing at the same file: the baseline
+        # must be the pre-run bytes, so a green self-compare exits 0 even
+        # though the run rewrites the file.
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(_doc()))
+        assert perf.main(["--compare", str(path), "--output", str(path)]) == 0
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, fake_suite):
+        assert (
+            perf.main(["--compare", str(tmp_path / "missing.json")]) == 2
+        )
+
+    def test_bad_tolerance_exits_two(self, fake_suite):
+        assert perf.main(["--tolerance", "1.5"]) == 2
+        assert perf.main(["--tolerance"]) == 2
+        assert perf.main(["--compare"]) == 2

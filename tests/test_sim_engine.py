@@ -373,3 +373,63 @@ class TestCancel:
         process = sim.process(target())
         sim.run_until_triggered(process, until=100)
         assert process.value == "done"
+
+
+class TestBatchedDispatch:
+    """The run() loop drains same-timestamp entries as one batch; these
+    pin the visible contract: FIFO order, same-time arrivals joining the
+    batch, and cancelled entries never advancing the clock."""
+
+    def test_same_timestamp_fifo_order(self, sim):
+        seen = []
+        sim.call_later(5.0, lambda: seen.append("early"))
+        for i in range(5):
+            sim.call_later(10.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == ["early", 0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+
+    def test_same_time_arrivals_join_the_drain(self, sim):
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.call_later(0.0, lambda: seen.append("second"))
+
+        sim.call_later(3.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 3.0
+
+    def test_trailing_cancelled_entries_leave_clock(self, sim):
+        sim.timeout(10.0)
+        doomed = sim.timeout(50.0)
+        doomed.cancel()
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_cancelled_entry_inside_a_batch_is_skipped(self, sim):
+        seen = []
+        kept = sim.timeout(10.0)
+        doomed = sim.timeout(10.0)
+        kept.callbacks.append(lambda e: seen.append("kept"))
+        doomed.callbacks.append(lambda e: seen.append("doomed"))
+        doomed.cancel()
+        sim.run()
+        assert seen == ["kept"]
+        assert sim.now == 10.0
+
+    def test_horizon_stops_before_later_batch(self, sim):
+        seen = []
+        sim.call_later(10.0, lambda: seen.append("in"))
+        sim.call_later(20.0, lambda: seen.append("out"))
+        sim.run(until=15.0)
+        assert seen == ["in"]
+        assert sim.now == 15.0
+
+    def test_active_counts_every_schedule(self, sim):
+        base = sim._active
+        sim.timeout(1.0)
+        sim.call_later(2.0, lambda: None)
+        sim.event().succeed()
+        assert sim._active == base + 3
