@@ -28,10 +28,15 @@ def main(argv=None) -> int:
         from repro.parallel.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.obs.top import main as top_main
+
+        return top_main(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r}; "
-            "usage: python -m repro [trace ... | perf ... | chaos ... | bench ...]"
+            "usage: python -m repro "
+            "[trace ... | perf ... | chaos ... | bench ... | top ...]"
         )
         return 2
 

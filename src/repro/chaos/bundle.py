@@ -6,6 +6,9 @@ A bundle is a directory containing:
 * ``report.json`` — the full run report with the invariant verdicts;
 * ``trace.json`` — Chrome/Perfetto ``trace_event`` timeline of the run
   (load in https://ui.perfetto.dev), when tracing was enabled;
+* ``flight.json`` — the flight-recorder ring (recent sampler deltas,
+  fault events, health transitions, violations), when an invariant was
+  violated or an SLO breached;
 * ``shrunk_schedule.json`` / ``shrunk_report.json`` — the minimal
   counterexample, when the shrinker ran;
 * ``README.txt`` — the exact replay commands.
@@ -16,6 +19,7 @@ produces byte-identical ``schedule.json`` and ``report.json``.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Optional
 
@@ -51,6 +55,18 @@ def write_bundle(
             trace_path = os.path.join(out_dir, "trace.json")
             obs.export_trace(trace_path)
             written.append(trace_path)
+        # Flight-recorder dump: the last N telemetry records (sampler
+        # deltas, fault events, health transitions, violations) before
+        # the run ended — written whenever an invariant was violated or
+        # an SLO breached, the black-box for the post-mortem.
+        flight = getattr(obs, "flight", None)
+        health = result.report.get("health", {})
+        if flight is not None and len(flight) and (
+            result.violations or health.get("breaches")
+        ):
+            emit("flight.json", json.dumps(
+                flight.to_dict(), indent=2, sort_keys=True
+            ))
 
     if shrunk is not None:
         emit("shrunk_schedule.json", shrunk.schedule.to_json())
@@ -96,7 +112,9 @@ def _readme(result: ChaosResult, shrunk: Optional[ChaosResult]) -> str:
     lines += [
         "Files: schedule.json (canonical fault schedule), report.json",
         "(invariant report), trace.json (Perfetto timeline — open in",
-        "https://ui.perfetto.dev), shrunk_schedule.json/shrunk_report.json",
+        "https://ui.perfetto.dev), flight.json (flight-recorder ring of",
+        "recent telemetry, on violation/SLO breach),",
+        "shrunk_schedule.json/shrunk_report.json",
         "(minimal counterexample, when the shrinker ran).",
     ]
     return "\n".join(lines)

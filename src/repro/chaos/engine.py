@@ -131,6 +131,7 @@ def run_chaos(
     *,
     inject_bug: Optional[str] = None,
     trace: bool = False,
+    frame_listener=None,
 ) -> ChaosResult:
     """Run one chaos campaign and return its result.
 
@@ -141,6 +142,8 @@ def run_chaos(
     fault in the system under test (``"drop_parity"``) so the checkers
     can prove they catch real data loss. ``trace`` enables full span
     collection so a violation bundle can ship a Perfetto timeline.
+    ``frame_listener`` receives every sampler frame as it is taken —
+    the live ``repro top`` dashboard hook.
     """
     config = config or ChaosConfig()
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
@@ -163,12 +166,22 @@ def run_chaos(
     if inject_bug == "drop_parity":
         rm.debug_drop_parity = True
 
+    # Telemetry: sampler + SLO health every ControlPeriod, flight ring
+    # for the repro bundle. Read-only — never perturbs the campaign.
+    sampler = cluster.obs.enable_monitoring(
+        cluster, rms=[rm], period_us=config.control_period_us
+    )
+    health = cluster.obs.health
+    if frame_listener is not None:
+        sampler.add_listener(frame_listener)
+
     monitor = InvariantMonitor(
         cluster,
         rm,
         hydra_config,
         check_interval_us=config.check_interval_us,
         confirm_grace_us=config.confirm_grace_us,
+        flight=cluster.obs.flight,
     )
     rm.add_observer(monitor)
     monitor.start()
@@ -232,6 +245,13 @@ def run_chaos(
 
     def apply_event(index: int, event) -> None:
         """Fire one schedule event (called at its time, zero sim cost)."""
+        cluster.obs.flight.note(
+            "fault",
+            sim.now,
+            index=index,
+            event=event.kind,
+            machines=sorted(event.machines),
+        )
         if event.kind in ("crash", "outage"):
             for victim in event.machines:
                 failures.crash_at(
@@ -337,6 +357,11 @@ def run_chaos(
         "workload": dict(sorted(workload.items())),
         "rm_events": dict(sorted(rm.events.counts.items())),
         "invariants": monitor.report(),
+        "health": health.report(),
+        "latency": {
+            "read": rm.read_latency.hist.to_dict(),
+            "write": rm.write_latency.hist.to_dict(),
+        },
         "ok": monitor.ok,
     }
     return ChaosResult(

@@ -79,11 +79,15 @@ class InvariantMonitor:
         check_interval_us: float = 100_000.0,
         confirm_grace_us: float = 50_000.0,
         liveness_timeout_us: Optional[float] = None,
+        flight=None,
     ):
         self.cluster = cluster
         self.rm = rm
         self.config = config
         self.sim = cluster.sim
+        # Optional FlightRecorder: violations land in the ring so the
+        # repro bundle's flight.json shows what led up to them.
+        self.flight = flight
         self.check_interval_us = check_interval_us
         self.confirm_grace_us = confirm_grace_us
         # One full RPC round plus the silent-target timeout, twice over:
@@ -405,3 +409,11 @@ class InvariantMonitor:
                 page_id=page_id,
             )
         )
+        if self.flight is not None:
+            self.flight.note(
+                "violation",
+                self.sim.now,
+                invariant=invariant,
+                page_id=page_id,
+                detail=detail,
+            )

@@ -42,6 +42,8 @@ def run_soak_shard(seed: int, config: ChaosConfig, inject_bug: Optional[str] = N
         "schedule_events": len(result.schedule),
         "event_kinds": result.report["event_kinds"],
         "workload": result.report["workload"],
+        "health": result.report["health"],
+        "latency": result.report["latency"],
         "report_sha256": hashlib.sha256(
             result.report_json().encode()
         ).hexdigest(),
@@ -65,7 +67,12 @@ def run_soak(
     ``"error"`` set and count against ``ok`` — a soak never silently
     drops a seed.
     """
-    from ..parallel import ShardTask, resolve_jobs, run_shards
+    from ..parallel import (
+        ShardTask,
+        merge_histogram_dicts,
+        resolve_jobs,
+        run_shards,
+    )
 
     if count < 1:
         raise ValueError(f"soak needs at least 1 seed, got {count}")
@@ -99,6 +106,24 @@ def run_soak(
                     "violations": [],
                 }
             )
+    # Soak-wide latency distributions: per-seed campaign histograms merge
+    # exactly (bucket counts add), so the merged buckets and percentiles
+    # are byte-identical for every ``-j`` value.
+    latency = {}
+    for direction in ("read", "write"):
+        payloads = [
+            entry["latency"][direction]
+            for entry in seeds
+            if entry.get("latency")
+        ]
+        if payloads:
+            merged = merge_histogram_dicts(payloads)
+            latency[direction] = {
+                "count": merged.count,
+                **(merged.percentiles() if merged.count else {}),
+                "histogram": merged.to_dict(),
+            }
+
     return {
         "schema": SOAK_SCHEMA,
         "base_seed": base_seed,
@@ -106,6 +131,7 @@ def run_soak(
         "inject_bug": inject_bug,
         "config": config.to_dict(),
         "seeds": seeds,
+        "latency": latency,
         "violating_seeds": [entry["seed"] for entry in seeds if not entry["ok"]],
         "ok": all(entry["ok"] for entry in seeds),
     }

@@ -227,6 +227,9 @@ class ResilienceManager:
         self.read_latency = metrics.latency(f"rm.{machine_id}.read")
         self.write_latency = metrics.latency(f"rm.{machine_id}.write")
         self.events = metrics.counter_group(f"rm.{machine_id}.events")
+        # Completions per 1-second window — throughput-over-time for the
+        # dashboard / Fig 2-style timelines without retaining per-op data.
+        self.ops_window = metrics.throughput(f"rm.{machine_id}.ops")
 
         endpoint.register("evict_slab", self._on_evict_notice)
         endpoint.register("slab_regenerated", self._on_slab_regenerated)
@@ -314,6 +317,12 @@ class ResilienceManager:
     @property
     def memory_overhead(self) -> float:
         return self.config.memory_overhead
+
+    @property
+    def open_regen_count(self) -> int:
+        """Regenerations currently in flight — the health monitor's
+        regeneration-backlog SLO input."""
+        return len(self._regenerating)
 
     def remote_pages(self) -> int:
         """Pages currently tracked in remote memory."""
@@ -424,6 +433,7 @@ class ResilienceManager:
 
                     full_done.callbacks.append(_notify_durable)
             self.write_latency.record(self.sim.now - start)
+            self.ops_window.record(self.sim.now)
             self.events.incr("writes")
             return None
 
@@ -713,6 +723,7 @@ class ResilienceManager:
         if self._observers:
             self._notify("on_read_done", page_id, version, page, start)
         self.read_latency.record(self.sim.now - start)
+        self.ops_window.record(self.sim.now)
         return page
 
     def _read_with_correction(

@@ -66,6 +66,9 @@ class ResourceMonitor:
         self.tracer = tracer
         self.metrics = metrics
         self.events = metrics.counter_group(f"monitor.{machine.id}.events")
+        # Headroom over time: one point per ControlPeriod, the watermark
+        # series the health monitor and ``repro top`` read.
+        self.free_series = metrics.timeseries(f"monitor.{machine.id}.free_fraction")
         self._daemon = None
 
         endpoint.register("query_load", self._on_query_load)
@@ -89,6 +92,7 @@ class ResourceMonitor:
                 continue
             self.machine.record_usage()
             free_fraction = self.machine.free_bytes / self.machine.total_memory_bytes
+            self.free_series.record(self.sim.now, free_fraction)
             # One sampled span per ControlPeriod iteration: headroom state
             # plus which arm (defense vs proactive allocation) ran.
             span = self.tracer.start_trace(

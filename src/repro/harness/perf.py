@@ -69,6 +69,7 @@ PERF_BENCH_NAMES = (
     "ec_batch_decode",
     "rm_end_to_end",
     "rm_corrupted",
+    "obs_overhead",
 )
 
 _EC_OPS = (
@@ -103,6 +104,8 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
         "pages_sha256",
         "read_p50_us",
         "write_p50_us",
+        "read_hist",
+        "write_hist",
         "queue_entries",
     ),
     "rm_corrupted": (
@@ -111,6 +114,13 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
         "pages_sha256",
         "corrected_reads",
         "healed_splits",
+    ),
+    "obs_overhead": (
+        "ops",
+        "sim_now_us",
+        "pages_sha256",
+        "frames",
+        "health_transitions",
     ),
 }
 
@@ -420,6 +430,8 @@ def bench_rm_end_to_end(ops: int, repeats: int) -> dict:
             "pages_sha256": digest.hexdigest(),
             "read_p50_us": rm.read_latency.p50,
             "write_p50_us": rm.write_latency.p50,
+            "read_hist": rm.read_latency.hist.to_dict(),
+            "write_hist": rm.write_latency.hist.to_dict(),
             "queue_entries": sim._active,
         }
 
@@ -434,6 +446,8 @@ def bench_rm_end_to_end(ops: int, repeats: int) -> dict:
         "pages_sha256": payload["pages_sha256"],
         "read_p50_us": payload["read_p50_us"],
         "write_p50_us": payload["write_p50_us"],
+        "read_hist": payload["read_hist"],
+        "write_hist": payload["write_hist"],
         "queue_entries": payload["queue_entries"],
     }
 
@@ -497,6 +511,83 @@ def bench_rm_corrupted(ops: int, repeats: int) -> dict:
     }
 
 
+def bench_obs_overhead(ops: int, repeats: int) -> dict:
+    """Wall-clock cost of the full telemetry stack on the hot data path.
+
+    Runs the :func:`bench_rm_end_to_end` workload twice: once with the
+    cluster sampler + SLO health monitor + flight recorder enabled (what
+    every chaos run and ``repro top`` pay), once bare. The telemetry is
+    read-only with respect to the simulation, so the simulated-time
+    anchors (``sim_now_us``, ``pages_sha256``) must equal the bare run's
+    — and ``rm_end_to_end``'s — exactly; only wall seconds may differ.
+    ``overhead_pct`` is informational; the gated rate is the monitored
+    run's ``pages_per_sec`` (the ≤5%% budget shows up as this staying
+    within the ``--compare`` tolerance of its baseline).
+    """
+
+    def variant(monitored: bool) -> Callable[[], dict]:
+        def workload() -> dict:
+            hydra = build_hydra_cluster(machines=12, k=8, r=2, delta=1, seed=1)
+            rm = hydra.remote_memory(0)
+            sim = hydra.sim
+            if monitored:
+                # The data path spans only a few simulated ms, so sample
+                # every 200 sim-us (~1 frame per 22 ops, 100x denser than
+                # the production 20 ms ControlPeriod) — dense enough that
+                # a sampler regression moves the number, sparse enough
+                # that the steady-state cost stays inside the ~5% budget.
+                hydra.cluster.obs.enable_monitoring(
+                    hydra.cluster, rms=[rm], period_us=200.0
+                )
+            make_page = page_generator()
+            pages = [make_page(pid) for pid in range(64)]
+            digest = hashlib.sha256()
+
+            def driver():
+                for i in range(ops):
+                    pid = i % 64
+                    yield rm.write(pid, pages[pid])
+                    data = yield rm.read(pid)
+                    digest.update(data)
+
+            run_process(sim, sim.process(driver(), name="perf-rm-obs"), until=1e12)
+            payload = {
+                "sim_now_us": sim.now,
+                "pages_sha256": digest.hexdigest(),
+            }
+            if monitored:
+                obs = hydra.cluster.obs
+                payload["frames"] = obs.sampler.frames
+                payload["health_transitions"] = len(obs.health.transitions)
+            return payload
+
+        return workload
+
+    on_seconds, on_payload = _best_of(variant(True), repeats)
+    off_seconds, off_payload = _best_of(variant(False), repeats)
+    if on_payload["sim_now_us"] != off_payload["sim_now_us"] or (
+        on_payload["pages_sha256"] != off_payload["pages_sha256"]
+    ):
+        raise RuntimeError(
+            "telemetry perturbed the simulation: monitored and bare runs "
+            "diverged on simulated-time anchors"
+        )
+    page_ops = 2 * ops
+    return {
+        "ops": ops,
+        "page_ops": page_ops,
+        "seconds": round(on_seconds, 6),
+        "baseline_seconds": round(off_seconds, 6),
+        "pages_per_sec": round(page_ops / on_seconds, 1),
+        "baseline_pages_per_sec": round(page_ops / off_seconds, 1),
+        "overhead_pct": round(100.0 * (on_seconds - off_seconds) / off_seconds, 2),
+        "sim_now_us": on_payload["sim_now_us"],
+        "pages_sha256": on_payload["pages_sha256"],
+        "frames": on_payload["frames"],
+        "health_transitions": on_payload["health_transitions"],
+    }
+
+
 # ----------------------------------------------------------------------
 # suite driver
 # ----------------------------------------------------------------------
@@ -519,6 +610,8 @@ def run_perf_shard(name: str, quick: bool, repeats: int) -> Dict[str, dict]:
         return {"rm_end_to_end": bench_rm_end_to_end(rm_ops, repeats)}
     if name == "rm_corrupted":
         return {"rm_corrupted": bench_rm_corrupted(rm_corrupt_ops, repeats)}
+    if name == "obs_overhead":
+        return {"obs_overhead": bench_obs_overhead(rm_ops, repeats)}
     raise ValueError(f"unknown perf shard {name!r}")
 
 
@@ -673,6 +766,13 @@ def format_results(doc: dict) -> str:
         f"  ({rc['corrected_reads']} corrected reads, "
         f"{rc['healed_splits']} healed splits in {rc['seconds']:.3f}s)"
     )
+    if "obs_overhead" in b:
+        ov = b["obs_overhead"]
+        lines.append(
+            f"  obs_overhead           {ov['pages_per_sec']:>12,.1f} pages/s"
+            f"  (telemetry on, {ov['overhead_pct']:+.1f}% vs bare "
+            f"{ov['baseline_pages_per_sec']:,.1f}, {ov['frames']} frames)"
+        )
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ __all__ = [
     "span_phase_breakdown",
     "format_breakdown",
     "format_kv",
+    "sparkline",
 ]
 
 
@@ -91,6 +92,20 @@ def _spark(fraction: float) -> str:
     fraction = min(max(fraction, 0.0), 1.0)
     index = int(round(fraction * (len(_SPARK_CHARS) - 1)))
     return _SPARK_CHARS[index]
+
+
+def sparkline(values: Sequence[float], width: int = 16,
+              lo: float = 0.0, hi: float = 1.0) -> str:
+    """A fixed-width ASCII sparkline of the last ``width`` values.
+
+    Values are clamped to ``[lo, hi]``; shorter histories left-pad with
+    spaces so columns stay aligned (``repro top``'s history column).
+    """
+    if hi <= lo:
+        raise ValueError(f"sparkline needs hi > lo, got [{lo}, {hi}]")
+    tail = list(values)[-width:]
+    marks = "".join(_spark((v - lo) / (hi - lo)) for v in tail)
+    return marks.rjust(width)
 
 
 def _distribution(durations: Sequence[float]) -> Dict[str, float]:

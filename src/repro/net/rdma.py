@@ -442,6 +442,17 @@ class RdmaFabric:
             self._qps[key] = pair
         return pair
 
+    def queue_depth(self, machine_id: int) -> int:
+        """Outstanding verbs posted by ``machine_id`` across all of its
+        QPs — the dashboard's per-machine queue-depth gauge. Walks only
+        existing QPs (no allocation), so samplers can call it every
+        ControlPeriod without perturbing the run."""
+        return sum(
+            len(pair._pending)
+            for (local_id, _remote_id), pair in self._qps.items()
+            if local_id == machine_id
+        )
+
     def reachable(self, a: int, b: int) -> bool:
         """True when both endpoints are alive and not partitioned."""
         if not self._machines[a].alive or not self._machines[b].alive:

@@ -1,30 +1,40 @@
-"""Observability: simulated-time tracing + unified metrics registry.
+"""Observability: simulated-time tracing, metrics, health, dashboards.
 
 The observability spine of the reproduction: a :class:`Tracer` producing
 per-request span trees on the simulator clock, a
-:class:`MetricsRegistry` unifying the counters/recorders that used to be
-scattered per object, and exporters to JSON-lines and Chrome
-``trace_event`` (Perfetto) formats.
+:class:`MetricsRegistry` unifying the counters/recorders/histograms that
+used to be scattered per object, a :class:`ClusterSampler` +
+:class:`HealthMonitor` pair turning cumulative metrics into windowed
+rates and SLO verdicts, a :class:`FlightRecorder` ring for post-mortem
+bundles, and exporters to JSON-lines, Chrome ``trace_event`` (Perfetto,
+including counter tracks) and Prometheus text formats.
 
 One :class:`Observability` bundle is created per cluster and threaded
 through the fabric, Resilience Managers, Resource Monitors, pager, and
-baselines, so `python -m repro trace <scenario>` can decompose any
-request end to end. Tracing defaults to OFF (sampling 0) — it costs one
-branch per request until enabled.
+baselines, so ``python -m repro trace <scenario>`` can decompose any
+request end to end and ``python -m repro top`` can render cluster
+health. Tracing defaults to OFF (sampling 0) — it costs one branch per
+request until enabled; sampling/health are opt-in via
+:meth:`Observability.enable_monitoring`.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..sim import RandomSource
+from ..sim import Histogram, RandomSource
 from .export import (
     chrome_trace,
+    counter_events,
+    prometheus_text,
     read_jsonl,
     span_from_dict,
     span_to_dict,
     write_chrome_trace,
     write_jsonl,
 )
+from .flight import FlightRecorder
+from .health import HealthMonitor, SloRule, default_slo_rules
 from .metrics import CounterGroup, MetricsRegistry, ScalarCounter
+from .sampler import ClusterSampler
 from .tracing import NULL_PHASES, PhaseClock, Span, Tracer
 
 __all__ = [
@@ -36,7 +46,15 @@ __all__ = [
     "MetricsRegistry",
     "ScalarCounter",
     "CounterGroup",
+    "Histogram",
+    "ClusterSampler",
+    "HealthMonitor",
+    "SloRule",
+    "default_slo_rules",
+    "FlightRecorder",
     "chrome_trace",
+    "counter_events",
+    "prometheus_text",
     "read_jsonl",
     "span_from_dict",
     "span_to_dict",
@@ -47,10 +65,13 @@ __all__ = [
 
 @dataclass
 class Observability:
-    """The tracer + registry pair shared by one cluster."""
+    """The tracer + registry + flight-recorder bundle of one cluster."""
 
     tracer: Tracer
     metrics: MetricsRegistry
+    flight: FlightRecorder = field(default_factory=FlightRecorder)
+    sampler: "ClusterSampler" = field(default=None, repr=False)
+    health: "HealthMonitor" = field(default=None, repr=False)
 
     @classmethod
     def create(cls, sim, sample_every: int = 0, seed: int = 0) -> "Observability":
@@ -62,6 +83,35 @@ class Observability:
             metrics=MetricsRegistry(),
         )
 
+    def enable_monitoring(
+        self,
+        cluster,
+        rms=(),
+        *,
+        period_us: float = 20_000.0,
+        rules=None,
+    ) -> "ClusterSampler":
+        """Attach and start a sampler + health monitor on ``cluster``.
+
+        Idempotent per bundle. The sampler is read-only with respect to
+        the simulation (no RNG draws, no state mutation), so turning
+        monitoring on never changes a seeded run's data-path outcome.
+        """
+        if self.sampler is None:
+            self.sampler = ClusterSampler(
+                cluster,
+                rms=rms,
+                period_us=period_us,
+                registry=self.metrics,
+                flight=self.flight,
+            )
+            self.health = HealthMonitor(
+                rules, registry=self.metrics, flight=self.flight
+            )
+            self.sampler.add_listener(self.health.observe)
+            self.sampler.start()
+        return self.sampler
+
     def enable_tracing(self, sample_every: int = 1) -> None:
         """Turn on span collection mid-run (chaos runs trace everything so
         a violation's repro bundle can ship the full Perfetto timeline)."""
@@ -69,5 +119,9 @@ class Observability:
 
     def export_trace(self, path: str) -> int:
         """Write every finished span as a Chrome/Perfetto trace; returns
-        the exported event count."""
-        return write_chrome_trace(self.tracer.finished_spans(), path)
+        the exported event count. When monitoring is on, the sampler's
+        time series ride along as Perfetto counter tracks."""
+        counters = counter_events(self.metrics) if self.sampler is not None else ()
+        return write_chrome_trace(
+            self.tracer.finished_spans(), path, counters=counters
+        )

@@ -1,6 +1,6 @@
-"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+"""Telemetry exporters: JSON-lines, Chrome ``trace_event``, Prometheus.
 
-Two formats, two audiences:
+Three formats, three audiences:
 
 * **JSONL** — one span per line, lossless, made for programmatic
   round-trips (tests, offline breakdown analysis, diffing two runs);
@@ -9,7 +9,13 @@ Two formats, two audiences:
   Simulated microseconds map 1:1 onto the format's ``ts``/``dur`` unit;
   each machine becomes a process track (``pid``) and each sampled request
   gets its own lane (``tid`` = trace id) so overlapping requests never
-  corrupt each other's nesting.
+  corrupt each other's nesting. Registry time series additionally export
+  as counter ("C") events — Perfetto renders them as counter tracks
+  alongside the spans (free fraction, queue depth, windowed p99);
+* **Prometheus text exposition** — a point-in-time scrape of the whole
+  registry (counters, histograms with cumulative ``le`` buckets, latency
+  summaries, gauges) for piping the simulated cluster into standard
+  dashboards or just diffing two runs with standard tooling.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List
 
+from ..sim.trace import Histogram, LatencyRecorder, ThroughputWindow, TimeSeries
+from .metrics import MetricsRegistry, ScalarCounter
 from .tracing import Span
 
 __all__ = [
@@ -26,6 +34,8 @@ __all__ = [
     "read_jsonl",
     "chrome_trace",
     "write_chrome_trace",
+    "counter_events",
+    "prometheus_text",
 ]
 
 
@@ -84,12 +94,14 @@ def read_jsonl(path: str) -> List[Span]:
     return spans
 
 
-def chrome_trace(spans: Iterable[Span]) -> Dict:
+def chrome_trace(spans: Iterable[Span], counters: Iterable[Dict] = ()) -> Dict:
     """Build a Chrome ``trace_event`` document from finished spans.
 
     Uses complete ("X") events. ``pid`` is the machine, ``tid`` the trace
     lane; span/parent ids ride along in ``args`` so tooling can rebuild
-    the tree from the exported file alone.
+    the tree from the exported file alone. ``counters`` appends
+    pre-built counter ("C") events (see :func:`counter_events`) so
+    Perfetto shows gauge tracks next to the request spans.
     """
     events: List[Dict] = []
     pids = set()
@@ -114,6 +126,8 @@ def chrome_trace(spans: Iterable[Span]) -> Dict:
                 "args": args,
             }
         )
+    counters = list(counters)
+    pids.update(event["pid"] for event in counters)
     metadata = [
         {
             "name": "process_name",
@@ -124,15 +138,141 @@ def chrome_trace(spans: Iterable[Span]) -> Dict:
         for pid in sorted(pids)
     ]
     return {
-        "traceEvents": metadata + events,
+        "traceEvents": metadata + events + counters,
         "displayTimeUnit": "ms",
         "otherData": {"time_unit": "simulated microseconds"},
     }
 
 
-def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+def write_chrome_trace(
+    spans: Iterable[Span], path: str, counters: Iterable[Dict] = ()
+) -> int:
     """Write a Chrome/Perfetto-loadable trace; returns the event count."""
-    document = chrome_trace(spans)
+    document = chrome_trace(spans, counters=counters)
     with open(path, "w") as fh:
         json.dump(document, fh)
     return sum(1 for e in document["traceEvents"] if e["ph"] == "X")
+
+
+def counter_events(registry: MetricsRegistry, prefix: str = "sample.") -> List[Dict]:
+    """Chrome counter ("C") events from every registry time series.
+
+    Each ``sample.machine.<id>.*`` series lands on that machine's process
+    track; cluster-wide series (windowed p99, open regens) land on the
+    cluster track (``pid`` -1). One event per recorded point — sampler
+    series are bounded by run length / ControlPeriod, never by op count.
+    """
+    events: List[Dict] = []
+    for name in registry.names():
+        if prefix and not name.startswith(prefix):
+            continue
+        metric = registry.get(name)
+        if not isinstance(metric, TimeSeries):
+            continue
+        pid = -1
+        label = name
+        parts = name.split(".")
+        if len(parts) >= 4 and parts[0] == "sample" and parts[1] == "machine":
+            try:
+                pid = int(parts[2])
+                label = ".".join(parts[3:])
+            except ValueError:
+                pid = -1
+        for time_us, value in zip(metric.times, metric.values):
+            events.append(
+                {
+                    "name": label,
+                    "ph": "C",
+                    "ts": time_us,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Prometheus text exposition (v0.0.4) of the whole registry.
+
+    Dotted registry names become the ``name`` label of a per-kind metric
+    family — ``rm.0.read`` does not have to be mangled into an identifier
+    and relabeling stays trivial. Output is sorted by registry name, so
+    two scrapes of identical registries are byte-identical.
+    """
+    counters: List[str] = []
+    gauges: List[str] = []
+    throughputs: List[str] = []
+    summaries: List[str] = []
+    histograms: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        label = f'name="{_prom_escape(name)}"'
+        if isinstance(metric, ScalarCounter):
+            counters.append(f"{namespace}_counter_total{{{label}}} {metric.value}")
+        elif isinstance(metric, LatencyRecorder):
+            if metric.count == 0:
+                continue
+            for pct in (50.0, 90.0, 99.0):
+                summaries.append(
+                    f'{namespace}_latency_us{{{label},quantile="{pct / 100:g}"}} '
+                    f"{_prom_number(metric.percentile(pct))}"
+                )
+            summaries.append(
+                f"{namespace}_latency_us_sum{{{label}}} "
+                f"{_prom_number(metric.hist.sum)}"
+            )
+            summaries.append(
+                f"{namespace}_latency_us_count{{{label}}} {metric.count}"
+            )
+        elif isinstance(metric, Histogram):
+            if metric.count == 0:
+                continue
+            for upper, cumulative in metric.cumulative_buckets():
+                histograms.append(
+                    f"{namespace}_histogram_bucket"
+                    f'{{{label},le="{_prom_number(upper)}"}} {cumulative}'
+                )
+            histograms.append(
+                f'{namespace}_histogram_bucket{{{label},le="+Inf"}} '
+                f"{metric.count}"
+            )
+            histograms.append(
+                f"{namespace}_histogram_sum{{{label}}} {_prom_number(metric.sum)}"
+            )
+            histograms.append(
+                f"{namespace}_histogram_count{{{label}}} {metric.count}"
+            )
+        elif isinstance(metric, TimeSeries):
+            if len(metric):
+                gauges.append(
+                    f"{namespace}_gauge{{{label}}} {_prom_number(metric.last())}"
+                )
+        elif isinstance(metric, ThroughputWindow):
+            throughputs.append(
+                f"{namespace}_throughput_total{{{label}}} {metric.total()}"
+            )
+    lines: List[str] = []
+    for family, kind, rows in (
+        (f"{namespace}_counter_total", "counter", counters),
+        (f"{namespace}_gauge", "gauge", gauges),
+        (f"{namespace}_throughput_total", "counter", throughputs),
+        (f"{namespace}_latency_us", "summary", summaries),
+        (f"{namespace}_histogram", "histogram", histograms),
+    ):
+        if not rows:
+            continue
+        lines.append(f"# HELP {family} Simulated-cluster telemetry ({family}).")
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(rows)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,65 @@
+"""Flight recorder: a bounded ring of recent telemetry events.
+
+Black-box style: the cluster continuously notes cheap structured records
+(sampler frames' metric deltas, health transitions, chaos fault events,
+invariant violations) into a fixed-size ring. In steady state the ring
+just overwrites itself at zero marginal memory; when something goes
+wrong — an invariant violation or an SLO breach — the chaos bundle dumps
+the ring as ``flight.json``, giving the investigator the last N things
+the cluster did *before* the failure without having had tracing enabled.
+
+Records carry only simulated time, never wall-clock, so a dump is
+byte-identical across replays of the same seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """A deque-backed ring of ``{"kind", "at_us", ...}`` records."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.total = 0  # records ever noted, including overwritten ones
+
+    def note(self, kind: str, at_us: float, **fields) -> None:
+        """Append one record; O(1), overwrites the oldest when full."""
+        record: Dict = {"kind": kind, "at_us": at_us}
+        record.update(fields)
+        self._ring.append(record)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to ring overwrite."""
+        return self.total - len(self._ring)
+
+    def records(self, kind: Optional[str] = None) -> List[Dict]:
+        """The retained records, oldest first (optionally one kind)."""
+        if kind is None:
+            return list(self._ring)
+        return [record for record in self._ring if record["kind"] == kind]
+
+    def to_dict(self) -> Dict:
+        """JSON form for bundle dumps: ring contents plus loss counters."""
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "dropped": self.dropped,
+            "records": list(self._ring),
+        }
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.total = 0

@@ -1,0 +1,200 @@
+"""Declarative SLO rules and cluster health evaluation.
+
+An :class:`SloRule` names one scalar the operator cares about, how to
+extract it from a sampler frame, and the threshold it must respect. The
+:class:`HealthMonitor` subscribes to a
+:class:`~repro.obs.sampler.ClusterSampler` and, each frame, evaluates
+every rule, tracking an ``ok``/``breach`` state per (rule, machine).
+State *transitions* — not steady states — are emitted as structured
+events, counted in the registry (``health.transitions``,
+``health.breaches``), and noted into the flight recorder, so a
+long healthy run costs nothing and a breach leaves a precise,
+deterministic timeline.
+
+The four default rules mirror the failure modes Hydra's evaluation
+studies (§7): remote-read tail latency, regeneration backlog after
+failures, corruption-healing lag, and per-machine free-slab watermark
+(the headroom the ResourceMonitor is supposed to defend, Fig 7a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .flight import FlightRecorder
+from .metrics import MetricsRegistry
+
+__all__ = ["SloRule", "HealthMonitor", "default_slo_rules"]
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One SLO: ``value(frame[, machine]) op threshold`` must hold.
+
+    ``scope`` is ``"cluster"`` (evaluated once per frame) or
+    ``"machine"`` (evaluated per machine row). ``op`` is ``"<="`` (value
+    is a cost that must stay under the ceiling) or ``">="`` (value is a
+    resource that must stay above the floor). ``value`` returning
+    ``None`` means "no data this frame" and keeps the previous state.
+    """
+
+    name: str
+    description: str
+    threshold: float
+    value: Callable[..., Optional[float]]
+    op: str = "<="
+    scope: str = "cluster"
+
+    def healthy(self, value: float) -> bool:
+        return value <= self.threshold if self.op == "<=" else value >= self.threshold
+
+
+def default_slo_rules(
+    *,
+    read_p99_ceiling_us: float = 10_000.0,
+    regen_backlog_max: int = 4,
+    healing_backlog_max: int = 8,
+    free_frac_floor: float = 0.05,
+) -> List[SloRule]:
+    """The standard Hydra rule set (thresholds are keyword-tunable)."""
+    return [
+        SloRule(
+            name="read_p99",
+            description="windowed remote-read p99 under the ceiling",
+            threshold=read_p99_ceiling_us,
+            value=lambda frame: frame.get("read", {}).get("window_p99_us"),
+        ),
+        SloRule(
+            name="regen_backlog",
+            description="open regenerations bounded (post-failure catch-up)",
+            threshold=float(regen_backlog_max),
+            value=lambda frame: frame.get("open_regens"),
+        ),
+        SloRule(
+            name="healing_lag",
+            description="detected-but-unhealed corruptions bounded",
+            threshold=float(healing_backlog_max),
+            value=lambda frame: frame.get("healing_backlog"),
+        ),
+        SloRule(
+            name="free_slab_watermark",
+            description="per-machine free memory above the watermark",
+            threshold=free_frac_floor,
+            op=">=",
+            scope="machine",
+            value=lambda frame, row: row["free_frac"] if row["alive"] else None,
+        ),
+    ]
+
+
+class HealthMonitor:
+    """Evaluates SLO rules against sampler frames; records transitions."""
+
+    def __init__(
+        self,
+        rules: Optional[List[SloRule]] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+    ):
+        self.rules = list(rules) if rules is not None else default_slo_rules()
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO rule names: {names}")
+        self.registry = registry
+        self.flight = flight
+        # (rule_name, machine_id-or-None) -> "ok" | "breach"
+        self.states: Dict[tuple, str] = {}
+        self.transitions: List[Dict] = []
+        self.frames_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, frame: Dict) -> None:
+        """Sampler listener: evaluate every rule against one frame."""
+        self.frames_evaluated += 1
+        at_us = frame["at_us"]
+        for rule in self.rules:
+            if rule.scope == "machine":
+                for machine_id in sorted(frame["machines"]):
+                    value = rule.value(frame, frame["machines"][machine_id])
+                    self._apply(rule, machine_id, value, at_us)
+            else:
+                self._apply(rule, None, rule.value(frame), at_us)
+
+    def _apply(self, rule: SloRule, machine_id, value, at_us: float) -> None:
+        if value is None:
+            return
+        state = "ok" if rule.healthy(value) else "breach"
+        key = (rule.name, machine_id)
+        previous = self.states.get(key, "ok")
+        self.states[key] = state
+        if state == previous:
+            return
+        event = {
+            "at_us": at_us,
+            "rule": rule.name,
+            "machine": machine_id,
+            "from": previous,
+            "to": state,
+            "value": value,
+            "threshold": rule.threshold,
+        }
+        self.transitions.append(event)
+        if self.registry is not None:
+            self.registry.counter("health.transitions").incr()
+            if state == "breach":
+                self.registry.counter(f"health.breaches.{rule.name}").incr()
+        if self.flight is not None:
+            self.flight.note("health", at_us, **{
+                k: v for k, v in event.items() if k != "at_us"
+            })
+
+    # ------------------------------------------------------------------
+    @property
+    def breached(self) -> bool:
+        """True if any (rule, machine) is currently in breach."""
+        return any(state == "breach" for state in self.states.values())
+
+    @property
+    def ever_breached(self) -> bool:
+        return any(event["to"] == "breach" for event in self.transitions)
+
+    def machine_state(self, machine_id: int) -> str:
+        """Worst current state affecting one machine (its own machine-
+        scoped rules plus every cluster-scoped rule)."""
+        for (rule, scope_id), state in self.states.items():
+            if state == "breach" and scope_id in (machine_id, None):
+                return "breach"
+        return "ok"
+
+    def breach_counts(self) -> Dict[str, int]:
+        """Rule name -> number of ok->breach transitions (deterministic)."""
+        counts: Dict[str, int] = {}
+        for event in self.transitions:
+            if event["to"] == "breach":
+                counts[event["rule"]] = counts.get(event["rule"], 0) + 1
+        return dict(sorted(counts.items()))
+
+    def report(self) -> Dict:
+        """JSON-able summary for chaos reports and the dashboard."""
+        return {
+            "rules": [
+                {
+                    "name": rule.name,
+                    "description": rule.description,
+                    "op": rule.op,
+                    "threshold": rule.threshold,
+                    "scope": rule.scope,
+                }
+                for rule in self.rules
+            ],
+            "frames_evaluated": self.frames_evaluated,
+            "transitions": len(self.transitions),
+            "breaches": self.breach_counts(),
+            "currently_breached": sorted(
+                f"{rule}@{machine if machine is not None else 'cluster'}"
+                for (rule, machine), state in self.states.items()
+                if state == "breach"
+            ),
+        }

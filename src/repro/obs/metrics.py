@@ -15,14 +15,16 @@ Instrument kinds (the classes behind figure data stay in
   ``Counter`` bag API (``incr(key)`` / ``[key]`` / ``.counts``) whose
   entries are registry-owned scalar counters;
 * ``LatencyRecorder`` / ``TimeSeries`` / ``ThroughputWindow`` — the
-  existing measurement primitives, registered by name.
+  existing measurement primitives, registered by name;
+* ``Histogram`` — the log-bucketed HDR-style distribution instrument
+  (constant memory, deterministic shard merge), registered by name.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..sim.trace import LatencyRecorder, ThroughputWindow, TimeSeries
+from ..sim.trace import Histogram, LatencyRecorder, ThroughputWindow, TimeSeries
 
 __all__ = ["ScalarCounter", "CounterGroup", "MetricsRegistry"]
 
@@ -133,6 +135,11 @@ class MetricsRegistry:
     def latency(self, name: str) -> LatencyRecorder:
         return self._get_or_create(name, LatencyRecorder, lambda: LatencyRecorder(name))
 
+    def histogram(self, name: str, subbuckets: int = 32) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, subbuckets=subbuckets)
+        )
+
     def timeseries(self, name: str) -> TimeSeries:
         return self._get_or_create(name, TimeSeries, lambda: TimeSeries(name))
 
@@ -148,6 +155,10 @@ class MetricsRegistry:
 
     def names(self):
         return sorted(self._metrics)
+
+    def items(self):
+        """``(name, metric)`` pairs, name-sorted (stable scan order)."""
+        return sorted(self._metrics.items())
 
     def find(self, prefix: str) -> Dict[str, object]:
         """All metrics at or below ``prefix`` in the dotted hierarchy."""
@@ -168,9 +179,10 @@ class MetricsRegistry:
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
         """A JSON-friendly view of every (or one subtree of) metric.
 
-        Counters flatten to ints; latency recorders to summary dicts
-        (``{"count": 0}`` when empty); time series / throughput windows to
-        their size and last/total values.
+        Counters flatten to ints; latency recorders and histograms to
+        percentile summary dicts (``{"count": 0}`` when empty); time
+        series keep their distribution (min/mean/max, not just the last
+        value); throughput windows carry total *and* windowed rate.
         """
         source = self._metrics if prefix is None else self.find(prefix)
         out: Dict[str, object] = {}
@@ -187,16 +199,40 @@ class MetricsRegistry:
                         "count": summary.count,
                         "mean": summary.mean,
                         "p50": summary.p50,
+                        "p90": summary.p90,
                         "p99": summary.p99,
                         "max": summary.max,
                     }
+            elif isinstance(metric, Histogram):
+                if metric.count == 0:
+                    out[name] = {"count": 0}
+                else:
+                    entry = {
+                        "count": metric.count,
+                        "mean": metric.mean,
+                        "min": metric.min,
+                        "max": metric.max,
+                    }
+                    entry.update(metric.percentiles())
+                    out[name] = entry
             elif isinstance(metric, TimeSeries):
-                out[name] = {
-                    "count": len(metric),
-                    "last": metric.last() if len(metric) else None,
-                }
+                entry = {"count": len(metric), "last": None}
+                if len(metric):
+                    values = metric.values
+                    entry.update(
+                        last=metric.last(),
+                        min=float(min(values)),
+                        mean=metric.mean(),
+                        max=float(max(values)),
+                    )
+                out[name] = entry
             elif isinstance(metric, ThroughputWindow):
-                out[name] = {"total": metric.total()}
+                entry = {"total": metric.total(), "window_us": metric.window_us}
+                _, per_sec = metric.series()
+                if per_sec.size:
+                    entry["rate_mean_per_sec"] = float(per_sec.mean())
+                    entry["rate_peak_per_sec"] = float(per_sec.max())
+                out[name] = entry
             else:  # pragma: no cover - future metric kinds
                 out[name] = repr(metric)
         return out

@@ -1,0 +1,212 @@
+"""Sim-time cluster sampler: periodic snapshots of the metrics registry.
+
+Counters and latency histograms are cumulative — great for totals,
+useless for "what is the cluster doing *right now*". The
+:class:`ClusterSampler` runs as a simulation process that wakes every
+ControlPeriod, diffs the registry against its previous snapshot, and
+turns the deltas into:
+
+* windowed **rates** (ops/s, bytes/s) for every scalar counter that
+  moved;
+* windowed **latency percentiles** (the read p99 *of the last window*,
+  via histogram bucket subtraction — the quantity SLO rules care about);
+* per-machine **gauges** (free fraction, free/mapped slab counts,
+  outbound RDMA queue depth) recorded into registry time series under
+  ``sample.*`` so exporters can render Perfetto counter tracks.
+
+The sampler is strictly read-only with respect to the simulation: it
+draws no random numbers and mutates no cluster state, so enabling it
+never changes a seeded run's outcome — only adds its own wake-ups to
+the event heap. Each frame is also noted into the
+:class:`~repro.obs.flight.FlightRecorder` (compact form) and handed to
+registered listeners (the :class:`~repro.obs.health.HealthMonitor`, the
+``repro top`` renderer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.trace import Histogram, LatencyRecorder
+from .flight import FlightRecorder
+from .metrics import MetricsRegistry, ScalarCounter
+
+__all__ = ["ClusterSampler", "histogram_window"]
+
+
+def histogram_window(current: Histogram, previous_buckets: Dict[int, int],
+                     previous_zero: int) -> Histogram:
+    """The histogram of samples recorded *since* the previous snapshot.
+
+    Bucket counts are monotonic, so the window is a plain per-bucket
+    subtraction; ``sum``/``min``/``max`` are not recoverable per window
+    and stay unset (percentiles never need them).
+    """
+    window = Histogram(current.name, subbuckets=current.subbuckets)
+    window.zero = current.zero - previous_zero
+    window.count = window.zero
+    for index, count in current.buckets.items():
+        delta = count - previous_buckets.get(index, 0)
+        if delta:
+            window.buckets[index] = delta
+            window.count += delta
+    return window
+
+
+class ClusterSampler:
+    """Snapshots a cluster's registry into windowed series each period."""
+
+    def __init__(
+        self,
+        cluster,
+        rms=(),
+        *,
+        period_us: float = 20_000.0,
+        registry: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+    ):
+        if period_us <= 0:
+            raise ValueError(f"period must be positive, got {period_us}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.rms = list(rms)
+        self.period_us = period_us
+        obs = getattr(cluster, "obs", None)
+        self.registry = registry if registry is not None else obs.metrics
+        self.flight = flight if flight is not None else getattr(obs, "flight", None)
+        self.listeners: List[Callable[[Dict], None]] = []
+        self.frames = 0
+        self.last_frame: Optional[Dict] = None
+        self._prev_counters: Dict[str, int] = {}
+        self._prev_hists: Dict[str, tuple] = {}
+        self._daemon = None
+        # Hot-path caches: the registry only grows, so the scalar-counter
+        # scan list is rebuilt only when the metric count changes, and
+        # per-machine series handles are resolved once.
+        self._scalar_cache: tuple = (-1, ())
+        self._machine_series: Dict[int, tuple] = {}
+        self._regen_series = self.registry.timeseries("sample.open_regens")
+
+    def add_listener(self, listener: Callable[[Dict], None]) -> None:
+        self.listeners.append(listener)
+
+    def start(self) -> None:
+        """Launch the periodic sampling loop (idempotent)."""
+        if self._daemon is None:
+            self._daemon = self.sim.process(self._loop(), name="cluster-sampler")
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.period_us)
+            self.sample()
+
+    # ------------------------------------------------------------------
+    def sample(self) -> Dict:
+        """Take one frame now; normally driven by :meth:`start`'s loop."""
+        frame: Dict = {"at_us": self.sim.now, "machines": {}, "rates": {}}
+
+        # -- per-machine gauges ----------------------------------------
+        for machine in sorted(self.cluster.machines, key=lambda m: m.id):
+            depth = self.cluster.fabric.queue_depth(machine.id)
+            row = {
+                "alive": machine.alive,
+                "free_frac": machine.free_bytes / machine.total_memory_bytes,
+                "free_slabs": len(machine.free_slabs()),
+                "mapped_slabs": len(machine.mapped_slabs()),
+                "queue_depth": depth,
+            }
+            frame["machines"][machine.id] = row
+            series = self._machine_series.get(machine.id)
+            if series is None:
+                series = (
+                    self.registry.timeseries(
+                        f"sample.machine.{machine.id}.free_frac"
+                    ),
+                    self.registry.timeseries(
+                        f"sample.machine.{machine.id}.queue_depth"
+                    ),
+                )
+                self._machine_series[machine.id] = series
+            series[0].record(self.sim.now, row["free_frac"])
+            series[1].record(self.sim.now, depth)
+
+        # -- counter deltas -> windowed rates --------------------------
+        window_sec = self.period_us / 1e6
+        if self._scalar_cache[0] != len(self.registry):
+            self._scalar_cache = (
+                len(self.registry),
+                tuple(
+                    (name, metric)
+                    for name, metric in sorted(self.registry.items())
+                    if isinstance(metric, ScalarCounter)
+                    and not name.startswith("sample.")
+                ),
+            )
+        prev = self._prev_counters
+        for name, metric in self._scalar_cache[1]:
+            value = metric.value
+            delta = value - prev.get(name, 0)
+            prev[name] = value
+            if delta:
+                frame["rates"][name] = delta / window_sec
+
+        # -- windowed latency percentiles over the RM data paths -------
+        for direction in ("read", "write"):
+            recorders = [
+                rm.read_latency if direction == "read" else rm.write_latency
+                for rm in self.rms
+            ]
+            if recorders:
+                frame[direction] = self._latency_window(direction, recorders)
+        frame["open_regens"] = sum(rm.open_regen_count for rm in self.rms)
+        frame["healing_backlog"] = sum(
+            max(
+                0,
+                rm.events["corruption_detected"]
+                - rm.events["corrected_reads"]
+                - rm.events["uncorrectable_detections"],
+            )
+            for rm in self.rms
+        )
+        self._regen_series.record(self.sim.now, frame["open_regens"])
+
+        # -- publish ---------------------------------------------------
+        self.frames += 1
+        self.last_frame = frame
+        if self.flight is not None:
+            self.flight.note(
+                "sample",
+                self.sim.now,
+                rates={k: round(v, 3) for k, v in sorted(frame["rates"].items())},
+                open_regens=frame["open_regens"],
+                healing_backlog=frame["healing_backlog"],
+                read_window_p99_us=frame.get("read", {}).get("window_p99_us"),
+            )
+        for listener in self.listeners:
+            listener(frame)
+        return frame
+
+    def _latency_window(
+        self, direction: str, recorders: List[LatencyRecorder]
+    ) -> Dict:
+        """Cumulative + last-window percentiles, merged across RMs."""
+        cumulative = Histogram(direction)
+        window = Histogram(direction)
+        for recorder in recorders:
+            hist = recorder.hist
+            cumulative.merge(hist)
+            prev_buckets, prev_zero = self._prev_hists.get(
+                recorder.name, ({}, 0)
+            )
+            window.merge(histogram_window(hist, prev_buckets, prev_zero))
+            self._prev_hists[recorder.name] = (dict(hist.buckets), hist.zero)
+        out: Dict = {"count": cumulative.count, "window_count": window.count}
+        if cumulative.count:
+            out["p50_us"] = cumulative.percentile(50)
+            out["p99_us"] = cumulative.percentile(99)
+        if window.count:
+            out["window_p99_us"] = window.percentile(99)
+            self.registry.timeseries(
+                f"sample.{direction}.window_p99_us"
+            ).record(self.sim.now, out["window_p99_us"])
+        return out

@@ -1,0 +1,229 @@
+"""``python -m repro top`` — a live per-machine cluster health dashboard.
+
+Runs the 50-machine chaos fixture (machines, faults, steady workload —
+all seeded) with full telemetry enabled and renders what an operator
+console would show: per-machine health / free memory / slab counts /
+RDMA queue depth, cluster-wide latency percentiles from the log-bucketed
+histograms, windowed rates, SLO verdicts, and the most recent health
+transitions from the flight recorder.
+
+Two modes:
+
+* **live** (default) — one compact status line per ``--interval`` sampler
+  frames while the simulation runs, then the full dashboard;
+* ``--once`` — only the final dashboard, for CI: the output is a pure
+  function of the seed, byte-identical across runs and machines.
+
+``--out`` additionally writes the dashboard to a file (the CI artifact),
+``--prometheus`` writes a Prometheus text-exposition scrape of the whole
+registry at end of run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+__all__ = ["fixture_config", "render_dashboard", "main"]
+
+
+def fixture_config(machines: int = 50):
+    """The §7.4-scale dashboard fixture: a 50-machine chaos campaign
+    (crashes, corruption, background flows, memory pressure) sized to
+    finish in CI-smoke time."""
+    from ..chaos import ChaosConfig
+
+    return ChaosConfig(
+        machines=machines,
+        pages=32,
+        events=10,
+        horizon_us=2_000_000.0,
+        settle_us=5_000_000.0,
+        op_gap_us=10_000.0,
+        burst_ops=20,
+    )
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1000.0:
+        return f"{value / 1000.0:.2f}ms"
+    return f"{value:.1f}us"
+
+
+def live_line(frame: Dict) -> str:
+    """One compact status line per sampler frame (live mode)."""
+    machines = frame["machines"]
+    down = sum(1 for row in machines.values() if not row["alive"])
+    read = frame.get("read", {})
+    return (
+        f"t={frame['at_us'] / 1e6:8.3f}s  "
+        f"reads n={read.get('count', 0):<6d} "
+        f"window p99={_fmt_us(read.get('window_p99_us')):>9}  "
+        f"regens={frame['open_regens']:<2d} "
+        f"heal_backlog={frame['healing_backlog']:<2d} "
+        f"down={down}/{len(machines)}"
+    )
+
+
+def render_dashboard(result, seed: int) -> str:
+    """The full dashboard from one finished chaos run (deterministic)."""
+    from ..harness.report import format_table, sparkline
+
+    cluster = result.cluster
+    obs = cluster.obs
+    sampler, health, registry = obs.sampler, obs.health, obs.metrics
+    frame = sampler.last_frame or {"machines": {}, "rates": {}}
+    sim_now = cluster.sim.now
+
+    lines: List[str] = []
+    state = "BREACHED" if health.breached else "OK"
+    lines.append(
+        f"repro top — seed {seed}, {len(cluster.machines)} machines, "
+        f"t={sim_now / 1e6:.3f}s sim"
+    )
+    lines.append(
+        f"health: {state}  |  slo transitions: {len(health.transitions)}"
+        f"  |  invariant violations: {len(result.violations)}"
+        f"  |  flight records: {obs.flight.total} ({obs.flight.dropped} dropped)"
+    )
+
+    for direction in ("read", "write"):
+        stats = frame.get(direction, {})
+        if not stats.get("count"):
+            continue
+        lines.append(
+            f"{direction + 's':<7}: n={stats['count']:<7d} "
+            f"p50={_fmt_us(stats.get('p50_us')):>9}  "
+            f"p99={_fmt_us(stats.get('p99_us')):>9}  "
+            f"last-window p99={_fmt_us(stats.get('window_p99_us')):>9}"
+        )
+    lines.append(
+        f"open regens: {frame.get('open_regens', 0)}  |  "
+        f"healing backlog: {frame.get('healing_backlog', 0)}  |  "
+        f"health transitions by rule: {health.breach_counts() or '{}'}"
+    )
+
+    # SLO rule verdicts.
+    verdicts = []
+    for rule in health.rules:
+        breached = [
+            machine
+            for (name, machine), st in sorted(
+                health.states.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+            )
+            if name == rule.name and st == "breach"
+        ]
+        verdict = "ok" if not breached else f"BREACH({len(breached)})"
+        verdicts.append(f"{rule.name}{rule.op}{rule.threshold:g}:{verdict}")
+    lines.append("slo: " + "  ".join(verdicts))
+    lines.append("")
+
+    # Per-machine table.
+    rows = []
+    for machine in sorted(cluster.machines, key=lambda m: m.id):
+        row = frame["machines"].get(machine.id, {})
+        free_series = registry.get(f"sample.machine.{machine.id}.free_frac")
+        depth_series = registry.get(f"sample.machine.{machine.id}.queue_depth")
+        q_peak = (
+            int(max(depth_series.values))
+            if depth_series is not None and len(depth_series)
+            else 0
+        )
+        tx = registry.get(f"nic.{machine.id}.bytes_tx")
+        state = "down"
+        if machine.alive:
+            state = health.machine_state(machine.id)
+        rows.append(
+            [
+                machine.id,
+                state,
+                f"{100.0 * row.get('free_frac', machine.free_bytes / machine.total_memory_bytes):5.1f}",
+                row.get("free_slabs", len(machine.free_slabs())),
+                row.get("mapped_slabs", len(machine.mapped_slabs())),
+                row.get("queue_depth", 0),
+                q_peak,
+                f"{(tx.value if tx is not None else 0) / (1 << 20):8.1f}",
+                sparkline(
+                    free_series.values if free_series is not None else (), width=12
+                ),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["mach", "state", "free%", "free_slabs", "mapped", "qdepth",
+             "qpeak", "tx_mib", "free_history"],
+            rows,
+        )
+    )
+
+    # Recent health transitions from the structured event log.
+    if health.transitions:
+        lines.append("")
+        lines.append("recent health transitions:")
+        for event in health.transitions[-6:]:
+            where = (
+                "cluster" if event["machine"] is None
+                else f"machine {event['machine']}"
+            )
+            lines.append(
+                f"  t={event['at_us'] / 1e6:8.3f}s  {event['rule']:<20} "
+                f"{where:<11} {event['from']}->{event['to']} "
+                f"(value {event['value']:.4g}, threshold {event['threshold']:g})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    """CLI entry: ``python -m repro top [--once] [--seed N]
+    [--machines N] [--interval K] [--out PATH] [--prometheus PATH]``."""
+    import argparse
+
+    from ..chaos import run_chaos
+    from .export import prometheus_text
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Cluster health dashboard over a seeded chaos fixture.",
+    )
+    parser.add_argument("--once", action="store_true",
+                        help="render only the final dashboard (CI mode)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--machines", type=int, default=50)
+    parser.add_argument("--interval", type=int, default=25,
+                        help="live mode: frames between status lines")
+    parser.add_argument("--out", help="also write the dashboard to a file")
+    parser.add_argument("--prometheus",
+                        help="write a Prometheus text-format scrape")
+    args = parser.parse_args(argv)
+
+    config = fixture_config(machines=args.machines)
+    listener = None
+    if not args.once:
+        interval = max(1, args.interval)
+        frames = {"n": 0}
+
+        def listener(frame):
+            frames["n"] += 1
+            if frames["n"] % interval == 0:
+                print(live_line(frame))
+
+    result = run_chaos(args.seed, config=config, frame_listener=listener)
+    dashboard = render_dashboard(result, args.seed)
+    if not args.once:
+        print()
+    print(dashboard, end="")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dashboard)
+        print(f"wrote {args.out}")
+    if args.prometheus:
+        with open(args.prometheus, "w") as fh:
+            fh.write(prometheus_text(result.cluster.obs.metrics))
+        print(f"wrote {args.prometheus}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

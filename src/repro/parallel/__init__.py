@@ -12,6 +12,7 @@ from .runner import (
     ShardFailure,
     ShardResult,
     ShardTask,
+    merge_histogram_dicts,
     require_ok,
     resolve_jobs,
     run_shards,
@@ -21,6 +22,7 @@ __all__ = [
     "ShardFailure",
     "ShardResult",
     "ShardTask",
+    "merge_histogram_dicts",
     "require_ok",
     "resolve_jobs",
     "run_shards",

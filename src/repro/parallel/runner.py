@@ -52,6 +52,7 @@ __all__ = [
     "ShardFailure",
     "run_shards",
     "resolve_jobs",
+    "merge_histogram_dicts",
 ]
 
 
@@ -310,6 +311,26 @@ def run_shards(
             conn.close()
 
     return [results[key] for key in keys]
+
+
+def merge_histogram_dicts(payloads: Sequence[dict]):
+    """Merge :meth:`~repro.sim.trace.Histogram.to_dict` payloads from
+    independent shards into one :class:`~repro.sim.trace.Histogram`.
+
+    Bucket counts add, so the result is independent of shard completion
+    order — merged buckets and percentiles are byte-identical to what a
+    serial run recording every sample into one histogram would produce.
+    This is the aggregation step soaks and perf shards use to report
+    cluster-wide latency distributions under ``-j N``.
+    """
+    from ..sim.trace import Histogram
+
+    if not payloads:
+        raise ValueError("merge_histogram_dicts needs at least one payload")
+    merged = Histogram.from_dict(payloads[0])
+    for payload in payloads[1:]:
+        merged.merge(Histogram.from_dict(payload))
+    return merged
 
 
 def require_ok(results: Sequence[ShardResult], what: str) -> List[ShardResult]:

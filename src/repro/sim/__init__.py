@@ -15,6 +15,7 @@ from .rng import RandomSource
 from .trace import (
     Counter,
     DistributionSummary,
+    Histogram,
     LatencyRecorder,
     ThroughputWindow,
     TimeSeries,
@@ -37,6 +38,7 @@ __all__ = [
     "RandomSource",
     "Counter",
     "DistributionSummary",
+    "Histogram",
     "LatencyRecorder",
     "ThroughputWindow",
     "TimeSeries",

@@ -89,6 +89,9 @@ class PagedMemory:
             owner = getattr(backend, "client_id", None)
         label = "vmm" if owner is None else f"vmm.{owner}"
         self.fault_latency = metrics.latency(f"{label}.fault")
+        # Faults per 1-second window — the paging-pressure timeline the
+        # dashboard renders next to hit rate.
+        self.fault_window = metrics.throughput(f"{label}.fault_rate")
         self.stats = metrics.counter_group(f"{label}.stats")
         self.verification_failures = 0
 
@@ -127,6 +130,7 @@ class PagedMemory:
 
         # Page fault.
         self.stats.incr("faults")
+        self.fault_window.record(self.sim.now)
         span = self.tracer.start_trace(
             "vmm.fault", tags={"page": page_id, "write": write}
         )

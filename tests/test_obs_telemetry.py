@@ -1,0 +1,387 @@
+"""Telemetry subsystem: HDR histograms, sampler, SLO health, flight ring.
+
+The load-bearing properties:
+
+* **Histogram determinism** — percentiles come from bucket upper bounds,
+  so merging shard histograms in any order reproduces the serial
+  buckets and percentiles byte for byte (the ``-j N`` contract);
+* **Outcome neutrality** — enabling the sampler + health monitor on a
+  seeded run adds telemetry without changing a single simulated
+  outcome (``repro top --once`` is byte-identical run to run);
+* **Black-box capture** — the flight ring is bounded, and the chaos
+  bundle ships it exactly when an invariant or SLO went wrong.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.chaos import ChaosConfig, run_chaos, write_bundle
+from repro.harness import build_hydra_cluster
+from repro.obs import (
+    FlightRecorder,
+    HealthMonitor,
+    Histogram,
+    MetricsRegistry,
+    SloRule,
+    counter_events,
+    default_slo_rules,
+    prometheus_text,
+)
+from repro.obs.top import fixture_config, render_dashboard
+from repro.parallel import merge_histogram_dicts
+from repro.sim.trace import LatencyRecorder
+
+from .conftest import drive, make_page
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_basic_stats_and_percentiles(self):
+        hist = Histogram("lat")
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            hist.record(v)
+        assert hist.count == 5
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(22.0)
+        # Bucketed percentiles land within one sub-bucket (~1.6%) of the
+        # exact rank statistic.
+        assert hist.percentile(50) == pytest.approx(3.0, rel=0.05)
+        assert hist.percentile(99) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_and_negative(self):
+        hist = Histogram("z")
+        hist.record(0.0)
+        hist.record(0.0)
+        hist.record(5.0)
+        assert hist.zero == 2
+        assert hist.percentile(50) == 0.0
+        with pytest.raises(ValueError, match="negative"):
+            hist.record(-1.0)
+
+    def test_percentile_of_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            Histogram("e").percentile(50)
+
+    def test_merge_order_independent(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = rng.exponential(50.0, 3000)
+        serial = Histogram("all")
+        shards = [Histogram(f"s{i}") for i in range(4)]
+        for i, v in enumerate(values):
+            serial.record(float(v))
+            shards[i % 4].record(float(v))
+        forward = Histogram("f")
+        for shard in shards:
+            forward.merge(shard)
+        backward = Histogram("b")
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.buckets == serial.buckets == backward.buckets
+        assert forward.zero == serial.zero
+        for pct in (50, 90, 99, 99.9):
+            assert forward.percentile(pct) == serial.percentile(pct)
+            assert backward.percentile(pct) == serial.percentile(pct)
+
+    def test_merge_resolution_mismatch_raises(self):
+        with pytest.raises(ValueError, match="resolutions"):
+            Histogram("a", subbuckets=32).merge(Histogram("b", subbuckets=16))
+
+    def test_dict_round_trip_and_helper(self):
+        hist = Histogram("rt")
+        for v in [0.0, 1.5, 3.0, 1e6]:
+            hist.record(v)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.buckets == hist.buckets
+        assert clone.to_dict() == hist.to_dict()
+        merged = merge_histogram_dicts([hist.to_dict(), hist.to_dict()])
+        assert merged.count == 2 * hist.count
+        assert merged.percentile(50) == hist.percentile(50)
+        with pytest.raises(ValueError, match="at least one"):
+            merge_histogram_dicts([])
+
+    def test_bucket_bounds_bracket_every_value(self):
+        hist = Histogram("bounds", subbuckets=32)
+        for exp in range(-8, 24):
+            value = math.ldexp(0.7, exp)
+            index = hist._index(value)
+            assert hist.bucket_lower(index) <= value <= hist.bucket_upper(index)
+
+
+class TestLatencyRecorderBacking:
+    def test_small_runs_stay_exact(self):
+        recorder = LatencyRecorder("r")
+        for v in [10.0, 20.0, 30.0]:
+            recorder.record(v)
+        assert recorder.exact
+        assert recorder.p50 == pytest.approx(20.0)
+
+    def test_overflow_switches_to_histogram(self):
+        recorder = LatencyRecorder("big", reservoir_limit=100)
+        for i in range(1000):
+            recorder.record(float(i % 97) + 1.0)
+        assert not recorder.exact
+        assert len(recorder.samples) == 100  # bounded storage
+        assert recorder.hist.count == 1000
+        # Histogram percentile within one bucket of the true median (~49).
+        assert recorder.p50 == pytest.approx(49.0, rel=0.05)
+        assert recorder.max == 97.0  # max is tracked exactly
+
+
+# ---------------------------------------------------------------------------
+# FlightRecorder
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_overwrites_and_counts_drops(self):
+        flight = FlightRecorder(capacity=3)
+        for i in range(5):
+            flight.note("tick", float(i), n=i)
+        assert len(flight) == 3
+        assert flight.total == 5
+        assert flight.dropped == 2
+        assert [r["n"] for r in flight.records()] == [2, 3, 4]
+
+    def test_kind_filter_and_clear(self):
+        flight = FlightRecorder()
+        flight.note("a", 1.0)
+        flight.note("b", 2.0)
+        assert [r["kind"] for r in flight.records("b")] == ["b"]
+        payload = flight.to_dict()
+        assert payload["total"] == 2 and payload["dropped"] == 0
+        flight.clear()
+        assert len(flight) == 0 and flight.total == 0
+
+
+# ---------------------------------------------------------------------------
+# ClusterSampler + HealthMonitor on a live cluster
+# ---------------------------------------------------------------------------
+
+
+def _monitored_cluster(ops=40, period_us=100.0):
+    hydra = build_hydra_cluster(machines=10, k=4, r=2, delta=1, seed=5)
+    rm = hydra.remote_memory(0)
+    sampler = hydra.cluster.obs.enable_monitoring(
+        hydra.cluster, rms=[rm], period_us=period_us
+    )
+
+    def workload():
+        for i in range(ops):
+            pid = i % 8
+            yield rm.write(pid, make_page(pid))
+            yield rm.read(pid)
+
+    drive(hydra.sim, workload())
+    return hydra, rm, sampler
+
+
+class TestClusterSampler:
+    def test_frames_have_gauges_rates_and_latency(self):
+        hydra, rm, sampler = _monitored_cluster()
+        assert sampler.frames > 0
+        frame = sampler.sample()  # snapshot after the workload finished
+        assert set(frame["machines"]) == {m.id for m in hydra.cluster.machines}
+        row = frame["machines"][0]
+        assert 0.0 <= row["free_frac"] <= 1.0
+        assert row["alive"] is True
+        assert frame["read"]["count"] == 40
+        assert frame["read"]["p50_us"] > 0
+        assert frame["open_regens"] == 0
+        assert frame["healing_backlog"] == 0
+        # Rates observed at least once while the workload ran.
+        registry = hydra.cluster.obs.metrics
+        series = registry.get("sample.machine.0.free_frac")
+        assert len(series.values) == sampler.frames
+
+    def test_enable_monitoring_is_idempotent(self):
+        hydra, _rm, sampler = _monitored_cluster(ops=4)
+        again = hydra.cluster.obs.enable_monitoring(hydra.cluster)
+        assert again is sampler
+
+    def test_sampler_never_perturbs_outcomes(self):
+        """The outcome-neutrality contract: same seed, with and without
+        telemetry, produces identical simulated results."""
+
+        def run(monitored):
+            hydra = build_hydra_cluster(machines=10, k=4, r=2, delta=1, seed=9)
+            rm = hydra.remote_memory(0)
+            if monitored:
+                hydra.cluster.obs.enable_monitoring(
+                    hydra.cluster, rms=[rm], period_us=50.0
+                )
+
+            def workload():
+                data = []
+                for i in range(30):
+                    pid = i % 6
+                    yield rm.write(pid, make_page(pid))
+                    data.append((yield rm.read(pid)))
+                return data
+
+            result = drive(hydra.sim, workload())
+            return result, hydra.sim.now, dict(rm.events.counts)
+
+        bare = run(False)
+        monitored = run(True)
+        assert monitored == bare
+
+    def test_window_percentiles_reset_each_period(self):
+        hydra, rm, sampler = _monitored_cluster(ops=40, period_us=100.0)
+        # The first post-run frame drains the tail of the workload; the
+        # next window is idle and must carry no samples.
+        sampler.sample()
+        frame = sampler.sample()
+        assert frame["read"]["window_count"] == 0
+        assert "window_p99_us" not in frame["read"]
+        assert frame["read"]["count"] == 40  # cumulative side still full
+
+
+class TestHealthMonitor:
+    def _frame(self, p99=None, regens=0, machines=None, at_us=1000.0):
+        frame = {
+            "at_us": at_us,
+            "machines": machines or {0: {"alive": True, "free_frac": 0.5}},
+            "rates": {},
+            "open_regens": regens,
+            "healing_backlog": 0,
+        }
+        if p99 is not None:
+            frame["read"] = {"window_p99_us": p99}
+        return frame
+
+    def test_transitions_fire_only_on_state_change(self):
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(registry=registry)
+        monitor.observe(self._frame(p99=100.0))
+        assert monitor.transitions == [] and not monitor.breached
+        monitor.observe(self._frame(p99=50_000.0, at_us=2000.0))
+        monitor.observe(self._frame(p99=60_000.0, at_us=3000.0))  # still bad
+        assert len(monitor.transitions) == 1
+        assert monitor.breached and monitor.ever_breached
+        assert registry.counter("health.breaches.read_p99").value == 1
+        monitor.observe(self._frame(p99=10.0, at_us=4000.0))
+        assert not monitor.breached
+        assert [t["to"] for t in monitor.transitions] == ["breach", "ok"]
+        assert monitor.breach_counts() == {"read_p99": 1}
+
+    def test_missing_value_keeps_previous_state(self):
+        monitor = HealthMonitor()
+        monitor.observe(self._frame(p99=50_000.0))
+        monitor.observe(self._frame(p99=None, at_us=2000.0))  # no window data
+        assert monitor.breached  # breach state persists until data says ok
+
+    def test_machine_scope_and_state_rollup(self):
+        monitor = HealthMonitor()
+        machines = {
+            0: {"alive": True, "free_frac": 0.5},
+            1: {"alive": True, "free_frac": 0.01},  # below watermark
+            2: {"alive": False, "free_frac": 0.0},  # dead: rule skipped
+        }
+        monitor.observe(self._frame(machines=machines))
+        assert monitor.machine_state(1) == "breach"
+        assert monitor.machine_state(0) == "ok"
+        assert monitor.machine_state(2) == "ok"
+        report = monitor.report()
+        assert report["currently_breached"] == ["free_slab_watermark@1"]
+        assert report["frames_evaluated"] == 1
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = default_slo_rules()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            HealthMonitor([rule, rule])
+
+    def test_custom_rule_floor_semantics(self):
+        rule = SloRule(
+            name="floor",
+            description="resource must stay high",
+            threshold=10.0,
+            value=lambda frame: frame.get("open_regens"),
+            op=">=",
+        )
+        assert rule.healthy(10.0) and not rule.healthy(9.0)
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExporters:
+    def test_prometheus_text_families(self):
+        hydra, rm, _sampler = _monitored_cluster()
+        registry = hydra.cluster.obs.metrics
+        hist = registry.histogram("custom.lat_us")
+        hist.record(12.0)
+        hist.record(700.0)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_counter_total counter" in text
+        assert 'repro_latency_us{name="rm.0.read",quantile="0.99"}' in text
+        assert 'repro_histogram_bucket{name="custom.lat_us",le="+Inf"} 2' in text
+        assert 'repro_histogram_count{name="custom.lat_us"} 2' in text
+        assert "repro_gauge" in text
+        # Every line is either a comment or `name{labels} value`.
+        for line in text.strip().split("\n"):
+            assert line.startswith("#") or " " in line
+
+    def test_counter_events_make_perfetto_tracks(self):
+        hydra, _rm, sampler = _monitored_cluster()
+        events = counter_events(hydra.cluster.obs.metrics)
+        assert events, "sampler series should export counter tracks"
+        machine_events = [e for e in events if e["pid"] == 0]
+        assert machine_events
+        sample = machine_events[0]
+        assert sample["ph"] == "C"
+        assert json.dumps(events)  # JSON-serializable end to end
+
+
+# ---------------------------------------------------------------------------
+# repro top + chaos integration
+# ---------------------------------------------------------------------------
+
+
+class TestTopAndBundles:
+    def test_dashboard_is_deterministic(self):
+        config = fixture_config(machines=12)
+        first = render_dashboard(run_chaos(0, config=config), 0)
+        second = render_dashboard(run_chaos(0, config=config), 0)
+        assert first == second
+        assert "repro top — seed 0, 12 machines" in first
+        assert "free_history" in first
+
+    def test_chaos_report_ships_health_and_latency(self):
+        result = run_chaos(1, config=ChaosConfig.quick())
+        health = result.report["health"]
+        assert health["frames_evaluated"] > 0
+        assert {rule["name"] for rule in health["rules"]} >= {
+            "read_p99", "regen_backlog", "healing_lag", "free_slab_watermark",
+        }
+        latency = result.report["latency"]
+        assert latency["read"]["count"] > 0
+        assert json.loads(result.report_json())  # stays canonical JSON
+
+    def test_bundle_dumps_flight_ring_on_violation(self, tmp_path):
+        violating = run_chaos(
+            2, config=ChaosConfig.quick(), inject_bug="drop_parity"
+        )
+        assert not violating.ok
+        written = write_bundle(violating, str(tmp_path / "bundle"))
+        names = {p.split("/")[-1] for p in written}
+        assert "flight.json" in names
+        payload = json.loads((tmp_path / "bundle" / "flight.json").read_text())
+        kinds = {record["kind"] for record in payload["records"]}
+        assert "violation" in kinds
+        assert "sample" in kinds
+
+    def test_bundle_omits_flight_ring_when_healthy(self, tmp_path):
+        healthy = run_chaos(0, config=ChaosConfig.quick())
+        assert healthy.ok and not healthy.report["health"]["breaches"]
+        written = write_bundle(healthy, str(tmp_path / "bundle"))
+        assert not any(p.endswith("flight.json") for p in written)

@@ -13,6 +13,7 @@ sharded across two workers — and compares canonical artifacts:
   the raw ``results/*.txt`` bytes the benchmark wrote.
 """
 
+import json
 from pathlib import Path
 
 from repro.chaos import ChaosConfig, run_soak, soak_json
@@ -26,6 +27,22 @@ def test_perf_suite_parallel_matches_serial_anchors():
     assert serial["jobs"] == 1 and parallel["jobs"] == 2
     assert deterministic_anchors(parallel) == deterministic_anchors(serial)
 
+    # The end-to-end latency distributions are anchored as full HDR
+    # histogram dumps: every bucket count and every derived percentile
+    # must be byte-identical between the serial and sharded runs.
+    for doc in (serial, parallel):
+        for direction in ("read", "write"):
+            hist = doc["benchmarks"]["rm_end_to_end"][f"{direction}_hist"]
+            assert hist["count"] > 0 and hist["buckets"]
+    serial_rm = serial["benchmarks"]["rm_end_to_end"]
+    parallel_rm = parallel["benchmarks"]["rm_end_to_end"]
+    assert json.dumps(serial_rm["read_hist"], sort_keys=True) == json.dumps(
+        parallel_rm["read_hist"], sort_keys=True
+    )
+    assert json.dumps(serial_rm["write_hist"], sort_keys=True) == json.dumps(
+        parallel_rm["write_hist"], sort_keys=True
+    )
+
 
 def test_chaos_soak_parallel_matches_serial_bytes():
     config = ChaosConfig.quick()
@@ -34,6 +51,19 @@ def test_chaos_soak_parallel_matches_serial_bytes():
     assert soak_json(parallel) == soak_json(serial)
     assert [entry["seed"] for entry in serial["seeds"]] == [3, 4]
     assert all("report_sha256" in entry for entry in serial["seeds"])
+
+    # Per-seed campaign histograms merge into the soak-wide latency
+    # section; the merge is per-bucket addition, so buckets and
+    # percentiles match the serial reference byte for byte.
+    for direction in ("read", "write"):
+        merged_serial = serial["latency"][direction]
+        merged_parallel = parallel["latency"][direction]
+        assert merged_serial == merged_parallel
+        assert merged_serial["count"] == sum(
+            entry["latency"][direction]["count"] for entry in serial["seeds"]
+        )
+        assert merged_serial["histogram"]["buckets"]
+        assert merged_serial["p50"] <= merged_serial["p99"]
 
 
 def test_figure_benchmark_parallel_matches_serial_bytes(tmp_path):

@@ -278,8 +278,11 @@ def test_seeded_run_fingerprint_unchanged():
         "reads": 200,
         "writes": 200,
     }
+    # Re-pinned when the telemetry PR extended the snapshot format
+    # (p90 + distribution detail, rm.*.ops / monitor.*.free_fraction
+    # instruments); the simulated anchors above did not move.
     assert _metrics_sha(hydra.obs.metrics) == (
-        "9d0c5f87b62ba909f89594291a7a22cfe76f963d94c0f2db1be6155b37fa5267"
+        "4eb3079e855903f8040fd2e552ffb0d6c6a8bb56e3feba11a6a6a680c39e1d27"
     )
 
 
