@@ -5,6 +5,7 @@ from .disk import SSD, SSDConfig
 from .failures import CorruptionInjector, FailureInjector, LocalMemoryPressure
 from .machine import Machine
 from .memory import PhantomSplit, Slab, SlabState, corrupt_payload, payloads_equal
+from .slabtable import RackTopology, SlabTable, place_ranges
 
 __all__ = [
     "Cluster",
@@ -15,8 +16,11 @@ __all__ = [
     "LocalMemoryPressure",
     "Machine",
     "PhantomSplit",
+    "RackTopology",
     "Slab",
     "SlabState",
+    "SlabTable",
     "corrupt_payload",
     "payloads_equal",
+    "place_ranges",
 ]

@@ -58,6 +58,11 @@ class Machine:
         self.local_app_bytes = 0  # DRAM consumed by this machine's own apps
         self.hosted_slabs: Dict[int, Slab] = {}
         self._slab_counter = 0
+        # Incremental DRAM accounting: slab sizes are immutable after
+        # allocate_slab, so the hosted total only moves on allocate,
+        # release and crash — keeping free_bytes O(1) instead of a
+        # sum() over every hosted slab on each control-loop tick.
+        self._slab_bytes = 0
 
         self.inbox: Store = Store(sim)
         self._message_handlers: List[Callable[[int, Any], None]] = []
@@ -70,7 +75,7 @@ class Machine:
     @property
     def slab_bytes(self) -> int:
         """DRAM held by hosted slabs (any state — FREE slabs are allocated)."""
-        return sum(slab.size_bytes for slab in self.hosted_slabs.values())
+        return self._slab_bytes
 
     @property
     def used_bytes(self) -> int:
@@ -106,11 +111,14 @@ class Machine:
         slab_id = self.id * 1_000_000 + self._slab_counter
         slab = Slab(slab_id=slab_id, host_id=self.id, size_bytes=size_bytes)
         self.hosted_slabs[slab_id] = slab
+        self._slab_bytes += size_bytes
         return slab
 
     def release_slab(self, slab_id: int) -> None:
         """Drop a hosted slab entirely, returning its DRAM."""
-        self.hosted_slabs.pop(slab_id, None)
+        slab = self.hosted_slabs.pop(slab_id, None)
+        if slab is not None:
+            self._slab_bytes -= slab.size_bytes
 
     def free_slabs(self) -> List[Slab]:
         return [s for s in self.hosted_slabs.values() if s.state == SlabState.FREE]
@@ -168,6 +176,7 @@ class Machine:
             return
         self.alive = False
         self.hosted_slabs.clear()
+        self._slab_bytes = 0
         self.fabric.on_machine_failed(self.id)
         for listener in self._failure_listeners:
             listener(self.id)

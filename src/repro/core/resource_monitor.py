@@ -177,14 +177,19 @@ class ResourceMonitor:
         """Pre-allocate FREE slabs while staying above the headroom."""
         config = self.config
         slab_fraction = config.slab_size_bytes / self.machine.total_memory_bytes
+        # Count free slabs once and track the delta locally: every slab
+        # allocated below is FREE by construction, so re-scanning the
+        # hosted-slab dict each iteration would be O(slabs) for nothing.
+        free_count = len(self.machine.free_slabs())
         while (
-            len(self.machine.free_slabs()) < config.free_slab_target
+            free_count < config.free_slab_target
             and free_fraction - slab_fraction > config.headroom_fraction
         ):
             try:
                 self.machine.allocate_slab(config.slab_size_bytes)
             except MemoryError:
                 break
+            free_count += 1
             self.events.incr("slabs_preallocated")
             free_fraction = self.machine.free_bytes / self.machine.total_memory_bytes
         if self.reclaim_sink is not None and free_fraction > config.headroom_fraction:

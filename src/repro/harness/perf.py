@@ -59,6 +59,7 @@ _MB = 1024 * 1024
 # Canonical benchmark order; also the shard decomposition for ``-j``.
 PERF_BENCH_NAMES = (
     "engine_events",
+    "engine_events_calendar",
     "ec_encode",
     "ec_decode",
     "ec_verify",
@@ -89,6 +90,7 @@ _EC_OPS = (
 # (``seconds`` and the rates derived from it) are deliberately absent.
 _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
     "engine_events": ("events", "sim_now_us"),
+    "engine_events_calendar": ("events", "sim_now_us"),
     "ec_encode": ("pages", "mb"),
     "ec_decode": ("pages", "mb"),
     "ec_verify": ("pages", "mb"),
@@ -129,16 +131,20 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
 _RATE_FIELDS = ("events_per_sec", "mb_per_sec", "pages_per_sec")
 
 
-def _suite_sizes(quick: bool) -> Tuple[int, int, int, int, int]:
-    """(engine_events, ec_pages, correct_pages, rm_ops, rm_corrupt_ops).
+def _suite_sizes(quick: bool) -> Tuple[int, int, int, int, int, int]:
+    """(engine_events, calendar_events, ec_pages, correct_pages, rm_ops,
+    rm_corrupt_ops).
 
     ``correct_pages`` sized for a multi-millisecond timed region: the
     guided localizer corrects a page in ~0.1 ms, so the old 8-page
     workload (sized for the combinatorial scan) timed mostly noise.
+    ``calendar_events`` is larger than ``engine_events`` because the
+    calendar burst path dispatches an order of magnitude faster — the
+    timed region has to stay in the milliseconds.
     """
     if quick:
-        return 40_000, 256, 64, 300, 120
-    return 200_000, 2048, 384, 2000, 800
+        return 40_000, 200_000, 256, 64, 300, 120
+    return 200_000, 1_000_000, 2048, 384, 2000, 800
 
 
 def _best_of(workload: Callable[[], dict], repeats: int) -> Tuple[float, dict]:
@@ -174,6 +180,52 @@ def bench_engine(n_events: int, repeats: int) -> dict:
             sim.process(ticker(), name=f"ticker-{i}")
         sim.run()
         return {"entries": sim._active, "sim_now_us": sim.now}
+
+    seconds, payload = _best_of(workload, repeats)
+    return {
+        "events": payload["entries"],
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(payload["entries"] / seconds),
+        "sim_now_us": payload["sim_now_us"],
+    }
+
+
+def bench_engine_calendar(n_events: int, repeats: int) -> dict:
+    """Completion-burst throughput of the calendar-queue scheduler.
+
+    The workload is shaped like the RDMA completion traffic that dominates
+    event volume at rack scale: 8 staggered chains, each re-arming a
+    64-wide fused completion batch (``call_later_batch``) at sub-bucket
+    delays, so the scheduler sees O(1) bucket appends on insert and
+    sorted batch drains on dispatch — the two paths the calendar design
+    exists for. No payload work; the number is pure engine overhead.
+
+    Deterministic: the chains re-arm until ``_active`` reaches
+    ``n_events``, so the anchor fields (``events``, ``sim_now_us``) are a
+    pure function of ``n_events``.
+    """
+    burst_width = 64
+    delays = (0.3, 1.7, 0.9, 2.4, 0.1, 3.1, 0.6, 1.2)
+
+    def workload() -> dict:
+        sim = Simulator()
+        nop = int  # cheapest deterministic no-op callable
+
+        def make_chain(chain: int):
+            beat = [chain]
+
+            def rearm() -> None:
+                if sim._seq < n_events:
+                    beat[0] += 1
+                    sim.call_later_batch(delays[beat[0] & 7], burst)
+
+            burst = (nop,) * (burst_width - 1) + (rearm,)
+            return rearm
+
+        for chain in range(8):
+            sim.call_later(delays[chain], make_chain(chain))
+        sim.run()
+        return {"entries": sim._active, "sim_now_us": round(sim.now, 6)}
 
     seconds, payload = _best_of(workload, repeats)
     return {
@@ -599,11 +651,16 @@ def run_perf_shard(name: str, quick: bool, repeats: int) -> Dict[str, dict]:
     merges into the suite document; the payload is identical to what the
     serial suite computes for that benchmark.
     """
-    engine_events, ec_pages, correct_pages, rm_ops, rm_corrupt_ops = (
-        _suite_sizes(quick)
-    )
+    (engine_events, calendar_events, ec_pages, correct_pages,
+     rm_ops, rm_corrupt_ops) = _suite_sizes(quick)
     if name == "engine_events":
         return {"engine_events": bench_engine(engine_events, repeats)}
+    if name == "engine_events_calendar":
+        return {
+            "engine_events_calendar": bench_engine_calendar(
+                calendar_events, repeats
+            )
+        }
     if name in _EC_OPS:
         return bench_ec(ec_pages, correct_pages, repeats, ops=(name,))
     if name == "rm_end_to_end":
@@ -748,6 +805,12 @@ def format_results(doc: dict) -> str:
         f"  {'engine':<22} {b['engine_events']['events_per_sec']:>12,} events/s"
         f"  ({b['engine_events']['events']:,} queue entries)"
     )
+    if "engine_events_calendar" in b:
+        cal = b["engine_events_calendar"]
+        lines.append(
+            f"  {'engine (calendar)':<22} {cal['events_per_sec']:>12,} events/s"
+            f"  ({cal['events']:,} fused completions)"
+        )
     for name in _EC_OPS:
         row = b[name]
         lines.append(

@@ -22,6 +22,24 @@ Core concepts
 ``Simulator``
     Owns the event queue and the clock.
 
+Scheduling
+----------
+The default scheduler is a **calendar queue**: time is divided into
+fixed-width buckets (the *bucket width*, a power of two so the float
+``time -> bucket`` mapping is exact), the buckets form a ring (the *year*),
+and events beyond the ring's horizon wait in an overflow heap that is
+drained into buckets as the clock approaches them. Inserting an event is an
+O(1) list append; extracting is a batched, sorted drain of one bucket at a
+time. ``Simulator(scheduler="heap")`` selects the reference binary-heap
+scheduler instead — same dispatch order, useful as an oracle in tests.
+
+Dispatch order is a total order in both schedulers: ``(time, seq)`` where
+``seq`` is a monotonically increasing sequence number assigned at
+scheduling. Events at the same instant therefore run in FIFO order of
+scheduling, and the calendar queue is byte-for-byte equivalent to the heap
+(pinned by ``tests/test_scheduler_equivalence.py``). See
+``docs/SCALING.md`` for the design and its invariants.
+
 Example
 -------
 >>> sim = Simulator()
@@ -37,7 +55,9 @@ Example
 from __future__ import annotations
 
 import heapq
-from heapq import heappush as _heappush
+from bisect import bisect_right as _bisect_right
+from heapq import heappop as _heappop, heappush as _heappush
+from math import frexp as _frexp
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -81,6 +101,12 @@ _STATE_NAMES = {
     _PROCESSED: "processed",
     _CANCELLED: "cancelled",
 }
+
+_INF = float("inf")
+
+# Cancelled-entry compaction: sweep the calendar once at least this many
+# cancelled entries are buffered AND they outnumber the live entries.
+_COMPACT_MIN = 64
 
 
 class Event:
@@ -186,16 +212,24 @@ class Event:
         """Revoke a triggered-but-unprocessed event (e.g. a pending
         :class:`Timeout` deadline that lost a race).
 
-        The heap entry itself cannot be removed in O(log n), so the
-        dispatcher discards cancelled entries when they surface: callbacks
-        are dropped now and the eventual pop neither advances the clock
-        nor runs anything. Cancelling an event that has not been scheduled
-        (pending) or has already been processed is an error.
+        The scheduled entry is discarded lazily: callbacks are dropped now
+        and the eventual pop neither advances the clock nor runs anything.
+        Under the calendar scheduler, cancelled entries are additionally
+        *compacted* — once they outnumber the live entries (and exceed a
+        small floor), one sweep reclaims their bucket and overflow slots so
+        a cancel-heavy workload (timeout races) cannot pin memory until the
+        simulated deadline arrives. Cancelling an event that has not been
+        scheduled (pending) or has already been processed is an error.
         """
         if self._state != _TRIGGERED:
             raise SimulationError(f"cannot cancel {self!r}")
         self._state = _CANCELLED
         self.callbacks = []
+        sim = self.sim
+        if not sim._heap_mode:
+            sim._cancel_pending = pending = sim._cancel_pending + 1
+            if pending >= _COMPACT_MIN and pending * 2 > sim._count + len(sim._queue):
+                sim._compact()
         return self
 
     def _mark_processed(self) -> None:
@@ -226,7 +260,16 @@ class Timeout(Event):
         self.name = ""
         self.delay = delay
         sim._seq = seq = sim._seq + 1
-        _heappush(sim._queue, (sim.now + delay, seq, self))
+        when = sim.now + delay
+        if when < sim._limit:  # calendar bucket (heap mode: _limit == -inf)
+            idx = int(when * sim._inv)
+            if idx < sim._cursor:
+                sim._cursor = idx
+                sim._limit = (idx + sim._nbuckets) * sim._width
+            sim._buckets[idx & sim._mask].append((when, seq, self))
+            sim._count += 1
+        else:
+            _heappush(sim._queue, (when, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout({self.delay:g}) {_STATE_NAMES[self._state]}>"
@@ -409,26 +452,106 @@ class Simulator:
     The simulator advances time only through :meth:`run` / :meth:`step`;
     events scheduled at the same instant are processed in FIFO order of
     scheduling (a monotonically increasing sequence number breaks ties).
+    The dispatch order — ascending ``(time, seq)`` — is identical under
+    both schedulers.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"calendar"`` (default) — bucketed calendar queue with an
+        overflow heap; O(1) amortized insert, batched bucket drains.
+        ``"heap"`` — the reference binary heap. Same dispatch order.
+    bucket_width:
+        Calendar bucket width in simulated microseconds. Must be a power
+        of two (possibly fractional: 0.5, 1.0, 2.0 ...) so that the
+        ``time -> bucket`` float mapping is exact and an event can never
+        straddle a bucket boundary through rounding.
+    buckets:
+        Number of buckets in the calendar ring (a power of two). The ring
+        spans ``bucket_width * buckets`` microseconds (the *year*); events
+        farther out wait in the overflow heap and are pulled into buckets
+        as the year advances.
     """
 
-    def __init__(self):
+    def __init__(
+        self,
+        scheduler: str = "calendar",
+        bucket_width: float = 2.0,
+        buckets: int = 2048,
+    ):
         self.now: float = 0.0
-        self._queue: List[tuple] = []
         self._seq = 0
+        # `_queue` is the binary heap: the whole queue in heap mode, the
+        # far-future overflow in calendar mode. Entries are (time, seq, obj)
+        # where obj is an Event, a bare callable, or a list of callables
+        # (one fused `call_later_batch` record, seqs consecutive from seq).
+        self._queue: List[tuple] = []
+        self._scheduler = scheduler
+        self._cancel_pending = 0
+        if scheduler == "heap":
+            self._heap_mode = True
+            # _limit = -inf routes every insert to the heap; the calendar
+            # fields below are never read on the heap paths.
+            self._limit = -_INF
+            self._width = 0.0
+            self._inv = 0.0
+            self._mask = 0
+            self._nbuckets = 0
+            self._buckets: List[list] = []
+            self._cursor = 0
+            self._count = 0
+            return
+        if scheduler != "calendar":
+            raise SimulationError(f"unknown scheduler {scheduler!r}")
+        if not (bucket_width > 0 and _frexp(bucket_width)[0] == 0.5):
+            raise SimulationError(
+                f"bucket_width must be a positive power of two, got {bucket_width!r}"
+            )
+        if buckets < 2 or buckets & (buckets - 1):
+            raise SimulationError(f"buckets must be a power of two >= 2, got {buckets}")
+        self._heap_mode = False
+        self._width = float(bucket_width)
+        self._inv = 1.0 / self._width  # exact: width is a power of two
+        self._mask = buckets - 1
+        self._nbuckets = buckets
+        self._buckets = [[] for _ in range(buckets)]
+        # `_cursor` is the *absolute* bucket number currently being drained
+        # (slot = cursor & mask); `_limit` is the end of the year that
+        # starts at the cursor: (_cursor + _nbuckets) * _width. Inserts
+        # below _limit go into buckets, at/above it into the overflow heap.
+        # `_count` is the number of records resident in buckets.
+        self._cursor = 0
+        self._count = 0
+        self._limit = buckets * self._width
 
     @property
     def _active(self) -> int:
         """Number of entries ever scheduled (diagnostics).
 
-        Every schedule bumps ``_seq`` exactly once, so the FIFO tiebreaker
-        doubles as the counter — one increment per entry instead of two.
+        Every schedule bumps ``_seq`` exactly once per event (a fused
+        batch bumps it once per callable), so the FIFO tiebreaker doubles
+        as the counter — one increment per entry instead of two.
         """
         return self._seq
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._seq = seq = self._seq + 1
-        _heappush(self._queue, (self.now + delay, seq, event))
+        when = self.now + delay
+        if when < self._limit:  # calendar bucket (heap mode: _limit == -inf)
+            idx = int(when * self._inv)
+            if idx < self._cursor:
+                # Insert behind the cursor (possible after run(until=...)
+                # parked the cursor ahead of the clock): pull the year back
+                # so the advance loop revisits this bucket. Entries already
+                # placed under the larger old year stay put — the drain's
+                # year check defers them to their own window.
+                self._cursor = idx
+                self._limit = (idx + self._nbuckets) * self._width
+            self._buckets[idx & self._mask].append((when, seq, event))
+            self._count += 1
+        else:
+            _heappush(self._queue, (when, seq, event))
 
     # -- factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -446,7 +569,46 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self._seq = seq = self._seq + 1
-        _heappush(self._queue, (self.now + delay, seq, fn))
+        when = self.now + delay
+        if when < self._limit:  # calendar bucket (heap mode: _limit == -inf)
+            idx = int(when * self._inv)
+            if idx < self._cursor:
+                self._cursor = idx
+                self._limit = (idx + self._nbuckets) * self._width
+            self._buckets[idx & self._mask].append((when, seq, fn))
+            self._count += 1
+        else:
+            _heappush(self._queue, (when, seq, fn))
+
+    def call_later_batch(self, delay: float, fns: Iterable[Callable[[], None]]) -> None:
+        """Schedule a fused batch of bare callables at the same instant.
+
+        Semantically identical to ``for fn in fns: call_later(delay, fn)``
+        — each callable gets its own consecutive sequence number, so the
+        dispatch order (and ``_active``) are exactly those of the unfused
+        calls — but the whole burst costs one queue record. This is the
+        delivery primitive for completion bursts (a NIC draining a CQ):
+        under the calendar scheduler the batch is appended, sorted and
+        dispatched as a unit, which is where the bulk of the events/s
+        headroom in ``engine_events_calendar`` comes from.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        fns = list(fns)
+        if not fns:
+            return
+        seq = self._seq + 1
+        self._seq += len(fns)
+        when = self.now + delay
+        if when < self._limit:  # calendar bucket (heap mode: _limit == -inf)
+            idx = int(when * self._inv)
+            if idx < self._cursor:
+                self._cursor = idx
+                self._limit = (idx + self._nbuckets) * self._width
+            self._buckets[idx & self._mask].append((when, seq, fns))
+            self._count += 1
+        else:
+            _heappush(self._queue, (when, seq, fns))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that succeeds after ``delay`` simulated microseconds."""
@@ -462,18 +624,156 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- calendar internals ----------------------------------------------
+    def _refill(self, limit: float) -> None:
+        """Move overflow entries due before ``limit`` into their buckets."""
+        queue = self._queue
+        buckets = self._buckets
+        inv = self._inv
+        mask = self._mask
+        moved = 0
+        while queue and queue[0][0] < limit:
+            entry = _heappop(queue)
+            buckets[int(entry[0] * inv) & mask].append(entry)
+            moved += 1
+        self._count += moved
+
+    def _calendar_min(self) -> Optional[tuple]:
+        """Advance the cursor to the bucket holding the globally next
+        ``(time, seq)`` entry and return ``(bucket, entry)`` — or None if
+        the queue is fully drained. Bookkeeping only: nothing is removed
+        or dispatched, so this backs both ``peek`` and the single-step
+        paths."""
+        queue = self._queue
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        while True:
+            if not self._count:
+                if not queue:
+                    return None
+                # Jump the cursor straight to the first overflow year
+                # instead of scanning empty buckets toward it.
+                cursor = int(queue[0][0] * self._inv)
+                self._cursor = cursor
+                self._limit = (cursor + self._nbuckets) * width
+                self._refill(self._limit)
+            cursor = self._cursor
+            limit = self._limit
+            nxt = queue[0][0] if queue else _INF
+            while True:
+                bucket = buckets[cursor & mask]
+                if bucket:
+                    entry = min(bucket)
+                    if entry[0] < (cursor + 1) * width:  # in this year
+                        self._cursor = cursor
+                        self._limit = limit
+                        return (bucket, entry)
+                cursor += 1
+                limit += width
+                if nxt < limit:
+                    self._cursor = cursor
+                    self._limit = limit
+                    self._refill(limit)
+                    nxt = queue[0][0] if queue else _INF
+            # not reached: the inner loop only exits via return
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from buckets and overflow in one sweep.
+
+        Observationally free: a cancelled entry would have been discarded
+        at dispatch with no clock advance and no callbacks, so removing it
+        early changes nothing but memory (and ``peek()`` on a queue whose
+        head was cancelled). Dispatch order of live entries is untouched.
+        """
+        removed = 0
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            kept = [
+                entry
+                for entry in bucket
+                if not (isinstance(entry[2], Event) and entry[2]._state == _CANCELLED)
+            ]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                bucket[:] = kept
+        self._count -= removed
+        queue = self._queue
+        kept = [
+            entry
+            for entry in queue
+            if not (isinstance(entry[2], Event) and entry[2]._state == _CANCELLED)
+        ]
+        if len(kept) != len(queue):
+            heapq.heapify(kept)
+            self._queue[:] = kept
+        self._cancel_pending = 0
+
     # -- execution -------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._heap_mode:
+            return self._queue[0][0] if self._queue else _INF
+        found = self._calendar_min()
+        return found[1][0] if found else _INF
 
     def step(self) -> None:
         """Process exactly one event (discarding cancelled entries, which
-        neither advance the clock nor count as the processed event)."""
+        neither advance the clock nor count as the processed event). A
+        fused ``call_later_batch`` record counts one callable per step."""
+        if self._heap_mode:
+            self._step_heap()
+            return
+        if not self._count and not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        while True:
+            found = self._calendar_min()
+            if found is None:
+                return  # only cancelled entries remained
+            bucket, entry = found
+            bucket.remove(entry)
+            self._count -= 1
+            when, seq, obj = entry
+            cls = obj.__class__
+            if cls is list:
+                # Split the batch: dispatch the first callable, put the
+                # remainder back with the next consecutive seq.
+                if len(obj) > 1:
+                    bucket.append((when, seq + 1, obj[1:]))
+                    self._count += 1
+                self.now = when
+                obj[0]()
+                return
+            if isinstance(obj, Event):
+                if obj._state == _CANCELLED:
+                    if self._cancel_pending:
+                        self._cancel_pending -= 1
+                    if not self._count and not self._queue:
+                        return
+                    continue
+                self.now = when
+                callbacks, obj.callbacks = obj.callbacks, []
+                obj._state = _PROCESSED
+                for callback in callbacks:
+                    callback(obj)
+            else:
+                self.now = when
+                obj()  # bare call_later callable
+            return
+
+    def _step_heap(self) -> None:
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         while self._queue:
-            when, _seq, event = heapq.heappop(self._queue)
+            when, seq, event = heapq.heappop(self._queue)
+            cls = event.__class__
+            if cls is list:
+                if len(event) > 1:
+                    _heappush(self._queue, (when, seq + 1, event[1:]))
+                self.now = when
+                event[0]()
+                return
             if isinstance(event, Event):
                 if event._state == _CANCELLED:
                     continue
@@ -493,14 +793,140 @@ class Simulator:
         When ``until`` is given, the clock is advanced exactly to ``until``
         even if the last event fires earlier.
 
-        The dispatch loop is inlined (no per-event ``step()`` call, heappop
-        bound to a local) — this is the simulator's hottest code.
+        Calendar dispatch drains one bucket at a time: snapshot, sort (the
+        explicit ``(time, seq)`` records make the sort the exact global
+        order), then dispatch timestamp batches. Entries scheduled during
+        dispatch into the live bucket are merged in after the current
+        timestamp batch, so same-time arrivals join this drain exactly as
+        they would surface from a heap. Cancelled entries are discarded
+        without advancing the clock.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        if self._heap_mode:
+            self._run_heap(until)
+            return
+        horizon = _INF if until is None else until
+        queue = self._queue
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        inv = self._inv
+        while self._count or queue:
+            if not self._count:
+                if queue[0][0] > horizon:
+                    break
+                cursor = int(queue[0][0] * inv)
+                self._cursor = cursor
+                self._limit = (cursor + self._nbuckets) * width
+                self._refill(self._limit)
+            elif queue and queue[0][0] < self._limit:
+                # The drain-end cursor advance below grows the year window
+                # one bucket at a time without touching the overflow; pull
+                # in anything that fell inside the window before reading
+                # the bucket, or a same-timestamp overflow entry could
+                # dispatch a whole year late.
+                self._refill(self._limit)
+            cursor = self._cursor
+            slot = cursor & mask
+            bucket = buckets[slot]
+            if not bucket:
+                # Advance to the next non-empty bucket, pulling overflow
+                # entries in as the year window slides.
+                limit = self._limit
+                nxt = queue[0][0] if queue else _INF
+                while True:
+                    cursor += 1
+                    limit += width
+                    if nxt < limit:
+                        self._cursor = cursor
+                        self._limit = limit
+                        self._refill(limit)
+                        nxt = queue[0][0] if queue else _INF
+                    slot = cursor & mask
+                    bucket = buckets[slot]
+                    if bucket:
+                        break
+                self._cursor = cursor
+                self._limit = limit
+            # Drain this bucket. Records whose time falls beyond this
+            # year's window (possible only after a cursor pull-back) are
+            # split off and deferred to their own window.
+            bucket.sort()
+            end = (cursor + 1) * width
+            residue = None
+            if bucket[-1][0] >= end:
+                cut = _bisect_right(bucket, (end,))
+                if cut == 0:
+                    self._cursor = cursor + 1
+                    self._limit += width
+                    continue
+                residue = bucket[cut:]
+                del bucket[cut:]
+            entries = bucket
+            buckets[slot] = fresh = []
+            self._count -= len(entries)
+            i = 0
+            n = len(entries)
+            stopped = False
+            while i < n:
+                when = entries[i][0]
+                if when > horizon:
+                    stopped = True
+                    break
+                # One timestamp batch: everything at `when`, in seq order.
+                j = _bisect_right(entries, (when, _INF), i)
+                for _t, _s, obj in entries[i:j]:
+                    cls = obj.__class__
+                    if cls is list:
+                        self.now = when
+                        for fn in obj:
+                            fn()
+                    elif isinstance(obj, Event):
+                        if obj._state != _CANCELLED:
+                            self.now = when
+                            callbacks = obj.callbacks
+                            obj.callbacks = []
+                            obj._state = _PROCESSED
+                            for callback in callbacks:
+                                callback(obj)
+                        elif self._cancel_pending:
+                            self._cancel_pending -= 1
+                    else:
+                        self.now = when
+                        obj()  # bare call_later callable
+                i = j
+                if fresh:
+                    # Same-bucket arrivals during dispatch: merge and
+                    # re-sort so they interleave in exact (time, seq)
+                    # order with what is left of the snapshot.
+                    rest = entries[i:]
+                    rest += fresh
+                    rest.sort()
+                    entries = rest
+                    self._count -= len(fresh)
+                    buckets[slot] = fresh = []
+                    i = 0
+                    n = len(entries)
+            if stopped or residue:
+                put_back = buckets[slot]
+                if stopped:
+                    put_back += entries[i:]
+                    self._count += n - i
+                if residue:
+                    put_back += residue
+                    self._count += len(residue)
+                if stopped:
+                    break
+            self._cursor = cursor + 1
+            self._limit += width
+        if until is not None and self.now < until:
+            self.now = until
+
+    def _run_heap(self, until: Optional[float]) -> None:
         queue = self._queue
         pop = heapq.heappop
-        horizon = float("inf") if until is None else until
+        horizon = _INF if until is None else until
         while queue:
             when = queue[0][0]
             if when > horizon:
@@ -512,7 +938,12 @@ class Simulator:
             # entries are discarded without advancing the clock.
             while True:
                 event = pop(queue)[2]
-                if isinstance(event, Event):
+                cls = event.__class__
+                if cls is list:
+                    self.now = when
+                    for fn in event:
+                        fn()
+                elif isinstance(event, Event):
                     if event._state != _CANCELLED:
                         self.now = when
                         callbacks = event.callbacks
@@ -532,16 +963,61 @@ class Simulator:
         """Run just until ``event`` triggers (or the queue/deadline ends).
 
         Preferred over ``run()`` when daemon processes (e.g. periodic
-        monitors) keep the queue permanently non-empty.
+        monitors) keep the queue permanently non-empty. A fused batch
+        record dispatches atomically under both schedulers; the target's
+        state is re-checked between records.
         """
+        if self._heap_mode:
+            self._run_until_triggered_heap(event, until)
+            return
+        horizon = _INF if until is None else until
+        while event._state == _PENDING:
+            found = self._calendar_min()
+            if found is None:
+                break
+            bucket, entry = found
+            when = entry[0]
+            if when > horizon:
+                break
+            bucket.remove(entry)
+            self._count -= 1
+            obj = entry[2]
+            cls = obj.__class__
+            if cls is list:
+                self.now = when
+                for fn in obj:
+                    fn()
+            elif isinstance(obj, Event):
+                if obj._state == _CANCELLED:
+                    if self._cancel_pending:
+                        self._cancel_pending -= 1
+                    continue  # revoked deadline: no clock advance, no work
+                self.now = when
+                callbacks = obj.callbacks
+                obj.callbacks = []
+                obj._state = _PROCESSED
+                for callback in callbacks:
+                    callback(obj)
+            else:
+                self.now = when
+                obj()  # bare call_later callable
+
+    def _run_until_triggered_heap(
+        self, event: Event, until: Optional[float]
+    ) -> None:
         queue = self._queue
         pop = heapq.heappop
-        horizon = float("inf") if until is None else until
+        horizon = _INF if until is None else until
         while event._state == _PENDING and queue:
             if queue[0][0] > horizon:
                 break
             when, _seq, current = pop(queue)
-            if isinstance(current, Event):
+            cls = current.__class__
+            if cls is list:
+                self.now = when
+                for fn in current:
+                    fn()
+            elif isinstance(current, Event):
                 if current._state == _CANCELLED:
                     continue  # revoked deadline: no clock advance, no work
                 self.now = when

@@ -1,0 +1,35 @@
+"""The docs link checker (tools/check_docs_links.py) stays green.
+
+CI runs the script directly; this test keeps it honest for local
+``pytest`` runs and pins the checker's own behavior on a known-dead
+link.
+"""
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_docs_links", REPO / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs_links)
+
+
+class TestDocsLinks:
+    def test_no_dead_links(self):
+        assert check_docs_links.check() == []
+
+    def test_checker_catches_dead_link(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[ok](docs/REAL.md) [bad](docs/GONE.md) "
+            "[skip](https://example.com) ![img](missing.png)\n"
+            "[anchor](docs/REAL.md#real-heading) "
+            "[bad-anchor](docs/REAL.md#nope)\n"
+        )
+        (tmp_path / "docs" / "REAL.md").write_text("# Real heading\n")
+        monkeypatch.setattr(check_docs_links, "REPO", tmp_path)
+        errors = check_docs_links.check()
+        assert any("GONE.md" in e for e in errors)
+        assert any("nope" in e for e in errors)
+        assert len(errors) == 2  # https skipped, image skipped, anchor ok

@@ -1,0 +1,184 @@
+"""Packed slab metadata (SlabTable/RackTopology) and the rack-scale sweep.
+
+The sweep's report text must be a pure function of its config — that is
+the contract that makes the ``rack_scale`` bench shard byte-identical
+between serial and ``-j N`` runs (docs/SCALING.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.slabtable import (
+    STATE_FREE,
+    STATE_MAPPED,
+    STATE_UNAVAILABLE,
+    RackTopology,
+    SlabTable,
+    place_ranges,
+)
+from repro.harness.rack_scale import (
+    RackScaleConfig,
+    format_rack_scale,
+    run_rack_scale,
+)
+
+
+class TestRackTopology:
+    def test_rack_and_pod_mapping(self):
+        topo = RackTopology(machines=24, machines_per_rack=4, racks_per_pod=3)
+        assert topo.racks == 6 and topo.pods == 2
+        assert topo.rack[0] == topo.rack[3] == 0
+        assert topo.rack[4] == 1
+        assert topo.pod[11] == 0 and topo.pod[12] == 1
+        assert list(topo.machines_in_rack(1)) == [4, 5, 6, 7]
+
+    def test_latency_classes(self):
+        topo = RackTopology(machines=24, machines_per_rack=4, racks_per_pod=3)
+        src = np.array([0, 0, 0])
+        dst = np.array([1, 5, 13])  # same rack, same pod, cross pod
+        assert list(topo.latency_class(src, dst)) == [0, 1, 2]
+        lat = topo.latency_us(src, dst)
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RackTopology(machines=0)
+        with pytest.raises(ValueError):
+            RackTopology(machines=4, machines_per_rack=0)
+
+
+class TestSlabTable:
+    def test_allocate_map_unmap_counters(self):
+        table = SlabTable(machines=4, capacity=2)
+        ids = table.allocate([0, 0, 1, 3])
+        assert len(table) == 4 and table.capacity >= 4  # grew past 2
+        assert list(table.free_per_host) == [2, 1, 0, 1]
+        table.map(ids[:2], owners=2, ranges=7, positions=[0, 1])
+        assert list(table.free_per_host) == [0, 1, 0, 1]
+        assert np.all(table.state[ids[:2]] == STATE_MAPPED)
+        assert np.all(table.range_id[ids[:2]] == 7)
+        table.unmap(ids[0])
+        assert table.state[ids[0]] == STATE_FREE
+        assert table.owner[ids[0]] == -1
+        assert list(table.free_per_host) == [1, 1, 0, 1]
+
+    def test_map_requires_free(self):
+        table = SlabTable(machines=2)
+        ids = table.allocate([0])
+        table.map(ids, 1, 0, 0)
+        with pytest.raises(ValueError):
+            table.map(ids, 1, 0, 0)
+
+    def test_fail_host_tombstones(self):
+        table = SlabTable(machines=3)
+        ids = table.allocate([0, 0, 1])
+        table.map(ids[0], owners=2, ranges=0, positions=0)
+        table.pages[ids[0]] = 99
+        lost = table.fail_host(0)
+        assert sorted(lost) == sorted(ids[:2])
+        assert np.all(table.state[lost] == STATE_UNAVAILABLE)
+        assert table.pages[ids[0]] == 0
+        assert table.free_per_host[0] == 0 and table.slabs_per_host[0] == 0
+        assert table.free_per_host[1] == 1  # untouched host
+
+    def test_range_host_matrix_and_loads(self):
+        table = SlabTable(machines=5)
+        ids = table.allocate([0, 2, 4])
+        table.map(ids, owners=1, ranges=0, positions=[0, 1, 2])
+        table.pages[ids] = [10, 20, 30]
+        matrix = table.range_host_matrix(n_ranges=1, n_splits=4)
+        assert list(matrix[0]) == [0, 2, 4, -1]
+        assert list(table.mapped_load()) == [1, 0, 1, 0, 1]
+        assert list(table.page_load()) == [10, 0, 20, 0, 30]
+
+    def test_host_id_validation(self):
+        table = SlabTable(machines=2)
+        with pytest.raises(ValueError):
+            table.allocate([2])
+
+    def test_memory_model(self):
+        table = SlabTable(machines=10, capacity=100)
+        fields = table.field_nbytes()
+        per_slab = sum(
+            nbytes
+            for name, nbytes in fields.items()
+            if name not in ("free_per_host", "slabs_per_host")
+        )
+        assert per_slab == 100 * SlabTable.BYTES_PER_SLAB
+        assert table.nbytes == sum(fields.values())
+
+
+class TestPlaceRanges:
+    def _setup(self, machines=40, per_rack=4):
+        topo = RackTopology(machines, machines_per_rack=per_rack, racks_per_pod=2)
+        table = SlabTable(machines)
+        return table, topo
+
+    def test_hydra_is_rack_distinct(self):
+        table, topo = self._setup()
+        hosts = place_ranges(
+            table, topo, owners=np.arange(8), n_splits=5, choices=20,
+            rng=np.random.default_rng(1), policy="hydra",
+        )
+        assert hosts.shape == (8, 5)
+        for row in hosts:
+            assert len(set(topo.rack[row])) == 5  # one slab per rack
+        assert len(table) == 40 and len(table.mapped_ids()) == 40
+
+    def test_same_seed_same_placement(self):
+        a_table, topo = self._setup()
+        b_table, _ = self._setup()
+        kwargs = dict(owners=np.arange(6), n_splits=4, choices=12, policy="hydra")
+        a = place_ranges(a_table, topo, rng=np.random.default_rng(9), **kwargs)
+        b = place_ranges(b_table, topo, rng=np.random.default_rng(9), **kwargs)
+        assert np.array_equal(a, b)
+
+    def test_unknown_policy_rejected(self):
+        table, topo = self._setup()
+        with pytest.raises(ValueError):
+            place_ranges(table, topo, [0], 2, 4, np.random.default_rng(0), policy="x")
+
+
+# 60 machines in 12 racks: with only 12 racks for 10 splits, the sample
+# must be wide (choices=40) or the rack-distinct walk falls back.
+_TINY = RackScaleConfig(
+    machines=60,
+    machines_per_rack=5,
+    racks_per_pod=4,
+    pages_per_range=64,
+    choices=40,
+    failure_trials=20,
+    engine_events=5_000,
+)
+
+
+class TestRackScaleSweep:
+    def test_report_is_pure_function_of_config(self):
+        first = run_rack_scale(_TINY)
+        second = run_rack_scale(_TINY)
+        assert format_rack_scale(first) == format_rack_scale(second)
+
+    def test_sweep_outputs(self):
+        result = run_rack_scale(_TINY)
+        assert result["config"]["racks"] == 12
+        assert result["config"]["logical_pages"] == 60 * 64
+        assert result["placement"]["hydra"]["rack_distinct"] == 1.0
+        assert result["data_loss"]["rack_blast"]["hydra"]["1"] == 0.0
+        assert result["memory"]["table_bytes"] > 0
+        assert result["engine"]["events"] >= _TINY.engine_events
+
+    def test_bench_shard_serial_matches_j2_bytes(self, tmp_path, monkeypatch):
+        from repro.parallel.bench import bench_report_digest, run_bench
+
+        monkeypatch.setenv("REPRO_RACK_SCALE", "smoke")
+        dirs = {1: tmp_path / "j1", 2: tmp_path / "j2"}
+        docs = {
+            jobs: run_bench(jobs=jobs, substring="rack_scale", results_dir=str(path))
+            for jobs, path in dirs.items()
+        }
+        assert all(doc["ok"] for doc in docs.values())
+        assert bench_report_digest(docs[1]) == bench_report_digest(docs[2])
+        serial = (dirs[1] / "rack_scale.txt").read_bytes()
+        parallel = (dirs[2] / "rack_scale.txt").read_bytes()
+        assert serial == parallel
+        assert b"Rack-scale sweep" in serial

@@ -433,3 +433,101 @@ class TestBatchedDispatch:
         sim.call_later(2.0, lambda: None)
         sim.event().succeed()
         assert sim._active == base + 3
+
+
+class TestCalendarStorage:
+    """Calendar-specific storage contracts: cancelled entries must not
+    pin their bucket's ring slot forever, and fused batches must be
+    observationally identical to a chain of ``call_later`` calls."""
+
+    def test_mass_cancel_compacts_bucket_slots(self, sim):
+        keeper = sim.timeout(5.0)
+        doomed = [sim.timeout(5.0) for _ in range(200)]
+        for timeout in doomed:
+            timeout.cancel()
+        resident = sum(len(b) for b in sim._buckets) + len(sim._queue)
+        assert resident < 100  # the cancelled majority was swept out
+        sim.run()
+        assert keeper.processed
+        assert sim.now == 5.0
+
+    def test_mass_cancel_compacts_overflow_heap(self, sim):
+        horizon = sim._nbuckets * sim._width  # beyond this -> overflow heap
+        keeper = sim.timeout(5.0)
+        doomed = [sim.timeout(horizon * 3) for _ in range(200)]
+        assert len(sim._queue) == 200
+        for timeout in doomed:
+            timeout.cancel()
+        assert len(sim._queue) < 100
+        sim.run()
+        assert keeper.processed
+        assert sim.now == 5.0  # cancelled far-future entries never advance time
+
+    def test_compaction_resets_pending_counter(self, sim):
+        doomed = [sim.timeout(1.0) for _ in range(300)]
+        for timeout in doomed:
+            timeout.cancel()
+        # Whatever tail is still resident, the counter matches it: every
+        # sweep zeroed the counter alongside the storage.
+        resident = sum(len(b) for b in sim._buckets) + len(sim._queue)
+        assert sim._cancel_pending == resident
+
+    def test_heap_mode_never_compacts(self):
+        sim = Simulator(scheduler="heap")
+        doomed = [sim.timeout(1.0) for _ in range(100)]
+        for timeout in doomed:
+            timeout.cancel()
+        assert len(sim._queue) == 100  # reference scheduler: lazy skip only
+        assert sim._cancel_pending == 0
+        sim.run()
+        assert sim.now == 0.0
+
+
+class TestCallLaterBatch:
+    def test_batch_matches_unfused_order(self):
+        for scheduler in ("calendar", "heap"):
+            sim = Simulator(scheduler=scheduler)
+            seen = []
+            sim.call_later(5.0, lambda: seen.append("a"))
+            sim.call_later_batch(
+                5.0, [lambda: seen.append("b"), lambda: seen.append("c")]
+            )
+            sim.call_later(5.0, lambda: seen.append("d"))
+            sim.run()
+            assert seen == ["a", "b", "c", "d"], scheduler
+            assert sim.now == 5.0
+
+    def test_batch_counts_every_callable(self, sim):
+        base = sim._active
+        sim.call_later_batch(1.0, [int, int, int])
+        assert sim._active == base + 3
+
+    def test_step_splits_batch_one_callable_at_a_time(self, sim):
+        seen = []
+        sim.call_later_batch(
+            1.0, [lambda: seen.append(0), lambda: seen.append(1)]
+        )
+        sim.step()
+        assert seen == [0]
+        sim.step()
+        assert seen == [0, 1]
+        assert sim.now == 1.0
+
+    def test_batch_beyond_the_year_lands_in_overflow(self, sim):
+        horizon = sim._nbuckets * sim._width
+        seen = []
+        sim.call_later_batch(horizon * 2, [lambda: seen.append(sim.now)])
+        assert len(sim._queue) == 1
+        sim.run()
+        assert seen == [horizon * 2]
+
+    def test_empty_batch_is_a_noop(self, sim):
+        base = sim._active
+        sim.call_later_batch(1.0, [])
+        assert sim._active == base
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_later_batch(-1.0, [int])

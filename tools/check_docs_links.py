@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in README.md and docs/*.md.
+
+Checks every inline markdown link (``[text](target)``) and reference
+definition (``[label]: target``) whose target is repo-relative:
+
+* external schemes (http/https/mailto) are skipped;
+* bare anchors (``#section``) are checked against the headings of the
+  containing file; ``path#anchor`` against the headings of ``path``;
+* everything else must exist on disk, resolved relative to the file
+  containing the link.
+
+Exit code 0 when clean, 1 with one line per dead link otherwise:
+
+    python tools/check_docs_links.py
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline links, skipping images; reference-style definitions.
+_INLINE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced and inline code spans so example snippets and shell
+    lines (e.g. ``awk '[...](...)'``) are not parsed as links."""
+    text = re.sub(r"^```.*?^```", "", text, flags=re.MULTILINE | re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def _anchors(path: Path) -> set[str]:
+    """GitHub-style heading anchors: lowercase, strip punctuation,
+    spaces to dashes. Inline-code spans keep their text (only the
+    backticks vanish from the slug), so only fenced blocks are removed."""
+    text = re.sub(
+        r"^```.*?^```", "", path.read_text(), flags=re.MULTILINE | re.DOTALL
+    ).replace("`", "")
+    out = set()
+    for heading in _HEADING.findall(text):
+        slug = re.sub(r"[^\w\- ]", "", heading.strip().lower())
+        out.add(slug.replace(" ", "-"))
+    return out
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check() -> list[str]:
+    errors = []
+    for doc in _doc_files():
+        text = _strip_code(doc.read_text())
+        targets = _INLINE.findall(text) + _REFDEF.findall(text)
+        for target in targets:
+            if _SCHEME.match(target) or target.startswith("//"):
+                continue
+            rel = doc.relative_to(REPO)
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                dest = doc
+            else:
+                dest = (doc.parent / path_part).resolve()
+                try:
+                    dest.relative_to(REPO)
+                except ValueError:
+                    errors.append(f"{rel}: link escapes the repo: {target}")
+                    continue
+                if not dest.exists():
+                    errors.append(f"{rel}: dead link: {target}")
+                    continue
+            if anchor and dest.suffix == ".md":
+                if anchor.lower() not in _anchors(dest):
+                    errors.append(f"{rel}: dead anchor: {target}")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for line in errors:
+        print(line, file=sys.stderr)
+    ndocs = len(_doc_files())
+    if errors:
+        print(f"{len(errors)} dead link(s) across {ndocs} files", file=sys.stderr)
+        return 1
+    print(f"docs links ok ({ndocs} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
