@@ -6,6 +6,7 @@ from .compression import CompressedReplicationBackend
 from .direct import DirectRemoteMemory
 from .replication import ReplicationBackend
 from .ssd_backup import SSDBackupBackend
+from .swarm import SwarmReplicationBackend
 
 __all__ = [
     "BackendError",
@@ -17,4 +18,5 @@ __all__ = [
     "DirectRemoteMemory",
     "ReplicationBackend",
     "SSDBackupBackend",
+    "SwarmReplicationBackend",
 ]

@@ -30,7 +30,13 @@ Entry points: ``python -m repro chaos [--seed N] [--shrink]`` and
 from .engine import ChaosConfig, ChaosResult, run_chaos
 from .bundle import write_bundle
 from .invariants import InvariantMonitor, Violation
-from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .schedule import (
+    SCENARIOS,
+    ChaosEvent,
+    ChaosSchedule,
+    sample_schedule,
+    scenario_schedule,
+)
 from .shrink import shrink_schedule
 from .soak import run_soak, run_soak_shard, soak_json
 
@@ -45,6 +51,8 @@ __all__ = [
     "run_soak",
     "run_soak_shard",
     "sample_schedule",
+    "scenario_schedule",
+    "SCENARIOS",
     "shrink_schedule",
     "soak_json",
     "write_bundle",

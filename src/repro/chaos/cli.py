@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import argparse
 import os
+from dataclasses import replace
 from typing import Optional
 
 from ..harness import banner, format_kv
 from .bundle import write_bundle
 from .engine import INJECTABLE_BUGS, ChaosConfig, ChaosResult, run_chaos
-from .schedule import ChaosSchedule
+from .schedule import SCENARIOS, ChaosSchedule
 from .shrink import shrink_schedule
 from .soak import run_soak, soak_json
 
@@ -50,6 +51,12 @@ def _parser() -> argparse.ArgumentParser:
         "--inject-bug",
         choices=INJECTABLE_BUGS,
         help="plant a known fault in the system under test (checker self-test)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIOS,
+        help="run a named control-plane scenario (explicit schedule, "
+        "auto-enables metadata replication); composes with --soak",
     )
     parser.add_argument(
         "--out",
@@ -85,11 +92,15 @@ def _parse_jobs(value: str):
 
 def _soak_main(args) -> int:
     config = ChaosConfig.quick() if args.quick else ChaosConfig()
+    if args.scenario:
+        config = replace(config, scenario=args.scenario)
     jobs = _parse_jobs(args.jobs)
     print(
         banner(
             f"chaos soak seeds={args.seed}..{args.seed + args.soak - 1} "
-            f"-j {jobs}" + (" (quick)" if args.quick else "")
+            f"-j {jobs}"
+            + (" (quick)" if args.quick else "")
+            + (f" scenario={args.scenario}" if args.scenario else "")
         )
     )
     doc = run_soak(
@@ -148,13 +159,32 @@ def main(argv=None) -> int:
             return 2
         return _soak_main(args)
     config = ChaosConfig.quick() if args.quick else ChaosConfig()
+    if args.scenario:
+        if args.replay:
+            print("--scenario is incompatible with --replay "
+                  "(a replayed schedule already says what happens)")
+            return 2
+        config = replace(config, scenario=args.scenario)
 
     schedule = None
     if args.replay:
-        with open(args.replay) as fh:
-            schedule = ChaosSchedule.from_json(fh.read())
+        # A replay points CI (or a human) at a bundle that may be gone,
+        # truncated, or from a different era — fail with one line and a
+        # distinct exit status instead of a traceback.
+        try:
+            with open(args.replay) as fh:
+                schedule = ChaosSchedule.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot replay {args.replay}: {exc}")
+            return 2
 
-    print(banner(f"chaos seed={args.seed}" + (" (quick)" if args.quick else "")))
+    print(
+        banner(
+            f"chaos seed={args.seed}"
+            + (" (quick)" if args.quick else "")
+            + (f" scenario={args.scenario}" if args.scenario else "")
+        )
+    )
     result = run_chaos(
         args.seed,
         config=config,

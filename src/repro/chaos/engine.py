@@ -14,7 +14,7 @@ produce byte-identical schedule JSON and reports.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -25,7 +25,7 @@ from ..core.resilience_manager import HydraError
 from ..net import BackgroundFlow, NetworkConfig
 from ..sim import RandomSource
 from .invariants import InvariantMonitor, Violation
-from .schedule import ChaosSchedule, sample_schedule
+from .schedule import ChaosSchedule, sample_schedule, scenario_schedule
 
 __all__ = ["ChaosConfig", "ChaosResult", "run_chaos"]
 
@@ -64,6 +64,14 @@ class ChaosConfig:
     regen_slack_us: float = 2_000_000.0
     mean_outage_us: float = 600_000.0
 
+    # Survivable control plane (repro.core.rm_replica). 0 keeps the
+    # classic single-RM deployment; rm_* schedule events auto-enable 2.
+    metadata_replicas: int = 0
+    metadata_lease_timeout_us: Optional[float] = None
+    # Named control-plane scenario (see schedule.SCENARIOS) — replaces
+    # the sampled schedule with an explicit, deterministic one.
+    scenario: Optional[str] = None
+
     @classmethod
     def quick(cls) -> "ChaosConfig":
         """A CI-sized campaign (~3 simulated seconds, fewer events)."""
@@ -85,6 +93,8 @@ class ChaosConfig:
             slab_size_bytes=self.slab_size_bytes,
             payload_mode=self.payload_mode,
             control_period_us=self.control_period_us,
+            metadata_replicas=self.metadata_replicas,
+            metadata_lease_timeout_us=self.metadata_lease_timeout_us,
         )
 
     def to_dict(self) -> Dict:
@@ -149,6 +159,23 @@ def run_chaos(
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}")
 
+    # Control-plane scenarios: an explicit schedule replaces sampling,
+    # and any rm_* event (scenario or replayed counterexample) needs the
+    # replicated control plane up, so auto-enable it.
+    if schedule is None and config.scenario is not None:
+        schedule = scenario_schedule(
+            config.scenario,
+            machines=config.machines,
+            horizon_us=config.horizon_us,
+            burst_ops=config.burst_ops,
+        )
+    if (
+        schedule is not None
+        and config.metadata_replicas == 0
+        and any(e.kind in ("rm_crash", "rm_partition") for e in schedule.events)
+    ):
+        config = replace(config, metadata_replicas=2)
+
     cluster = Cluster(
         machines=config.machines,
         memory_per_machine=config.memory_per_machine,
@@ -186,6 +213,24 @@ def run_chaos(
     rm.add_observer(monitor)
     monitor.start()
 
+    # The workload targets the *current* leader of the client's metadata
+    # domain. On failover the control plane hands the domain to a
+    # successor RM; the box is swapped (and the monitor rebound) at
+    # adoption time, before torn pages are re-sealed, so every
+    # client-visible operation after the handoff flows through the
+    # successor.
+    rm_box = {"rm": rm}
+    if deployment.control_plane is not None:
+
+        def _on_failover_begin(domain: int, new_rm, info: Dict) -> None:
+            if domain != rm_box["rm"].machine_id:
+                return
+            monitor.rebind(new_rm, info)
+            new_rm.add_observer(monitor)
+            rm_box["rm"] = new_rm
+
+        deployment.control_plane.on_failover_begin.append(_on_failover_begin)
+
     rng = RandomSource(seed, "chaos")
     if schedule is None:
         victims = [m.id for m in cluster.machines if m.id != 0]
@@ -202,6 +247,7 @@ def run_chaos(
 
     failures = FailureInjector(sim)
     corruption = CorruptionInjector(sim, rng.child("corrupt"))
+    active_partitions: List = []  # (a, b) pairs rm_partition opened
     make_page = _page_maker(seed, hydra_config.page_size)
     versions: Dict[int, int] = {}
     writing: set = set()  # pages with a workload write in flight
@@ -217,6 +263,7 @@ def run_chaos(
         """
         page_id = op_rng.randint(0, config.pages - 1)
         write = op_rng.bernoulli(0.5) and page_id not in writing
+        client = rm_box["rm"]
         try:
             if write:
                 writing.add(page_id)
@@ -226,10 +273,10 @@ def run_chaos(
                     if config.payload_mode == "real"
                     else None
                 )
-                yield rm.write(page_id, data)
+                yield client.write(page_id, data)
                 workload["writes"] += 1
             else:
-                yield rm.read(page_id)
+                yield client.read(page_id)
                 workload["reads"] += 1
         except HydraError:
             workload["errors"] += 1
@@ -252,13 +299,39 @@ def run_chaos(
             event=event.kind,
             machines=sorted(event.machines),
         )
-        if event.kind in ("crash", "outage"):
+        if event.kind in ("crash", "outage", "rm_crash"):
+            # rm_crash is a plain machine crash aimed at an RM under
+            # test (usually the client, machine 0) — kept as its own
+            # kind so schedules document intent and auto-enable the
+            # replicated control plane on replay.
             for victim in event.machines:
                 failures.crash_at(
                     cluster.machine(victim),
                     at_us=sim.now,
                     recover_after_us=event.duration_us,
                 )
+        elif event.kind == "rm_partition":
+            # Cut only the victim's metadata-replication links: the
+            # stale leader must fence itself (lost quorum) before the
+            # lease expires and a successor adopts the domain.
+            control_plane = deployment.control_plane
+            for victim in event.machines:
+                peers = (
+                    control_plane.peers_of_domain.get(victim, [])
+                    if control_plane is not None
+                    else []
+                )
+                pairs = [(victim, peer) for peer in peers]
+                active_partitions.extend(pairs)
+                for a, b in pairs:
+                    cluster.fabric.partition(a, b)
+                if event.duration_us > 0:
+
+                    def heal(pairs=tuple(pairs)):
+                        for a, b in pairs:
+                            cluster.fabric.heal(a, b)
+
+                    sim.call_later(event.duration_us, heal)
         elif event.kind == "corrupt":
             monitor.note_corruption()
             for victim in event.machines:
@@ -311,18 +384,25 @@ def run_chaos(
                 break
             yield from do_op(steady_rng)
 
-        # Quiesce: release pressure, recover everyone, let regen finish.
+        # Quiesce: heal partitions, release pressure, recover everyone,
+        # let regen finish. (heal is idempotent; pairs already healed by
+        # their scheduled timer are no-ops.)
+        for a, b in active_partitions:
+            cluster.fabric.heal(a, b)
         for machine in cluster.machines:
             machine.set_local_app_bytes(0)
             if not machine.alive:
                 machine.recover()
         yield sim.timeout(config.settle_us)
 
-        # Final end-to-end audit: read back every page through the RM.
+        # Final end-to-end audit: read back every page through the
+        # (possibly failed-over) RM.
         for page_id in sorted(monitor.pages):
             state = monitor.pages[page_id]
+            if page_id in monitor.torn_pages:
+                continue  # un-sealed torn page; final_check counts it
             try:
-                got = yield rm.read(page_id)
+                got = yield rm_box["rm"].read(page_id)
             except HydraError as exc:
                 monitor.record_audit_mismatch(
                     page_id, f"audit read of page {page_id} failed: {exc}"
@@ -364,6 +444,8 @@ def run_chaos(
         },
         "ok": monitor.ok,
     }
+    if deployment.control_plane is not None:
+        report["control_plane"] = deployment.control_plane.report()
     return ChaosResult(
         seed=seed,
         config=config,

@@ -116,6 +116,11 @@ class InvariantMonitor:
         self._expected_cache: Dict[int, Tuple[int, np.ndarray]] = {}
         self._flagged: Set[Tuple[str, object]] = set()
         self._confirming: Set[int] = set()
+        # Pages whose last write was torn by an RM failover (intent
+        # replicated, ack never issued): split state is mixed-version
+        # until the successor re-seals them, so byte checks are relaxed
+        # for exactly these pages, exactly until their next ack.
+        self._torn: Set[int] = set()
 
     # ------------------------------------------------------------------
     # RM observer hooks
@@ -125,6 +130,7 @@ class InvariantMonitor:
         state.version = version
         state.data = data
         state.history.append((self.sim.now, version, data))
+        self._torn.discard(page_id)  # sealed (or overwritten): promise renewed
         self.counters["writes_acked"] += 1
 
     def on_write_durable(self, page_id: int, version: int) -> None:
@@ -165,6 +171,14 @@ class InvariantMonitor:
                     f"(read started at {start_us:.1f}us)",
                     page_id=page_id,
                 )
+            elif page_id in self._torn:
+                # Failover re-seal race: the page's splits are mixed
+                # between the torn intent and its acked predecessor
+                # until the successor rewrites them; either version's
+                # bytes (or a decode of the mixture) may surface.
+                self.counters["torn_reads_tolerated"] = (
+                    self.counters.get("torn_reads_tolerated", 0) + 1
+                )
             elif self.corruption_injected:
                 # §5.1: detection lags a background verify; the garbage
                 # read is tolerated, convergence enforced at final audit.
@@ -201,6 +215,45 @@ class InvariantMonitor:
     def on_regen_end(self, range_id: int, position: int, outcome: str) -> None:
         self.open_regens.pop((range_id, position), None)
         self.regen_outcomes[outcome] = self.regen_outcomes.get(outcome, 0) + 1
+
+    def on_page_lost(self, page_id: int) -> None:
+        """Failover recovery gave up on a page (``seal_pages``).
+
+        Losing a torn page is the documented async-encoding trade-off:
+        the client's overwrite was in flight, so neither the old nor the
+        new version is guaranteed reconstructible. Losing a page with no
+        write outstanding breaks the durability promise outright.
+        """
+        state = self.pages.pop(page_id, None)
+        self._expected_cache.pop(page_id, None)
+        key = "pages_lost_torn" if page_id in self._torn else "pages_lost"
+        self.counters[key] = self.counters.get(key, 0) + 1
+        if page_id in self._torn:
+            self._torn.discard(page_id)
+            return
+        if state is not None and state.version > 0:
+            self._violate(
+                "durability",
+                f"page {page_id} v{state.version} lost in failover despite "
+                "an acked write and no overwrite in flight",
+                page_id=page_id,
+                dedup=("lost", page_id),
+            )
+
+    def rebind(self, new_rm, info: Dict) -> None:
+        """Follow a control-plane failover: observe the successor RM.
+
+        Clears per-RM state — regenerations open on the dead leader can
+        never complete there (the successor restarts its own), and the
+        split-inspection cache keys off the leader's codec. Pages whose
+        write was torn mid-flight (``info["interrupted"]``) get relaxed
+        byte checks until the successor's re-seal acks.
+        """
+        self.rm = new_rm
+        self.open_regens.clear()
+        self._expected_cache.clear()
+        self._torn.update(page for page, _acked, _intent in info["interrupted"])
+        self.counters["failovers"] = self.counters.get("failovers", 0) + 1
 
     # ------------------------------------------------------------------
     # periodic checking
@@ -239,6 +292,11 @@ class InvariantMonitor:
         if state.data is None and self.config.payload_mode == "real":
             return False
         if state.durable_version != state.version:
+            return False
+        # A fenced RM is mid-handoff: split state is in flux until the
+        # successor adopts the domain and the monitor is rebound. Torn
+        # pages stay unchecked until their re-seal acks.
+        if getattr(self.rm, "_fenced", False) or page_id in self._torn:
             return False
         return page_id not in self.rm._inflight_writes
 
@@ -333,6 +391,14 @@ class InvariantMonitor:
         """End-of-run audit after quiescing (no grace, no excuses)."""
         for page_id in sorted(self.pages):
             state = self.pages[page_id]
+            if page_id in self._torn:
+                # Torn by a failover and never successfully re-sealed:
+                # the outstanding overwrite voids the byte-level promise
+                # (same contract as on_page_lost for torn pages).
+                self.counters["torn_after_quiesce"] = (
+                    self.counters.get("torn_after_quiesce", 0) + 1
+                )
+                continue
             if state.durable_version != state.version:
                 self._violate(
                     "durability",
@@ -377,6 +443,11 @@ class InvariantMonitor:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def torn_pages(self) -> frozenset:
+        """Pages torn by a failover and not yet re-sealed (see rebind)."""
+        return frozenset(self._torn)
+
     @property
     def ok(self) -> bool:
         return not self.violations

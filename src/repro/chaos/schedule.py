@@ -26,9 +26,25 @@ from typing import Dict, List, Tuple
 
 from ..sim import RandomSource
 
-__all__ = ["ChaosEvent", "ChaosSchedule", "sample_schedule", "EVENT_KINDS"]
+__all__ = [
+    "ChaosEvent",
+    "ChaosSchedule",
+    "sample_schedule",
+    "scenario_schedule",
+    "EVENT_KINDS",
+    "SCENARIOS",
+]
 
-EVENT_KINDS = ("crash", "outage", "corrupt", "flow", "pressure", "burst")
+EVENT_KINDS = (
+    "crash",
+    "outage",
+    "corrupt",
+    "flow",
+    "pressure",
+    "burst",
+    "rm_crash",
+    "rm_partition",
+)
 
 # Weights of the §2.2 uncertainty scenarios in a sampled schedule.
 _KIND_WEIGHTS = (
@@ -265,3 +281,59 @@ def sample_schedule(
             )
         )
     return ChaosSchedule(events=sampled, horizon_us=horizon_us)
+
+
+# Control-plane fault scenarios (ISSUE 8). Each is a fully explicit,
+# deterministic schedule — no sampling — aimed at the RM under test
+# (machine 0) and its metadata replica set. ``rm_crash`` kills the
+# leader mid-write-burst; ``rm_partition`` cuts only the metadata links
+# (stale-leader fencing); ``rm_failover`` layers a data-host crash under
+# the leader crash, then another after failover, so the successor's
+# reconstructed slab map is exercised while degraded.
+SCENARIOS = ("rm_crash", "rm_partition", "rm_failover")
+
+
+def scenario_schedule(
+    name: str, *, machines: int, horizon_us: float, burst_ops: int
+) -> ChaosSchedule:
+    """The named control-plane scenario as an explicit schedule."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r} (choose from {', '.join(SCENARIOS)})"
+        )
+    h = horizon_us
+    if name == "rm_crash":
+        # The burst starts a few writes before the crash lands, so
+        # the leader usually dies with a write torn mid-flight.
+        events = [
+            ChaosEvent(kind="burst", at_us=0.5 * h - 100.0, ops=burst_ops),
+            ChaosEvent(
+                kind="rm_crash", at_us=0.5 * h, machines=[0],
+                duration_us=0.25 * h,
+            ),
+        ]
+    elif name == "rm_partition":
+        events = [
+            ChaosEvent(kind="burst", at_us=0.4 * h - 100.0, ops=burst_ops),
+            ChaosEvent(
+                kind="rm_partition", at_us=0.4 * h, machines=[0],
+                duration_us=0.3 * h,
+            ),
+        ]
+    else:  # rm_failover
+        events = [
+            ChaosEvent(
+                kind="crash", at_us=0.3 * h, machines=[machines - 1],
+                duration_us=0.2 * h,
+            ),
+            ChaosEvent(kind="burst", at_us=0.3 * h + 50.0, ops=burst_ops),
+            ChaosEvent(
+                kind="rm_crash", at_us=0.3 * h + 250.0, machines=[0],
+                duration_us=0.3 * h,
+            ),
+            ChaosEvent(
+                kind="crash", at_us=0.7 * h, machines=[machines - 2],
+                duration_us=0.15 * h,
+            ),
+        ]
+    return ChaosSchedule(events=events, horizon_us=h)

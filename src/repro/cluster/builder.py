@@ -76,5 +76,16 @@ class Cluster:
         """All alive machines except ``machine_id``."""
         return [m for m in self.machines if m.alive and m.id != machine_id]
 
+    def metadata_peers(self, machine_id: int, count: int) -> List[int]:
+        """The ``count`` machine ids after ``machine_id`` in id order
+        (wrapping) — the deterministic replica set for that machine's RM
+        metadata domain (repro.core.rm_replica). Liveness is intentionally
+        ignored: the set is fixed at deployment time, like a static
+        placement of registered memory regions."""
+        ids = sorted(m.id for m in self.machines)
+        index = ids.index(machine_id)
+        ring = [ids[(index + off) % len(ids)] for off in range(1, len(ids))]
+        return ring[: max(count, 0)]
+
     def __len__(self) -> int:
         return len(self.machines)

@@ -16,6 +16,12 @@ from .resilience_manager import (
     ResilienceManager,
 )
 from .resource_monitor import ResourceMonitor
+from .rm_replica import (
+    ControlPlane,
+    MetadataQuorumError,
+    MetadataReplica,
+    ReplicatedMetadataStore,
+)
 from .rpc import RpcEndpoint, RpcError
 
 __all__ = [
@@ -36,6 +42,10 @@ __all__ = [
     "RemoteMemoryUnavailable",
     "ResilienceManager",
     "ResourceMonitor",
+    "ControlPlane",
+    "MetadataQuorumError",
+    "MetadataReplica",
+    "ReplicatedMetadataStore",
     "RpcEndpoint",
     "RpcError",
 ]

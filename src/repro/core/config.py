@@ -8,6 +8,7 @@ ControlPeriod = 1 s, E' = 2 extra eviction choices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 __all__ = ["DatapathConfig", "HydraConfig"]
 
 
@@ -101,6 +102,15 @@ class HydraConfig:
     free_slab_target:
         FREE slabs each Resource Monitor tries to keep pre-allocated for
         instant mapping (Fig 7b 'proactive allocation').
+    metadata_replicas:
+        Peers replicating this RM's metadata log (``repro.core.rm_replica``).
+        0 (the default) disables the survivable control plane entirely —
+        no replica stores, no heartbeats, byte-identical behavior to the
+        unreplicated RM.
+    metadata_lease_timeout_us:
+        Leader lease duration; a surviving metadata peer waits this long
+        after losing the leader before taking over. ``None`` derives
+        3 x ``control_period_us``.
     """
 
     k: int = 8
@@ -118,6 +128,8 @@ class HydraConfig:
     payload_mode: str = "real"
     verify_reads: bool = True
     free_slab_target: int = 1
+    metadata_replicas: int = 0
+    metadata_lease_timeout_us: Optional[float] = None
     datapath: DatapathConfig = field(default_factory=DatapathConfig)
 
     def __post_init__(self) -> None:
@@ -136,6 +148,18 @@ class HydraConfig:
             raise ValueError(f"unknown payload_mode {self.payload_mode!r}")
         if not 0 <= self.headroom_fraction < 1:
             raise ValueError(f"headroom must be in [0, 1), got {self.headroom_fraction}")
+        if self.metadata_replicas < 0:
+            raise ValueError(
+                f"metadata_replicas must be >= 0, got {self.metadata_replicas}"
+            )
+        if (
+            self.metadata_lease_timeout_us is not None
+            and self.metadata_lease_timeout_us <= 0
+        ):
+            raise ValueError(
+                f"metadata_lease_timeout_us must be positive, "
+                f"got {self.metadata_lease_timeout_us}"
+            )
         # split_size sits on the per-split RDMA hot path (two lookups per
         # posted verb); precompute it once — k/page_size never change after
         # construction (the codec and placement are built from them).

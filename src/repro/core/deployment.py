@@ -15,6 +15,7 @@ from .config import HydraConfig
 from .placement import BatchPlacer
 from .resilience_manager import ResilienceManager
 from .resource_monitor import ResourceMonitor
+from .rm_replica import ControlPlane
 from .rpc import RpcEndpoint
 
 __all__ = ["HydraNode", "HydraDeployment"]
@@ -82,6 +83,11 @@ class HydraDeployment:
                 rng.child(f"node{machine.id}"),
                 start_monitor=start_monitors,
             )
+        # Survivable control plane (opt-in): replicate each RM's metadata
+        # log across a peer set and arm deterministic failover.
+        self.control_plane = None
+        if self.config.metadata_replicas > 0 and len(cluster) > 1:
+            self.control_plane = ControlPlane(self, cluster)
 
     def _peer_provider(self, machine_id: int) -> Callable[[], List[int]]:
         def peers() -> List[int]:
@@ -94,3 +100,6 @@ class HydraDeployment:
 
     def monitor(self, machine_id: int) -> ResourceMonitor:
         return self.nodes[machine_id].monitor
+
+    def node(self, machine_id: int) -> HydraNode:
+        return self.nodes[machine_id]

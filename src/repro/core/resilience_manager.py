@@ -202,6 +202,19 @@ class ResilienceManager:
         # +1/m smeared when localization was impossible.
         self.error_scores: Dict[int, float] = {}
         self._watched_machines: Set[int] = set()
+        # Slots with a regeneration retry timer pending: _regenerating
+        # covers an in-flight regeneration, this covers the backoff window
+        # between attempts — together they make duplicate regenerations
+        # for one (range, position) structurally impossible.
+        self._regen_retry_pending: Set[Tuple[int, int]] = set()
+        # Replicated metadata store (repro.core.rm_replica.ControlPlane
+        # attaches one when HydraConfig.metadata_replicas > 0). With no
+        # store every hook below is a single `is not None` check.
+        self._meta = None
+        # Fenced: this RM's leadership epoch is over (it lost its metadata
+        # quorum, or its machine crashed and a peer took over). A fenced
+        # RM refuses all client traffic and starts no new repairs.
+        self._fenced = False
         # (machine, qp) per remote id — both are stable registry objects;
         # caching them here turns two fabric lookups per posted split into
         # one dict hit.
@@ -257,6 +270,42 @@ class ResilienceManager:
             fn = getattr(observer, method, None)
             if fn is not None:
                 fn(*args)
+
+    # ==================================================================
+    # replicated metadata (repro.core.rm_replica)
+    # ==================================================================
+    def attach_metadata_store(self, store) -> None:
+        """Bind the replicated metadata log this RM commits through."""
+        self._meta = store
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced
+
+    def fence(self, reason: str = "fenced") -> None:
+        """End this RM's leadership epoch: refuse new client traffic and
+        unblock readers ordered behind writes that can no longer ack."""
+        if self._fenced:
+            return
+        self._fenced = True
+        self.events.incr("fenced")
+        if self._meta is not None:
+            self._meta.fence(reason)
+        for event in list(self._inflight_writes.values()):
+            if not event.triggered:
+                event.succeed_now()
+
+    def _mark_failed(self, address_range: AddressRange, position: int) -> None:
+        """Mark a slab unavailable, replicating the transition so a
+        failover sees the same degraded slab map this RM does."""
+        address_range.mark_failed(position)
+        if self._meta is not None:
+            self._meta.append(
+                "position_failed",
+                range_id=address_range.range_id,
+                position=position,
+            )
+            self._meta.commit_async()
 
     # ==================================================================
     # public pool interface
@@ -336,6 +385,11 @@ class ResilienceManager:
         dp = config.datapath
         phases = self.tracer.phases(span)
         start = self.sim.now
+        if self._fenced:
+            self.events.incr("fenced_writes")
+            raise RemoteMemoryUnavailable(
+                f"resilience manager {self.machine_id} is fenced"
+            )
         # Placement can transiently fail under cluster-wide memory
         # pressure; back off and retry before giving up.
         address_range = None
@@ -353,6 +407,18 @@ class ResilienceManager:
                 f"no placement for page {page_id} after {_WRITE_RETRY_LIMIT} tries"
             )
         version = self._versions.get(page_id, 0) + 1
+
+        # Write-ahead metadata: the intent (and any slab-map records the
+        # placement just appended) must reach a majority of the metadata
+        # replica set before any split is posted, so a failover can tell a
+        # torn write from a never-started one.
+        if self._meta is not None:
+            self._meta.append("write_intent", page_id=page_id, version=version)
+            if not (yield from self._meta.commit_ok()):
+                self.events.incr("meta_commit_failures")
+                raise RemoteMemoryUnavailable(
+                    f"metadata quorum unavailable for write of page {page_id}"
+                )
 
         if config.payload_mode == "real":
             if data is None or len(data) != config.page_size:
@@ -373,6 +439,8 @@ class ResilienceManager:
         full_done.callbacks.append(_finish_inflight)
 
         for attempt in range(_WRITE_RETRY_LIMIT):
+            if self._fenced:
+                break
             available = address_range.available_positions()
             data_positions = list(range(config.k))
             fast_path = dp.async_encoding and all(
@@ -403,11 +471,24 @@ class ResilienceManager:
                 for position in address_range.available_positions():
                     handle = address_range.handle(position)
                     if not self.fabric.reachable(self.machine_id, handle.machine_id):
-                        address_range.mark_failed(position)
+                        self._mark_failed(address_range, position)
                         self._start_regeneration(address_range, position)
                 yield self.sim.timeout(_WRITE_RETRY_BACKOFF_US)
                 phases.mark("retry_backoff", attempt=attempt)
                 continue
+            # The splits are in remote memory; commit the ack record before
+            # promising anything to the client. On quorum loss the RM is
+            # fenced and the version table untouched: the successor's seal
+            # pass resolves the torn splits at `version`.
+            if self._meta is not None:
+                self._meta.append("write_acked", page_id=page_id, version=version)
+                if not (yield from self._meta.commit_ok()):
+                    self.events.incr("meta_commit_failures")
+                    if not full_done.triggered:
+                        full_done.succeed_now()
+                    raise RemoteMemoryUnavailable(
+                        f"metadata quorum lost before acking page {page_id}"
+                    )
             self._versions[page_id] = version
             # Positions that could not receive this write need a catch-up
             # split once their slab is regenerated; buffer the content so
@@ -423,6 +504,21 @@ class ResilienceManager:
                 self._record_or_post_catchup(
                     address_range, position, offset, page_id, version, data
                 )
+            if self._meta is not None:
+                if full_done.triggered:
+                    self._meta.append(
+                        "write_durable", page_id=page_id, version=version
+                    )
+                    self._meta.commit_async()
+                else:
+                    def _meta_durable(_e, page_id=page_id, version=version):
+                        if self._meta is not None and not self._meta.fenced:
+                            self._meta.append(
+                                "write_durable", page_id=page_id, version=version
+                            )
+                            self._meta.commit_async()
+
+                    full_done.callbacks.append(_meta_durable)
             if self._observers:
                 self._notify("on_write_acked", page_id, version, data)
                 if full_done.triggered:
@@ -496,6 +592,15 @@ class ResilienceManager:
     ):
         config = self.config
         yield self.sim.timeout(encode_latency_us(config))
+        if self._fenced:
+            # Fenced mid-write: the successor's seal pass owns this page
+            # now; posting stale parities would race its full rewrite.
+            if span is not None:
+                span.set_tag("fenced", True)
+                span.finish()
+            if not full_done.triggered:
+                full_done.succeed_now()
+            return
         if span is not None:
             span.set_tag("encode_done_us", round(self.sim.now, 4))
         if self.debug_drop_parity:
@@ -596,6 +701,11 @@ class ResilienceManager:
         dp = config.datapath
         phases = self.tracer.phases(span)
         start = self.sim.now
+        if self._fenced:
+            self.events.incr("fenced_reads")
+            raise RemoteMemoryUnavailable(
+                f"resilience manager {self.machine_id} is fenced"
+            )
         self.events.incr("reads")
 
         # Per-QP ordering makes read-after-write safe for data splits, but a
@@ -907,20 +1017,28 @@ class ResilienceManager:
         self.error_scores[machine_id] = score
         if score >= self.config.slab_regeneration_limit:
             # Error rate beyond repair: regenerate this machine's slab.
-            address_range.mark_failed(position)
+            self._mark_failed(address_range, position)
             self.error_scores[machine_id] = 0.0
             self.events.incr("regen_for_errors")
             self._start_regeneration(address_range, position)
+        if self._meta is not None:
+            self._meta.append(
+                "error_score", machine_id=machine_id,
+                score=self.error_scores[machine_id],
+            )
+            self._meta.commit_async()
 
     def _on_machine_down(self, machine_id: int) -> None:
         """RDMA connection-manager notification: fail over every range that
         had a slab on the dead machine and regenerate in the background."""
+        if self._fenced:
+            return
         self.events.incr("disconnects")
         for address_range in self.space.ranges_using_machine(machine_id):
             for position in address_range.positions_on_machine(machine_id):
                 handle = address_range.handle(position)
                 if handle.available:
-                    address_range.mark_failed(position)
+                    self._mark_failed(address_range, position)
                     self._start_regeneration(address_range, position)
 
     def _on_evict_notice(self, src_id: int, body: dict) -> None:
@@ -934,6 +1052,8 @@ class ResilienceManager:
         """
         range_id = body["range_id"]
         position = body["position"]
+        if self._fenced:
+            return {"ok": True}  # a fenced RM's map is dead weight anyway
         address_range = self.space.get(range_id)
         if address_range is None:
             return {"ok": True}  # stale slab; monitor may drop it
@@ -944,7 +1064,7 @@ class ResilienceManager:
             self.events.incr("evictions_vetoed")
             return {"ok": False}
         self.events.incr("evictions")
-        address_range.mark_failed(position)
+        self._mark_failed(address_range, position)
         self._start_regeneration(address_range, position)
         return {"ok": True}
 
@@ -952,6 +1072,8 @@ class ResilienceManager:
     # background slab regeneration (§4.4)
     # ==================================================================
     def _start_regeneration(self, address_range: AddressRange, position: int) -> None:
+        if self._fenced:
+            return  # the successor owns all repairs now
         key = (address_range.range_id, position)
         if key in self._regenerating:
             return
@@ -1026,9 +1148,13 @@ class ResilienceManager:
             try:
                 yield self.endpoint.call(target, "regenerate_slab", body)
             except RpcError:
+                # The chosen target died between placement and hand-off.
+                # Retry after a backoff — place_single surveys afresh at
+                # retry time, so the dead machine is never re-picked.
                 self._regen_waiters.pop(key, None)
-                self.events.incr("regen_no_target")
-                _outcome("no_target")
+                self.events.incr("regen_handoff_failures")
+                _outcome("handoff_failed")
+                self._retry_regeneration_later(address_range, position)
                 return
             phases.mark("handoff")
             # The monitor calls back when rebuilt; guard against it dying
@@ -1060,6 +1186,15 @@ class ResilienceManager:
             yield from self._apply_catchup(address_range, position, new_handle)
             phases.mark("catchup")
             address_range.replace(position, new_handle)
+            if self._meta is not None:
+                self._meta.append(
+                    "position_replaced",
+                    range_id=address_range.range_id,
+                    position=position,
+                    machine_id=new_handle.machine_id,
+                    slab_id=new_handle.slab_id,
+                )
+                self._meta.commit_async()
             # The replacement may live on a machine we have never talked
             # to: watch its connection too, or later failures of that
             # machine would go unnoticed.
@@ -1167,12 +1302,27 @@ class ResilienceManager:
         self, address_range: AddressRange, position: int, delay: Optional[float] = None
     ) -> None:
         """Schedule another regeneration attempt after a backoff (runs
-        after the current attempt's cleanup has released the dedup key)."""
+        after the current attempt's cleanup has released the dedup key).
+
+        Per-slot guard: while a retry timer is pending the slot is outside
+        ``_regenerating``, so another trigger (an eviction notice racing a
+        machine-down notification, an error-limit trip) could start a
+        fresh regeneration AND leave this timer to start a duplicate a
+        control period later. ``_regen_retry_pending`` dedupes the timers;
+        ``_start_regeneration`` dedupes the regenerations themselves.
+        """
         if delay is None:
             delay = self.config.control_period_us
+        key = (address_range.range_id, position)
+        if key in self._regen_retry_pending:
+            return
+        self._regen_retry_pending.add(key)
 
         def retry():
             yield self.sim.timeout(delay)
+            self._regen_retry_pending.discard(key)
+            if self._fenced:
+                return
             handle = address_range.handle(position)
             if not handle.available:
                 self._start_regeneration(address_range, position)
@@ -1216,6 +1366,9 @@ class ResilienceManager:
             except RpcError:
                 pass
         self.space.drop(range_id)
+        if self._meta is not None:
+            self._meta.append("range_dropped", range_id=range_id)
+            self._meta.commit_async()
         self.events.incr("ranges_reclaimed")
         return pages
 
@@ -1247,6 +1400,17 @@ class ResilienceManager:
             handles = yield from self.placer.place_range(range_id)
             address_range = AddressRange(range_id, handles)
             self.space.install(address_range)
+            if self._meta is not None:
+                # Rides the caller's next commit: a write always commits
+                # its intent right after resolving, and reads never place.
+                self._meta.append(
+                    "range_installed",
+                    range_id=range_id,
+                    handles=[
+                        [h.machine_id, h.slab_id, bool(h.available)]
+                        for h in handles
+                    ],
+                )
             self._watch_machines(handles)
             self.events.incr("ranges_placed")
         finally:

@@ -1,0 +1,916 @@
+"""Replicated Resilience-Manager metadata and deterministic failover.
+
+The paper assumes the Resilience Manager survives; its address-range →
+slab maps, page version counters and regeneration state otherwise live in
+one process's DRAM. This module replicates that metadata across a small
+peer set with a one-sided-RDMA agreement protocol in the style of "The
+Impact of RDMA on Agreement": the leader (the RM itself) appends to a
+logical-timestamped metadata log and replicates it with one-sided WRITEs
+into registered log regions on each peer; a commit needs a majority of
+the replica set (the leader's own copy counts) before any client-visible
+durability promise is made. Every replica guards its log with a *term*
+word: a write carrying a stale term faults, so a deposed leader fences
+itself on its next commit instead of diverging.
+
+Failover is deterministic: when a metadata peer loses its connection to
+the leader and the leader stays unreachable (or fenced) for a full lease
+timeout, the lowest-id surviving peer bumps the term on a majority of
+replicas, collects the longest surviving log, rebuilds the slab map and
+version table from it, re-seals pages whose writes were torn mid-flight,
+and resumes regenerations that were in flight when the leader died.
+
+Model notes / limitations (documented in docs/ARCHITECTURE.md):
+
+* The term word survives a host crash (modeled as living in NVRAM /
+  NIC-protected memory, as in the RDMA-agreement literature); the log
+  itself is wiped with the host's DRAM and is resynced by the next
+  leader commit through the per-peer cursor reset.
+* Leases renew on every majority commit; a leader that cannot commit
+  fences itself immediately, so by the time a successor finishes waiting
+  out the lease the old leader is already fenced in the crash and
+  full-partition scenarios exercised by the chaos engine. An asymmetric
+  partition that cuts only a subset of metadata links can leave a
+  bounded stale-read window; the chaos scenarios do not model it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import PhantomSplit, SlabState
+from ..ec import CorruptionDetected, DecodeError
+from ..net import RemoteAccessError
+from .address_space import AddressRange, SlabHandle
+
+__all__ = [
+    "MetadataQuorumError",
+    "StaleTermError",
+    "ReplicaGapError",
+    "MetadataReplica",
+    "ReplicatedMetadataStore",
+    "ControlPlane",
+    "adopt_metadata",
+    "seal_pages",
+]
+
+# Wire-size model for one replicated-log append: a fixed header (term,
+# base lsn, committed lsn, record count) plus a packed record.
+_META_BASE_BYTES = 64
+_META_RECORD_BYTES = 96
+
+
+class MetadataQuorumError(Exception):
+    """A metadata commit could not reach a majority of the replica set."""
+
+
+class StaleTermError(RemoteAccessError):
+    """A one-sided append/fence carried a term older than the replica's."""
+
+
+class ReplicaGapError(RemoteAccessError):
+    """An append's base lsn is past the replica's log end (needs resync)."""
+
+
+class MetadataReplica:
+    """One replica of one RM's metadata log (a registered memory region).
+
+    ``term`` is the fencing word: one-sided appends with an older term
+    fault at the "NIC" instead of applying. It intentionally survives
+    :meth:`wipe` — the term word is modeled as protected memory so a
+    rebooted host cannot be tricked into accepting a deposed leader.
+    """
+
+    __slots__ = ("domain", "host_id", "term", "log", "committed_lsn")
+
+    def __init__(self, domain: int, host_id: int):
+        self.domain = domain
+        self.host_id = host_id
+        self.term = 1
+        self.log: List[dict] = []
+        self.committed_lsn = 0
+
+    def apply_term(self, term: int) -> None:
+        """Fence: install a higher term (the successor's first step)."""
+        if term <= self.term:
+            raise StaleTermError(
+                f"meta domain {self.domain} replica on m{self.host_id}: "
+                f"term {term} <= current {self.term}"
+            )
+        self.term = term
+
+    def apply_append(
+        self, term: int, base_lsn: int, records: List[dict], committed_lsn: int
+    ) -> None:
+        """Apply a one-sided log append (or a bare lease-renewal probe)."""
+        if term < self.term:
+            raise StaleTermError(
+                f"meta domain {self.domain} replica on m{self.host_id}: "
+                f"append at term {term} < current {self.term}"
+            )
+        self.term = max(self.term, term)
+        if base_lsn > len(self.log):
+            raise ReplicaGapError(
+                f"meta domain {self.domain} replica on m{self.host_id}: "
+                f"append base {base_lsn} past log end {len(self.log)}"
+            )
+        if records:
+            del self.log[base_lsn:]
+            self.log.extend(records)
+        self.committed_lsn = min(
+            max(self.committed_lsn, committed_lsn), len(self.log)
+        )
+
+    def wipe(self) -> None:
+        """Host DRAM lost: the log goes, the protected term word stays."""
+        self.log.clear()
+        self.committed_lsn = 0
+
+
+def _await_all(sim, events):
+    """Generator: wait until every event in ``events`` has completed
+    (succeeded or failed) using one waiter, like RM ``_await_acks``."""
+    events = [e for e in events if e is not None]
+    if not events:
+        return 0
+    waiter = sim.event(name="meta-await-all")
+    state = {"finished": 0}
+    total = len(events)
+
+    def on_done(_event) -> None:
+        state["finished"] += 1
+        if state["finished"] == total and not waiter.triggered:
+            waiter.succeed_now()
+
+    for event in events:
+        if event.processed:
+            on_done(event)
+        else:
+            event.callbacks.append(on_done)
+    if state["finished"] == total and not waiter.triggered:
+        waiter.succeed_now()
+    yield waiter
+    return total
+
+
+class ReplicatedMetadataStore:
+    """Leader-side view of one RM's replicated metadata log.
+
+    The RM appends records locally (cheap, synchronous) and calls
+    :meth:`commit_ok` at its durability boundaries; a commit pushes the
+    per-peer log delta with one-sided WRITEs and succeeds once a majority
+    of the replica set (peers + the leader's own copy) holds the prefix.
+    Any failed commit — quorum loss or a stale-term fault — fences the
+    store (and through ``on_fence`` the RM itself) permanently.
+    """
+
+    def __init__(
+        self,
+        sim,
+        fabric,
+        domain: int,
+        self_replica: MetadataReplica,
+        peers: Dict[int, MetadataReplica],
+        lease_timeout_us: float,
+        heartbeat_period_us: float,
+        flight=None,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.domain = domain
+        self.self_replica = self_replica
+        self.peers = dict(peers)
+        self.lease_timeout_us = lease_timeout_us
+        self.heartbeat_period_us = heartbeat_period_us
+        self.flight = flight
+        self.fenced = False
+        self.fence_reason: Optional[str] = None
+        self.term = 1
+        self.lease_expiry = 0.0
+        self.commits = 0
+        self.commit_failures = 0
+        self.records_appended = 0
+        self.on_fence: Optional[Callable[[str], None]] = None
+        # Per-peer replication cursors: ``sent`` is optimistic (reset on a
+        # failed write), ``acked`` is the confirmed replicated prefix.
+        self._links = {p: {"sent": 0, "acked": 0} for p in self.peers}
+        self._heartbeat_on = False
+        self._async_running = False
+        # A peer disconnect (crash or partition) invalidates its cursor:
+        # its DRAM log may be gone, so the next commit resyncs from zero.
+        for peer_id in sorted(self.peers):
+            qp = fabric.qp(domain, peer_id)
+            qp.on_disconnect(
+                lambda _remote, p=peer_id: self._reset_link(p)
+            )
+
+    # -- log ----------------------------------------------------------------
+    @property
+    def log(self) -> List[dict]:
+        return self.self_replica.log
+
+    @property
+    def total_replicas(self) -> int:
+        return len(self.peers) + 1
+
+    @property
+    def majority(self) -> int:
+        return self.total_replicas // 2 + 1
+
+    def lease_valid(self) -> bool:
+        return not self.fenced and self.sim.now < self.lease_expiry
+
+    def append(self, kind: str, **fields) -> None:
+        """Append one metadata record locally (replicated on next commit)."""
+        if self.fenced:
+            return
+        record = {"lsn": len(self.log), "term": self.term, "kind": kind}
+        record.update(fields)
+        self.log.append(record)
+        self.records_appended += 1
+        self._ensure_heartbeat()
+
+    # -- commit -------------------------------------------------------------
+    def commit(self):
+        """Replicate the log prefix to a majority; renew the lease.
+
+        Always probes every peer (even with an empty delta) so a lease
+        renewal is a real liveness check — a partitioned leader fences
+        itself within one heartbeat period. Raises
+        :class:`MetadataQuorumError` (after self-fencing) on failure.
+        """
+        if self.fenced:
+            raise MetadataQuorumError(
+                f"metadata domain {self.domain} is fenced: {self.fence_reason}"
+            )
+        target = len(self.log)
+        peer_ids = sorted(self._links)
+        if not peer_ids:
+            self.committed_lsn_advance(target)
+            self.lease_expiry = self.sim.now + self.lease_timeout_us
+            self.commits += 1
+            return
+        needed = self.majority - 1  # the local copy is already durable
+        total = len(peer_ids)
+        waiter = self.sim.event(name=f"meta-commit:{self.domain}")
+        state = {"acks": 0, "fails": 0, "stale": False}
+
+        def on_done(done, peer_id: int, target: int) -> None:
+            link = self._links[peer_id]
+            if done._ok:
+                if target > link["acked"]:
+                    link["acked"] = target
+                state["acks"] += 1
+            else:
+                exc = done.exception
+                if isinstance(exc, StaleTermError):
+                    state["stale"] = True
+                if isinstance(exc, ReplicaGapError):
+                    link["sent"] = link["acked"] = 0
+                else:
+                    link["sent"] = min(link["sent"], link["acked"])
+                state["fails"] += 1
+            if not waiter.triggered and (
+                state["acks"] >= needed or state["fails"] > total - needed
+            ):
+                waiter.succeed_now()
+
+        committed = self.committed_lsn
+        for peer_id in peer_ids:
+            link = self._links[peer_id]
+            replica = self.peers[peer_id]
+            base = min(link["sent"], target)
+            records = [dict(r) for r in self.log[base:target]]
+            size = _META_BASE_BYTES + _META_RECORD_BYTES * len(records)
+            qp = self.fabric.qp(self.domain, peer_id)
+            event = qp.post_write(
+                size,
+                apply=(
+                    lambda r=replica, t=self.term, b=base, recs=records,
+                    c=committed: r.apply_append(t, b, recs, c)
+                ),
+            )
+            link["sent"] = max(link["sent"], target)
+            if event.processed:
+                on_done(event, peer_id, target)
+            else:
+                event.callbacks.append(
+                    lambda done, p=peer_id, t=target: on_done(done, p, t)
+                )
+        yield waiter
+        if state["stale"]:
+            self.commit_failures += 1
+            self.fence("superseded by a higher term")
+            raise MetadataQuorumError(
+                f"metadata domain {self.domain}: superseded by a higher term"
+            )
+        if state["acks"] < needed:
+            self.commit_failures += 1
+            self.fence("metadata quorum lost")
+            raise MetadataQuorumError(
+                f"metadata domain {self.domain}: "
+                f"{state['acks']}/{needed} peer acks"
+            )
+        self.commits += 1
+        self.committed_lsn_advance(target)
+        self.lease_expiry = self.sim.now + self.lease_timeout_us
+
+    @property
+    def committed_lsn(self) -> int:
+        return self.self_replica.committed_lsn
+
+    def committed_lsn_advance(self, target: int) -> None:
+        if target > self.self_replica.committed_lsn:
+            self.self_replica.committed_lsn = target
+
+    def commit_ok(self):
+        """Generator: commit and report success as a bool (no exception) —
+        lets the RM stay decoupled from this module's error types."""
+        try:
+            yield from self.commit()
+        except MetadataQuorumError:
+            return False
+        return True
+
+    def commit_async(self) -> None:
+        """Commit in the background (metadata that gates no client ack:
+        slab-map deltas, durability confirmations, error scores)."""
+        if self.fenced or self._async_running:
+            return
+        self._async_running = True
+
+        def runner():
+            try:
+                while not self.fenced and self.committed_lsn < len(self.log):
+                    yield from self.commit()
+            except MetadataQuorumError:
+                pass
+            finally:
+                self._async_running = False
+
+        self.sim.process(runner(), name=f"meta-commit-async:{self.domain}")
+
+    # -- lease heartbeat ----------------------------------------------------
+    def _ensure_heartbeat(self) -> None:
+        if self._heartbeat_on or self.fenced or not self.peers:
+            return
+        self._heartbeat_on = True
+        self.sim.process(self._heartbeat(), name=f"meta-heartbeat:{self.domain}")
+
+    def _heartbeat(self):
+        while not self.fenced:
+            yield self.sim.timeout(self.heartbeat_period_us)
+            if self.fenced:
+                return
+            try:
+                yield from self.commit()
+            except MetadataQuorumError:
+                return
+
+    # -- fencing ------------------------------------------------------------
+    def fence(self, reason: str) -> None:
+        """Permanently stop serving: this leader's epoch is over."""
+        if self.fenced:
+            return
+        self.fenced = True
+        self.fence_reason = reason
+        if self.flight is not None:
+            self.flight.note(
+                "meta_fenced", at_us=self.sim.now, domain=self.domain,
+                reason=reason,
+            )
+        if self.on_fence is not None:
+            self.on_fence(reason)
+
+    def _reset_link(self, peer_id: int) -> None:
+        link = self._links.get(peer_id)
+        if link is not None:
+            link["sent"] = link["acked"] = 0
+
+    def report(self) -> dict:
+        return {
+            "term": self.term,
+            "fenced": self.fenced,
+            "fence_reason": self.fence_reason,
+            "log_records": len(self.log),
+            "committed_lsn": self.committed_lsn,
+            "commits": self.commits,
+            "commit_failures": self.commit_failures,
+        }
+
+
+# ======================================================================
+# failover: log adoption, page sealing
+# ======================================================================
+def adopt_metadata(rm, records: List[dict]) -> dict:
+    """Rebuild a Resilience Manager's metadata from a replicated log.
+
+    Replays slab-map records into ``rm.space`` (fresh handle objects —
+    nothing is shared with the deposed leader), restores page versions
+    and error scores, and classifies pages by replication state:
+
+    * ``interrupted`` — a ``write_intent`` committed with no matching
+      ``write_acked``: the write was torn mid-flight; splits may mix
+      versions.
+    * ``unsettled`` — acked but never confirmed durable: the async
+      parity writes may not have landed.
+
+    Positions whose host the successor cannot reach are failed here and
+    regenerated by the caller.
+    """
+    space = rm.space
+    acked: Dict[int, int] = {}
+    intents: Dict[int, int] = {}
+    durable: Dict[int, int] = {}
+    skipped = 0
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "range_installed":
+            range_id = rec["range_id"]
+            if space.get(range_id) is not None:
+                skipped += 1
+                continue
+            handles = [
+                SlabHandle(int(m), int(s), bool(a)) for m, s, a in rec["handles"]
+            ]
+            space.install(AddressRange(range_id, handles))
+        elif kind == "position_failed":
+            address_range = space.get(rec["range_id"])
+            if address_range is not None:
+                address_range.mark_failed(rec["position"])
+        elif kind == "position_replaced":
+            address_range = space.get(rec["range_id"])
+            if address_range is not None:
+                address_range.replace(
+                    rec["position"],
+                    SlabHandle(rec["machine_id"], rec["slab_id"]),
+                )
+        elif kind == "range_dropped":
+            space.drop(rec["range_id"])
+        elif kind == "write_intent":
+            page, version = rec["page_id"], rec["version"]
+            if version > intents.get(page, 0):
+                intents[page] = version
+        elif kind == "write_acked":
+            page, version = rec["page_id"], rec["version"]
+            if version > acked.get(page, 0):
+                acked[page] = version
+        elif kind == "write_durable":
+            page, version = rec["page_id"], rec["version"]
+            if version > durable.get(page, 0):
+                durable[page] = version
+        elif kind == "page_dropped":
+            page = rec["page_id"]
+            acked.pop(page, None)
+            durable.pop(page, None)
+            intents.pop(page, None)
+        elif kind == "error_score":
+            rm.error_scores[int(rec["machine_id"])] = float(rec["score"])
+    for address_range in sorted(space.all_ranges(), key=lambda a: a.range_id):
+        for position, handle in enumerate(address_range.slots):
+            if not handle.available:
+                continue
+            # A split hosted on the successor itself is unreachable through
+            # one-sided verbs (no loopback QPs); fail it so the failover's
+            # regeneration pass re-homes it on a real remote peer.
+            if handle.machine_id == rm.machine_id or not rm.fabric.reachable(
+                rm.machine_id, handle.machine_id
+            ):
+                address_range.mark_failed(position)
+        rm._watch_machines(
+            [h for h in address_range.slots if h.machine_id != rm.machine_id]
+        )
+    for page, version in acked.items():
+        if version > rm._versions.get(page, 0):
+            rm._versions[page] = version
+    interrupted = sorted(
+        (page, acked.get(page, 0), version)
+        for page, version in intents.items()
+        if version > acked.get(page, 0)
+    )
+    unsettled = sorted(
+        page
+        for page, version in acked.items()
+        if durable.get(page, 0) < version and intents.get(page, 0) <= version
+    )
+    return {
+        "ranges": len(space.ranges),
+        "ranges_skipped": skipped,
+        "pages": len(acked),
+        "acked": acked,
+        "durable": durable,
+        "intents": intents,
+        "interrupted": interrupted,
+        "unsettled": unsettled,
+    }
+
+
+def snapshot_into(store: ReplicatedMetadataStore, rm, info: dict) -> None:
+    """Append the adopted state into the successor's own metadata domain
+    so a second failover would not depend on the first domain's log."""
+    for address_range in sorted(rm.space.all_ranges(), key=lambda a: a.range_id):
+        store.append(
+            "range_installed",
+            range_id=address_range.range_id,
+            handles=[
+                [h.machine_id, h.slab_id, bool(h.available)]
+                for h in address_range.slots
+            ],
+        )
+    for page in sorted(info["acked"]):
+        version = info["acked"][page]
+        store.append("write_acked", page_id=page, version=version)
+        if info["durable"].get(page, 0) >= version:
+            store.append("write_durable", page_id=page, version=version)
+
+
+def _recover_page(rm, page_id: int, versions: Tuple[int, ...]):
+    """Generator: read every reachable split of ``page_id`` and try to
+    reconstruct a consistent page. Returns ``(content, ok)``.
+
+    Real mode accepts a candidate only when re-encoding it agrees with at
+    least k of the splits actually read back; phantom mode requires k
+    same-version intact splits among ``versions``.
+    """
+    config = rm.config
+    range_id, offset = rm.space.locate(page_id)
+    address_range = rm.space.get(range_id)
+    if address_range is None:
+        return None, False
+    available = address_range.available_positions()
+    # Splits hosted on the successor's own machine were marked failed at
+    # adoption (no loopback QPs), but the slab is still sitting in local
+    # DRAM — read it directly, out of band. Without these, a page whose
+    # parity phase was interrupted can lose its only consistent copy.
+    local: Dict[int, object] = {}
+    local_machine = rm.fabric.machine(rm.machine_id)
+    for position, handle in enumerate(address_range.slots):
+        if handle.machine_id != rm.machine_id or position in available:
+            continue
+        slab = local_machine.hosted_slabs.get(handle.slab_id)
+        if slab is not None and slab.state in (
+            SlabState.MAPPED,
+            SlabState.REGENERATING,
+        ):
+            payload = slab.pages.get(offset)
+            if payload is not None:
+                local[position] = payload
+    if len(available) + len(local) < config.k:
+        return None, False
+    posted = [
+        (position, rm._post_split_read(address_range, position, offset))
+        for position in available
+    ]
+    yield from _await_all(rm.sim, [event for _p, event in posted])
+    arrivals = {
+        position: (event._value if event._ok else None)
+        for position, event in posted
+    }
+    arrivals.update(local)
+    if config.payload_mode != "real":
+        counts: Dict[int, int] = {}
+        for payload in arrivals.values():
+            if isinstance(payload, PhantomSplit) and not payload.corrupt:
+                counts[payload.version] = counts.get(payload.version, 0) + 1
+        ok = any(
+            counts.get(version, 0) >= config.k for version in versions
+        )
+        return None, ok
+    splits = {
+        position: payload
+        for position, payload in arrivals.items()
+        if isinstance(payload, np.ndarray)
+    }
+    if len(splits) < config.k:
+        return None, False
+    candidates = []
+    try:
+        candidates.append(rm.codec.decode_verified(splits))
+    except (CorruptionDetected, DecodeError):
+        pass
+    try:
+        page, _corrupted = rm.codec.correct(splits, best_effort=True)
+        candidates.append(page)
+    except (CorruptionDetected, DecodeError):
+        pass
+    data_rows = {p: splits[p] for p in range(config.k) if p in splits}
+    if len(data_rows) == config.k:
+        try:
+            candidates.append(rm.codec.decode(data_rows))
+        except DecodeError:
+            pass
+    best, best_score = None, -1
+    for candidate in candidates:
+        encoded = rm.codec.encode(candidate)
+        score = sum(
+            1
+            for position, row in splits.items()
+            if np.array_equal(row, encoded[position])
+        )
+        if score > best_score:
+            best, best_score = candidate, score
+    if best is not None and best_score >= config.k:
+        return best, True
+    return None, False
+
+
+def seal_pages(rm, info: dict):
+    """Generator: restore full (k + r) durability for pages whose writes
+    were torn or unsettled when the old leader died.
+
+    Each recoverable page is rewritten through the successor's normal
+    write path (a full n-position overwrite), which replaces any
+    mixed-version splits. An interrupted page whose intent was never
+    acked carries no durability promise: with no recoverable content it
+    is silently discarded; with an acked predecessor it must be sealed
+    or reported lost via ``on_page_lost``.
+    """
+    counts = {"sealed": 0, "lost": 0, "discarded": 0, "seal_failures": 0}
+    jobs = []
+    for page, acked_v, intent_v in info["interrupted"]:
+        if acked_v == 0:
+            counts["discarded"] += 1  # never acked: client owns the retry
+            continue
+        jobs.append((page, acked_v, (intent_v, acked_v)))
+    for page in info["unsettled"]:
+        jobs.append((page, info["acked"][page], (info["acked"][page],)))
+    for page, acked_v, versions in sorted(jobs):
+        content, ok = yield from _recover_page(rm, page, versions)
+        if not ok:
+            rm._versions.pop(page, None)
+            if rm._meta is not None:
+                rm._meta.append("page_dropped", page_id=page)
+                rm._meta.commit_async()
+            rm._notify("on_page_lost", page)
+            counts["lost"] += 1
+            continue
+        # The reseal lands at acked_v + 1 (== the torn intent's version),
+        # re-asserting the acked durability promise with fresh splits.
+        rm._versions[page] = acked_v
+        try:
+            yield rm.write(page, content)
+        except Exception:  # noqa: BLE001 - HydraError without the import cycle
+            counts["seal_failures"] += 1
+            continue
+        inflight = rm._inflight_writes.get(page)
+        if inflight is not None and not inflight.triggered:
+            yield inflight
+        counts["sealed"] += 1
+    return counts
+
+
+# ======================================================================
+# deployment-level control plane
+# ======================================================================
+class ControlPlane:
+    """Metadata replication and failover orchestration for a deployment.
+
+    Builds one :class:`ReplicatedMetadataStore` per machine (each RM is
+    the leader of its own metadata *domain*), hosts the peer replicas,
+    watches leader connectivity from each peer, and runs the takeover
+    protocol when a leader stays gone for a full lease timeout.
+    """
+
+    def __init__(self, deployment, cluster):
+        self.deployment = deployment
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.fabric = cluster.fabric
+        config = deployment.config
+        self.replicas = min(config.metadata_replicas, max(len(cluster) - 1, 0))
+        self.heartbeat_period_us = config.control_period_us
+        self.lease_timeout_us = (
+            config.metadata_lease_timeout_us
+            if config.metadata_lease_timeout_us is not None
+            else 3.0 * config.control_period_us
+        )
+        obs = getattr(cluster, "obs", None)
+        self.flight = getattr(obs, "flight", None)
+        self.stores: Dict[int, ReplicatedMetadataStore] = {}
+        self.replica_hosts: Dict[int, Dict[int, MetadataReplica]] = {}
+        self.peers_of_domain: Dict[int, List[int]] = {}
+        self.failovers: List[dict] = []
+        self.on_failover_begin: List[Callable] = []
+        self.on_failover: List[Callable] = []
+        self._taking_over: set = set()
+        self._failed_over: Dict[int, int] = {}
+        self._watch_pending: set = set()
+
+        ids = sorted(machine.id for machine in cluster.machines)
+        for domain in ids:
+            peers = cluster.metadata_peers(domain, self.replicas)
+            self.peers_of_domain[domain] = peers
+            self_rep = MetadataReplica(domain, domain)
+            self.replica_hosts.setdefault(domain, {})[domain] = self_rep
+            peer_reps: Dict[int, MetadataReplica] = {}
+            for peer in peers:
+                rep = MetadataReplica(domain, peer)
+                self.replica_hosts.setdefault(peer, {})[domain] = rep
+                peer_reps[peer] = rep
+            store = ReplicatedMetadataStore(
+                self.sim,
+                self.fabric,
+                domain,
+                self_rep,
+                peer_reps,
+                lease_timeout_us=self.lease_timeout_us,
+                heartbeat_period_us=self.heartbeat_period_us,
+                flight=self.flight,
+            )
+            rm = deployment.manager(domain)
+            store.on_fence = rm.fence
+            rm.attach_metadata_store(store)
+            self.stores[domain] = store
+        # Takeover watchers: each peer monitors its connection to the
+        # leaders it replicates (the QP doubles as the failure detector).
+        for domain in ids:
+            for peer in self.peers_of_domain[domain]:
+                self.fabric.qp(peer, domain).on_disconnect(
+                    self._make_watcher(domain, peer)
+                )
+        # An RM dies with its machine: wipe the replicas that machine
+        # hosted and fence its own leadership at crash time.
+        for machine in cluster.machines:
+            machine.on_failure(self._on_machine_failed)
+        # Best-effort stepdown notification for a deposed-but-alive leader
+        # (belt and braces: the term words already guarantee safety).
+        for domain in ids:
+            deployment.node(domain).endpoint.register(
+                "meta_stepdown", self._make_stepdown(domain)
+            )
+
+    # -- liveness events ----------------------------------------------------
+    def _on_machine_failed(self, machine_id: int) -> None:
+        for _domain, replica in sorted(
+            self.replica_hosts.get(machine_id, {}).items()
+        ):
+            replica.wipe()
+        store = self.stores.get(machine_id)
+        if store is not None:
+            store.fence("machine crashed")
+
+    def _make_stepdown(self, domain: int):
+        def handler(src_id: int, body: dict):
+            store = self.stores[domain]
+            term = int(body.get("term", 0))
+            if term > store.term:
+                store.fence(f"stepdown from m{src_id} (term {term})")
+            return {"ok": True}
+
+        return handler
+
+    def _make_watcher(self, domain: int, watcher: int):
+        def on_disconnect(_remote_id: int) -> None:
+            key = (domain, watcher)
+            if key in self._watch_pending:
+                return
+            if domain in self._failed_over or domain in self._taking_over:
+                return
+            replica = self.replica_hosts.get(watcher, {}).get(domain)
+            if replica is None or not replica.log:
+                return  # nothing replicated; nothing worth taking over
+            self._watch_pending.add(key)
+            self.sim.process(
+                self._watch(domain, watcher),
+                name=f"meta-watch:{domain}:{watcher}",
+            )
+
+        return on_disconnect
+
+    def _watch(self, domain: int, watcher: int):
+        try:
+            yield self.sim.timeout(self.lease_timeout_us)
+        finally:
+            self._watch_pending.discard((domain, watcher))
+        if domain in self._failed_over or domain in self._taking_over:
+            return
+        if not self.cluster.machine(watcher).alive:
+            return
+        store = self.stores[domain]
+        if self.fabric.reachable(watcher, domain) and not store.fenced:
+            return  # transient blip; the leader still holds its lease
+        replica = self.replica_hosts[watcher].get(domain)
+        if replica is None or not replica.log:
+            return
+        alive_peers = [
+            peer
+            for peer in self.peers_of_domain[domain]
+            if self.cluster.machine(peer).alive
+        ]
+        if not alive_peers or alive_peers[0] != watcher:
+            return  # the lowest-id surviving peer owns the takeover
+        self._taking_over.add(domain)
+        try:
+            yield from self._takeover(domain, watcher)
+        finally:
+            self._taking_over.discard(domain)
+
+    # -- takeover -----------------------------------------------------------
+    def _takeover(self, domain: int, successor: int):
+        sim = self.sim
+        rm = self.deployment.manager(successor)
+        my_replica = self.replica_hosts[successor][domain]
+        new_term = my_replica.term + 1
+        my_replica.apply_term(new_term)
+        hosts = [
+            host
+            for host in sorted(self.replica_hosts)
+            if domain in self.replica_hosts[host]
+            and host != successor
+            and self.cluster.machine(host).alive
+        ]
+        total = len(self.peers_of_domain[domain]) + 1
+        majority = total // 2 + 1
+        acked = 1  # the successor's own replica
+        logs: Dict[int, List[dict]] = {successor: list(my_replica.log)}
+        size = _META_BASE_BYTES + _META_RECORD_BYTES * len(my_replica.log)
+        posted = []
+        for host in hosts:
+            replica = self.replica_hosts[host][domain]
+            qp = self.fabric.qp(successor, host)
+            fence_ev = qp.post_write(
+                _META_BASE_BYTES,
+                apply=lambda r=replica, t=new_term: r.apply_term(t),
+            )
+            read_ev = qp.post_read(size, fetch=lambda r=replica: list(r.log))
+            posted.append((host, fence_ev, read_ev))
+        yield from _await_all(
+            sim, [ev for _h, fence_ev, read_ev in posted for ev in (fence_ev, read_ev)]
+        )
+        for host, fence_ev, read_ev in posted:
+            if fence_ev._ok and read_ev._ok:
+                acked += 1
+                logs[host] = read_ev._value
+        if acked < majority:
+            if self.flight is not None:
+                self.flight.note(
+                    "rm_failover_aborted", at_us=sim.now, domain=domain,
+                    successor=successor, acked=acked, majority=majority,
+                )
+            return
+        best = successor
+        for host in sorted(logs):
+            if len(logs[host]) > len(logs[best]):
+                best = host
+        merged = logs[best]
+        # Tell a deposed-but-alive leader to stand down (best effort; its
+        # next commit would hit the bumped term words anyway).
+        self.deployment.node(successor).endpoint.notify(
+            domain, "meta_stepdown", {"term": new_term}
+        )
+        info = adopt_metadata(rm, merged)
+        store = self.stores.get(successor)
+        if store is not None and not store.fenced:
+            snapshot_into(store, rm, info)
+            yield from store.commit_ok()
+        for callback in list(self.on_failover_begin):
+            callback(domain, rm, info)
+        seal = yield from seal_pages(rm, info)
+        restarted = 0
+        for address_range in sorted(
+            rm.space.all_ranges(), key=lambda a: a.range_id
+        ):
+            for position, handle in enumerate(address_range.slots):
+                if not handle.available:
+                    rm._start_regeneration(address_range, position)
+                    restarted += 1
+        entry = {
+            "domain": domain,
+            "successor": successor,
+            "term": new_term,
+            "at_us": round(sim.now, 3),
+            "log_records": len(merged),
+            "log_source": best,
+            "ranges": info["ranges"],
+            "pages": info["pages"],
+            "interrupted": len(info["interrupted"]),
+            "unsettled": len(info["unsettled"]),
+            "regens_restarted": restarted,
+        }
+        entry.update(seal)
+        self.failovers.append(entry)
+        self._failed_over[domain] = successor
+        if self.flight is not None:
+            self.flight.note(
+                "rm_failover", at_us=sim.now, domain=domain,
+                successor=successor, term=new_term,
+                interrupted=entry["interrupted"], unsettled=entry["unsettled"],
+                sealed=entry["sealed"], lost=entry["lost"],
+            )
+        for callback in list(self.on_failover):
+            callback(domain, rm, info)
+
+    # -- reporting ----------------------------------------------------------
+    def report(self) -> dict:
+        stores = {}
+        for domain in sorted(self.stores):
+            store = self.stores[domain]
+            if store.records_appended or store.fenced:
+                stores[domain] = store.report()
+        return {
+            "replicas": self.replicas,
+            "lease_timeout_us": self.lease_timeout_us,
+            "failovers": [dict(entry) for entry in self.failovers],
+            "stores": stores,
+        }

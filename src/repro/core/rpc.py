@@ -83,6 +83,20 @@ class RpcEndpoint:
         send.callbacks.append(on_send)
         return event
 
+    def notify(self, target_id: int, message_type: str, body: Optional[dict] = None) -> Event:
+        """One-way, best-effort message: the handler runs on delivery but
+        no reply is routed back. The returned event is the SEND completion
+        — callers may ignore it (fire-and-forget to a possibly-dead peer)."""
+        message = {
+            "kind": "request",
+            "type": message_type,
+            "id": next(self._ids),
+            "body": body or {},
+            "oneway": True,
+        }
+        qp = self.fabric.qp(self.machine_id, target_id)
+        return qp.post_send(message, size_bytes=_MESSAGE_BYTES)
+
     # -- delivery ------------------------------------------------------------
     def _on_message(self, src_id: int, message: Any) -> None:
         if not isinstance(message, dict) or "kind" not in message:
@@ -102,6 +116,8 @@ class RpcEndpoint:
                 reply["body"] = handler(src_id, message["body"])
             except Exception as exc:  # noqa: BLE001 - errors cross the wire
                 reply["error"] = f"{type(exc).__name__}: {exc}"
+        if message.get("oneway"):
+            return  # notify(): nobody is waiting for the reply
         try:
             self.fabric.qp(self.machine_id, src_id).post_send(
                 reply, size_bytes=_MESSAGE_BYTES

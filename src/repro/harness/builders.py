@@ -17,6 +17,7 @@ from ..baselines import (
     DirectRemoteMemory,
     ReplicationBackend,
     SSDBackupBackend,
+    SwarmReplicationBackend,
 )
 from ..cluster import Cluster
 from ..core import DatapathConfig, HydraConfig, HydraDeployment, ResilienceManager
@@ -25,7 +26,14 @@ from ..sim import RandomSource
 
 __all__ = ["HydraCluster", "build_hydra_cluster", "build_backend", "BACKEND_KINDS"]
 
-BACKEND_KINDS = ("hydra", "replication", "ssd_backup", "compressed", "direct")
+BACKEND_KINDS = (
+    "hydra",
+    "replication",
+    "swarm",
+    "ssd_backup",
+    "compressed",
+    "direct",
+)
 
 
 @dataclass
@@ -105,8 +113,9 @@ def build_backend(
 ):
     """Construct a baseline backend of ``kind`` on an existing cluster.
 
-    ``kind`` is one of ``replication``, ``ssd_backup``, ``compressed`` or
-    ``direct`` (for Hydra use :func:`build_hydra_cluster`).
+    ``kind`` is one of ``replication``, ``swarm``, ``ssd_backup``,
+    ``compressed`` or ``direct`` (for Hydra use
+    :func:`build_hydra_cluster`).
     """
     if kind == "hydra":
         raise ValueError("use build_hydra_cluster() for the hydra backend")
@@ -114,6 +123,10 @@ def build_backend(
     rng = rng or RandomSource(client, f"{kind}{client}")
     if kind == "replication":
         return ReplicationBackend(
+            cluster, client, config, rng, payload_mode=payload_mode, **kwargs
+        )
+    if kind == "swarm":
+        return SwarmReplicationBackend(
             cluster, client, config, rng, payload_mode=payload_mode, **kwargs
         )
     if kind == "ssd_backup":

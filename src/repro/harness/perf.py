@@ -905,6 +905,16 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot read baseline {compare!r}: {exc}", file=sys.stderr)
             return 2
+        schema = baseline.get("schema") if isinstance(baseline, dict) else None
+        if schema != SCHEMA:
+            # Checked before the (slow) suite runs: a baseline from a
+            # different schema era cannot gate anything meaningfully.
+            print(
+                f"baseline {compare!r} has schema {schema!r}, expected "
+                f"{SCHEMA!r} — regenerate it with `python -m repro perf`",
+                file=sys.stderr,
+            )
+            return 2
     doc = run_perf_suite(quick=quick, repeats=repeats, jobs=jobs, progress=print)
     with open(output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

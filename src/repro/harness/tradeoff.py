@@ -28,6 +28,7 @@ SCHEMES = (
     "ssd_backup",
     "replication_2x",
     "replication_3x",
+    "swarm",
     "compressed",
     "rs_naive",
     "hydra",
@@ -68,7 +69,7 @@ def _build(scheme: str, machines: int, seed: int):
             "replication", cluster, payload_mode="real", copies=3
         )
         return cluster, pool
-    if scheme in ("ssd_backup", "compressed"):
+    if scheme in ("ssd_backup", "compressed", "swarm"):
         cluster, pool = build_pool(scheme, machines, seed, payload_mode="real")
         return cluster, pool
     raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")

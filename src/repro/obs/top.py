@@ -105,6 +105,29 @@ def render_dashboard(result, seed: int) -> str:
         f"health transitions by rule: {health.breach_counts() or '{}'}"
     )
 
+    # Control plane (only when metadata replication is enabled).
+    control = result.report.get("control_plane")
+    if control:
+        failovers = control.get("failovers", [])
+        fenced = sum(
+            1 for store in control.get("stores", {}).values() if store.get("fenced")
+        )
+        commits = sum(
+            store.get("commits", 0) for store in control.get("stores", {}).values()
+        )
+        lines.append(
+            f"control plane: {control.get('replicas', 0)} metadata replicas  |  "
+            f"commits: {commits}  |  failovers: {len(failovers)}  |  "
+            f"fenced stores: {fenced}"
+        )
+        for entry in failovers:
+            lines.append(
+                f"  t={entry.get('at_us', 0.0) / 1e6:8.3f}s  domain {entry['domain']} "
+                f"-> machine {entry['successor']} (term {entry['term']}, "
+                f"{entry.get('log_records', 0)} records, "
+                f"{entry.get('regens_restarted', 0)} regens restarted)"
+            )
+
     # SLO rule verdicts.
     verdicts = []
     for rule in health.rules:

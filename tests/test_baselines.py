@@ -304,3 +304,57 @@ class TestDirect:
             return (yield backend.read(7))
 
         assert drive(cluster.sim, proc()) is None
+
+
+class TestSwarm:
+    def test_roundtrip(self):
+        from repro.baselines import SwarmReplicationBackend
+
+        cluster, backend = build(SwarmReplicationBackend)
+
+        def proc():
+            for pid in range(8):
+                yield backend.write(pid, make_page(pid))
+            yield cluster.sim.timeout(1000.0)  # let background acks drain
+            for pid in range(8):
+                assert (yield backend.read(pid)) == make_page(pid)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+        assert backend.events["sub_rtt_completions"] == 8
+
+    def test_sub_rtt_writes_beat_waiting_for_acks(self):
+        from repro.baselines import SwarmReplicationBackend
+
+        def write_p50(kind):
+            cluster, backend = build(kind)
+
+            def proc():
+                for i in range(40):
+                    yield backend.write(i % 10, make_page(i % 10))
+
+            drive(cluster.sim, proc())
+            cluster.sim.run(until=cluster.sim.now + 10_000.0)
+            return backend.write_latency.percentile(50)
+
+        assert write_p50(SwarmReplicationBackend) < write_p50(ReplicationBackend)
+
+    def test_post_completion_failure_window_is_counted(self):
+        from repro.baselines import SwarmReplicationBackend
+
+        cluster, backend = build(SwarmReplicationBackend)
+
+        def proc():
+            yield backend.write(0, make_page(0))
+            yield cluster.sim.timeout(100.0)
+            # Kill a replica, then write: the client completes sub-RTT
+            # while the ack from the dead half fails behind its back.
+            victims = [h.machine_id for h in backend.groups[0]]
+            cluster.machine(victims[0]).fail()
+            yield backend.write(0, make_page(1))
+            yield cluster.sim.timeout(5_000.0)
+            return "ok"
+
+        assert drive(cluster.sim, proc()) == "ok"
+        assert backend.events["sub_rtt_completions"] == 2
+        assert backend.events["post_completion_failures"] >= 1

@@ -147,3 +147,100 @@ class TestBundle:
             (tmp_path / "bundle" / "schedule.json").read_text()
         )
         assert replay.to_json() == result.schedule.to_json()
+
+
+class TestControlPlaneScenarios:
+    def _scenario_config(self, scenario):
+        return ChaosConfig(
+            machines=10,
+            pages=16,
+            events=0,
+            horizon_us=2_000_000.0,
+            settle_us=4_000_000.0,
+            op_gap_us=10_000.0,
+            burst_ops=20,
+            scenario=scenario,
+        )
+
+    def test_scenario_schedule_shapes(self):
+        from repro.chaos import SCENARIOS, scenario_schedule
+
+        for name in SCENARIOS:
+            schedule = scenario_schedule(
+                name, machines=10, horizon_us=2e6, burst_ops=20
+            )
+            assert len(schedule) >= 2
+            kinds = [e.kind for e in schedule.events]
+            assert "burst" in kinds
+            if name != "rm_partition":
+                assert "rm_crash" in kinds or "crash" in kinds
+        with pytest.raises(ValueError):
+            scenario_schedule("nope", machines=10, horizon_us=2e6, burst_ops=20)
+
+    def test_rm_crash_scenario_fails_over_without_violations(self):
+        result = run_chaos(3, config=self._scenario_config("rm_crash"))
+        assert result.ok, "\n".join(v.detail for v in result.violations)
+        control = result.report["control_plane"]
+        assert control["replicas"] == 2  # auto-enabled for the scenario
+        assert len(control["failovers"]) == 1
+        assert control["failovers"][0]["domain"] == 0
+        assert result.report["invariants"]["counters"].get("failovers") == 1
+
+    def test_rm_partition_scenario_fences_the_stale_leader(self):
+        result = run_chaos(3, config=self._scenario_config("rm_partition"))
+        assert result.ok, "\n".join(v.detail for v in result.violations)
+        store_0 = result.report["control_plane"]["stores"][0]
+        assert store_0["fenced"]
+
+    def test_rm_failover_scenario_reconstructs_while_degraded(self):
+        result = run_chaos(3, config=self._scenario_config("rm_failover"))
+        assert result.ok, "\n".join(v.detail for v in result.violations)
+        control = result.report["control_plane"]
+        assert len(control["failovers"]) == 1
+        assert control["failovers"][0]["ranges"] >= 1
+
+    def test_scenario_runs_are_byte_identical(self):
+        a = run_chaos(5, config=self._scenario_config("rm_crash"))
+        b = run_chaos(5, config=self._scenario_config("rm_crash"))
+        assert a.report_json() == b.report_json()
+
+    def test_default_runs_ship_no_control_plane_section(self):
+        result = run_chaos(7, config=ChaosConfig.quick())
+        assert "control_plane" not in result.report
+
+
+class TestCliExitCodes:
+    def test_replay_of_missing_bundle_exits_two(self, tmp_path, capsys):
+        from repro.chaos.cli import main
+
+        missing = str(tmp_path / "gone" / "schedule.json")
+        assert main(["--replay", missing, "--quick"]) == 2
+        out = capsys.readouterr().out
+        assert "cannot replay" in out and "gone" in out
+
+    def test_replay_of_truncated_bundle_exits_two(self, tmp_path, capsys):
+        from repro.chaos.cli import main
+
+        path = tmp_path / "schedule.json"
+        path.write_text('{"horizon_us": 100.0, "events": [{"kind"')
+        assert main(["--replay", str(path), "--quick"]) == 2
+        assert "cannot replay" in capsys.readouterr().out
+
+    def test_replay_of_wrong_schema_exits_two(self, tmp_path, capsys):
+        from repro.chaos.cli import main
+
+        path = tmp_path / "schedule.json"
+        path.write_text('{"not_a_schedule": true}')
+        assert main(["--replay", str(path), "--quick"]) == 2
+        assert "cannot replay" in capsys.readouterr().out
+
+    def test_scenario_with_replay_exits_two(self, tmp_path, capsys):
+        from repro.chaos.cli import main
+
+        path = tmp_path / "schedule.json"
+        path.write_text('{"horizon_us": 100.0, "events": []}')
+        assert (
+            main(["--scenario", "rm_crash", "--replay", str(path), "--quick"])
+            == 2
+        )
+        assert "incompatible" in capsys.readouterr().out

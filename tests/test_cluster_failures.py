@@ -133,3 +133,72 @@ class TestLocalMemoryPressure:
             return machine.local_app_bytes
 
         assert drive(cluster.sim, proc()) == 1 << 22
+
+
+class TestRegenHandoffRetry:
+    """A regeneration target that dies between placement and the
+    ``regenerate_slab`` hand-off must be abandoned — the retry re-runs
+    placement against the machines alive *at retry time*, so the dead
+    target is never re-picked."""
+
+    def _deploy(self, machines=10):
+        from repro.core import HydraConfig, HydraDeployment
+        from repro.net import NetworkConfig
+
+        cluster = Cluster(
+            machines=machines,
+            memory_per_machine=1 << 26,
+            network=NetworkConfig(jitter_sigma=0.0, straggler_prob=0.0),
+            seed=3,
+        )
+        config = HydraConfig(
+            k=4, r=2, delta=1, slab_size_bytes=1 << 20,
+            payload_mode="real", control_period_us=20_000,
+        )
+        deployment = HydraDeployment(cluster, config, seed=5)
+        return cluster, deployment.manager(0)
+
+    def test_dead_handoff_target_is_not_repicked(self):
+        from .conftest import make_page
+
+        cluster, rm = self._deploy()
+        sim = cluster.sim
+
+        def setup():
+            for pid in range(8):
+                yield rm.write(pid, make_page(pid))
+            return "ok"
+
+        assert drive(sim, setup()) == "ok"
+
+        killed = []
+        orig_call = rm.endpoint.call
+
+        def flaky_call(target, message_type, body=None):
+            # The first chosen regeneration target dies at the exact
+            # moment of the hand-off RPC.
+            if message_type == "regenerate_slab" and not killed:
+                killed.append(target)
+                cluster.machine(target).fail()
+            return orig_call(target, message_type, body)
+
+        rm.endpoint.call = flaky_call
+        address_range = rm.space.get(0)
+        victim = address_range.handle(0).machine_id
+        cluster.machine(victim).fail()
+        sim.run(until=sim.now + 5_000_000.0)
+
+        assert killed, "regeneration never reached the hand-off"
+        assert rm.events["regen_handoff_failures"] >= 1
+        assert rm.events["regenerations"] >= 1
+        new_handle = rm.space.get(0).handle(0)
+        assert new_handle.available
+        assert new_handle.machine_id != killed[0]
+        assert new_handle.machine_id != victim
+
+        def readback():
+            for pid in range(8):
+                assert (yield rm.read(pid)) == make_page(pid)
+            return "ok"
+
+        assert drive(sim, readback()) == "ok"

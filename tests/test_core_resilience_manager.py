@@ -506,3 +506,48 @@ class TestRegenerationScheduling:
             return got
 
         assert drive(cluster.sim, proc()) == make_page(0)
+
+
+class TestRegenRetryDedupe:
+    def test_concurrent_retry_requests_schedule_one_timer(self):
+        """Two triggers for the same failed slot (e.g. an eviction notice
+        racing a machine-down notification) while a retry timer is already
+        pending must not stack a second timer — the slot would otherwise
+        regenerate twice, wasting a slab and a full rebuild."""
+        cluster, rm = deploy(k=4, r=2, machines=10)
+        sim = cluster.sim
+
+        def proc():
+            yield rm.write(0, make_page(0))
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+        address_range = rm.space.get(0)
+        address_range.handle(0).available = False
+        fired = []
+        rm._start_regeneration = lambda ar, pos: fired.append(sim.now)
+        rm._retry_regeneration_later(address_range, 0)
+        rm._retry_regeneration_later(address_range, 0)  # racing trigger
+        assert rm._regen_retry_pending == {(0, 0)}
+        sim.run(until=sim.now + 3 * rm.config.control_period_us)
+        assert len(fired) == 1
+        assert rm._regen_retry_pending == set()
+
+    def test_retry_can_rearm_after_the_timer_fires(self):
+        cluster, rm = deploy(k=4, r=2, machines=10)
+        sim = cluster.sim
+
+        def proc():
+            yield rm.write(0, make_page(0))
+            return "ok"
+
+        assert drive(sim, proc()) == "ok"
+        address_range = rm.space.get(0)
+        address_range.handle(0).available = False
+        fired = []
+        rm._start_regeneration = lambda ar, pos: fired.append(sim.now)
+        rm._retry_regeneration_later(address_range, 0)
+        sim.run(until=sim.now + 2 * rm.config.control_period_us)
+        rm._retry_regeneration_later(address_range, 0)
+        sim.run(until=sim.now + 2 * rm.config.control_period_us)
+        assert len(fired) == 2

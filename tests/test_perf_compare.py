@@ -150,3 +150,34 @@ class TestCli:
         assert perf.main(["--tolerance", "1.5"]) == 2
         assert perf.main(["--tolerance"]) == 2
         assert perf.main(["--compare"]) == 2
+
+
+class TestBaselineSchema:
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        doc = _doc()
+        monkeypatch.setattr(perf, "run_perf_suite", lambda **kw: copy.deepcopy(doc))
+        monkeypatch.setattr(perf, "format_results", lambda d: "(fake results)")
+        return doc
+
+    def test_unknown_schema_exits_two(self, tmp_path, fake_suite, capsys):
+        baseline = _doc()
+        baseline["schema"] = "hydra-perf/999"
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(baseline))
+        assert perf.main(["--compare", str(base)]) == 2
+        err = capsys.readouterr().err
+        assert "hydra-perf/999" in err and "regenerate" in err
+
+    def test_missing_schema_exits_two(self, tmp_path, fake_suite, capsys):
+        baseline = _doc()
+        del baseline["schema"]
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(baseline))
+        assert perf.main(["--compare", str(base)]) == 2
+        assert "expected" in capsys.readouterr().err
+
+    def test_non_object_baseline_exits_two(self, tmp_path, fake_suite):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps([1, 2, 3]))
+        assert perf.main(["--compare", str(base)]) == 2
