@@ -1,0 +1,51 @@
+"""Latency-under-load curve: open-loop sweep to saturation.
+
+The paper's throughput numbers are closed-loop; this benchmark drives the
+open-loop engine across offered loads straddling the pool's measured
+capacity (~77k req/s at concurrency 2) and regenerates the
+throughput-vs-p99 curve with bootstrap CIs and the detected saturation
+knee. The qualitative shape is the regression: flat tail below the knee,
+explosive tail above it, achieved throughput clamped at capacity.
+"""
+
+from conftest import write_report
+
+from repro.harness import banner
+from repro.harness.loadgen import detect_knee, format_sweep, run_sweep
+
+_RATES = (20_000.0, 50_000.0, 80_000.0, 110_000.0)
+
+
+def test_loadgen_curve(benchmark):
+    doc = benchmark.pedantic(
+        lambda: run_sweep(
+            rates=_RATES, seeds=2, duration_us=60_000.0, quick=True, jobs=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = banner("Latency under load — open-loop sweep") + "\n"
+    text += format_sweep(doc)
+    write_report("loadgen_curve", text)
+
+    points = doc["points"]
+    below, above = points[0], points[-1]
+    # Below the knee the generator keeps up; above it completions clamp.
+    assert below["achieved_per_sec"] > 0.9 * below["offered_per_sec"]
+    assert above["achieved_per_sec"] < 0.85 * above["offered_per_sec"]
+    # Tail latency explodes across the knee — orders, not percent.
+    assert above["p99_us"] > 20 * below["p99_us"]
+    # CIs bracket their point estimates at every offered load.
+    for point in points:
+        assert point["p99_ci_us"][0] <= point["p99_us"] <= point["p99_ci_us"][1]
+    # The sweep straddles capacity, so the knee must be detected — and
+    # re-running the detector on the document's own curve must agree.
+    assert doc["knee"] is not None
+    assert doc["knee"] == detect_knee(
+        [p["offered_per_sec"] for p in points],
+        [p["p99_us"] for p in points],
+    )
+    benchmark.extra_info["knee_offered_per_sec"] = doc["knee"]["offered_per_sec"]
+    benchmark.extra_info["capacity_per_sec"] = above["achieved_per_sec"]
+    benchmark.extra_info["p99_below_knee_us"] = below["p99_us"]
+    benchmark.extra_info["p99_above_knee_us"] = above["p99_us"]

@@ -32,11 +32,16 @@ def main(argv=None) -> int:
         from repro.obs.top import main as top_main
 
         return top_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.harness.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     if argv:
         print(
             f"unknown command {argv[0]!r}; "
             "usage: python -m repro "
-            "[trace ... | perf ... | chaos ... | bench ... | top ...]"
+            "[trace ... | perf ... | chaos ... | bench ... | top ... "
+            "| loadgen ...]"
         )
         return 2
 

@@ -39,6 +39,7 @@ from ..sim import (
 from ..vmm import PagedMemory
 from .builders import NamespacedPool, build_backend
 from .microbench import run_process
+from .report import percentile
 from .scenarios import _make_workload
 
 __all__ = ["ContainerSpec", "ClusterRunResult", "ClusterExperiment"]
@@ -124,7 +125,7 @@ class ClusterRunResult:
         ]
         if not pools:
             return None
-        return float(np.percentile(np.concatenate(pools), pct))
+        return percentile(np.concatenate(pools), pct)
 
 
 class ClusterExperiment:

@@ -7,19 +7,25 @@ be compared against the paper side by side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import math
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = [
     "format_table",
     "format_series",
+    "format_ci_series",
     "ascii_timeline",
     "banner",
     "span_phase_breakdown",
     "format_breakdown",
     "format_kv",
     "sparkline",
+    "percentile",
+    "bootstrap_ci",
+    "permutation_pvalue",
+    "STATISTICS",
 ]
 
 
@@ -54,6 +60,25 @@ def format_series(name: str, xs: Sequence, ys: Sequence, floatfmt: str = ".1f") 
     """Render an (x, y) series compactly: ``name: x=y, x=y, ...``."""
     pairs = ", ".join(
         f"{format(float(x), '.0f')}={format(float(y), floatfmt)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def format_ci_series(
+    name: str,
+    xs: Sequence,
+    ys: Sequence,
+    lows: Sequence,
+    highs: Sequence,
+    floatfmt: str = ".1f",
+) -> str:
+    """An (x, y) series with confidence bounds:
+    ``name: x=y [lo, hi], ...`` — the error-bar form of
+    :func:`format_series` for bootstrap-CI curves."""
+    pairs = ", ".join(
+        f"{format(float(x), '.0f')}={format(float(y), floatfmt)}"
+        f" [{format(float(lo), floatfmt)}, {format(float(hi), floatfmt)}]"
+        for x, y, lo, hi in zip(xs, ys, lows, highs)
     )
     return f"{name}: {pairs}"
 
@@ -108,6 +133,133 @@ def sparkline(values: Sequence[float], width: int = 16,
     return marks.rjust(width)
 
 
+# ----------------------------------------------------------------------
+# Statistics: one percentile definition, resampling-based uncertainty
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The harness's one canonical percentile: linear interpolation
+    between closest ranks (the default of ``numpy.percentile``).
+
+    Historically the repository mixed interpolation schemes — raw-sample
+    paths interpolated linearly while the HDR histogram reports
+    nearest-rank bucket upper bounds — and a p99 that jumps between
+    methods moves more than the bootstrap CI widths built on top of it.
+    Every raw-sample percentile in ``repro.harness`` now goes through
+    this helper; only the constant-memory histogram path (which has no
+    raw samples to interpolate) keeps bucket semantics.
+    """
+    if not 0 <= pct <= 100:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("percentile of an empty sample set")
+    ordered = np.sort(arr)
+    rank = pct / 100.0 * (ordered.size - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, ordered.size - 1)
+    fraction = rank - lower
+    return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
+
+
+# Named statistics for bootstrap/report plumbing (picklable, and their
+# names serialize into loadgen documents).
+STATISTICS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": lambda values: float(np.asarray(values, dtype=np.float64).mean()),
+    "p50": lambda values: percentile(values, 50),
+    "p90": lambda values: percentile(values, 90),
+    "p99": lambda values: percentile(values, 99),
+}
+
+
+def _resolve_statistic(
+    statistic: Union[str, Callable[[Sequence[float]], float]],
+) -> Callable[[Sequence[float]], float]:
+    if callable(statistic):
+        return statistic
+    try:
+        return STATISTICS[statistic]
+    except KeyError:
+        raise ValueError(
+            f"unknown statistic {statistic!r}; choose from {sorted(STATISTICS)}"
+        ) from None
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Union[str, Callable[[Sequence[float]], float]] = "mean",
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``.
+
+    Resamples ``values`` with replacement ``n_resamples`` times and
+    returns the ``(lo, hi)`` percentile interval of the resampled
+    statistic. Deterministic for a given ``seed`` (its own numpy
+    generator, independent of every simulation stream), so CI bounds in
+    report documents are byte-stable across runs and ``-j`` values.
+    A single sample yields a degenerate ``(x, x)`` interval.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    stat = _resolve_statistic(statistic)
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci of an empty sample set")
+    if arr.size == 1:
+        point = stat(arr)
+        return point, point
+    rng = np.random.default_rng(np.random.SeedSequence([seed, arr.size]))
+    # One resample at a time: peak memory stays O(n) even when a sweep
+    # point pools tens of thousands of latency samples.
+    estimates = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        row = rng.integers(0, arr.size, size=arr.size)
+        estimates[i] = stat(arr[row])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        percentile(estimates, 100.0 * alpha),
+        percentile(estimates, 100.0 * (1.0 - alpha)),
+    )
+
+
+def permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    statistic: Union[str, Callable[[Sequence[float]], float]] = "mean",
+    n_permutations: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Two-sided permutation test p-value for ``stat(a) - stat(b)``.
+
+    Pools both sample sets, re-splits ``n_permutations`` times at the
+    original sizes, and reports the add-one-smoothed fraction of
+    permuted |differences| at least as large as the observed one — the
+    standard significance test between two measured configurations when
+    nothing is known about the latency distribution's shape.
+    Deterministic for a given ``seed``.
+    """
+    if n_permutations < 1:
+        raise ValueError(f"n_permutations must be >= 1, got {n_permutations}")
+    stat = _resolve_statistic(statistic)
+    arr_a = np.asarray(a, dtype=np.float64)
+    arr_b = np.asarray(b, dtype=np.float64)
+    if arr_a.size == 0 or arr_b.size == 0:
+        raise ValueError("permutation_pvalue needs non-empty sample sets")
+    observed = abs(stat(arr_a) - stat(arr_b))
+    pooled = np.concatenate([arr_a, arr_b])
+    rng = np.random.default_rng(np.random.SeedSequence([seed, pooled.size]))
+    hits = 0
+    for _ in range(n_permutations):
+        shuffled = rng.permutation(pooled)
+        delta = abs(stat(shuffled[: arr_a.size]) - stat(shuffled[arr_a.size:]))
+        if delta >= observed:
+            hits += 1
+    return (hits + 1) / (n_permutations + 1)
+
+
 def _distribution(durations: Sequence[float]) -> Dict[str, float]:
     values = np.asarray(durations, dtype=np.float64)
     if values.size == 0:
@@ -119,8 +271,8 @@ def _distribution(durations: Sequence[float]) -> Dict[str, float]:
         "count": int(values.size),
         "total_us": float(values.sum()),
         "mean_us": float(values.mean()),
-        "p50_us": float(np.percentile(values, 50)),
-        "p99_us": float(np.percentile(values, 99)),
+        "p50_us": percentile(values, 50),
+        "p99_us": percentile(values, 99),
         "max_us": float(values.max()),
     }
 

@@ -25,9 +25,18 @@ from ..core import DatapathConfig
 from ..net import NetworkConfig, start_background_load
 from ..sim import DistributionSummary, RandomSource, summarize
 from ..vmm import PagedMemory
-from ..workloads import MemcachedWorkload, PageRankWorkload, TpccWorkload
+from ..workloads import (
+    MemcachedWorkload,
+    OpenLoopWorkload,
+    PageRankWorkload,
+    ReplayTrace,
+    TpccWorkload,
+    TraceReplayWorkload,
+    make_arrivals,
+)
 from .builders import build_backend, build_hydra_cluster
 from .microbench import run_process
+from .report import percentile
 
 __all__ = [
     "ScenarioResult",
@@ -38,6 +47,8 @@ __all__ = [
     "victim_machines",
     "run_uncertainty_scenario",
     "run_app",
+    "run_open_loop_point",
+    "run_trace_replay_point",
 ]
 
 SCENARIOS = ("failure", "corruption", "background", "burst")
@@ -384,3 +395,121 @@ def run_uncertainty_scenario(
         op_latency=summarize(work.latency.samples, name=f"{backend}/{scenario}"),
         events=pool_events,
     )
+
+
+# ----------------------------------------------------------------------
+def run_open_loop_point(
+    arrival_kind: str = "poisson",
+    rate_per_sec: float = 20_000.0,
+    seed: int = 0,
+    backend: str = "hydra",
+    machines: int = 12,
+    n_pages: int = 512,
+    fit: float = 0.5,
+    duration_us: float = 200_000.0,
+    concurrency: int = 2,
+    compute_us: float = 25.0,
+    get_fraction: float = 0.9,
+    zipf_alpha: float = 0.99,
+    period_us: Optional[float] = None,
+    payload_mode: str = "phantom",
+    until: float = 10_000_000_000.0,
+) -> Dict:
+    """One offered-load point: open-loop arrivals of ``arrival_kind`` at
+    ``rate_per_sec`` against a paged ``backend`` pool.
+
+    Returns a plain dict (picklable, JSON-serializable apart from the raw
+    ``samples`` list) so sweep shards can run in worker processes.
+    """
+    cluster, pool = build_pool(backend, machines, seed, payload_mode=payload_mode)
+    sim = cluster.sim
+    pager = PagedMemory(pool, resident_pages=max(1, int(n_pages * fit)))
+    run_process(sim, pager.preload(range(n_pages)), until=until)
+
+    rng = RandomSource(seed, f"openloop/{backend}/{arrival_kind}")
+    arrivals = make_arrivals(
+        arrival_kind, rng.child("arrivals"), rate_per_sec, period_us=period_us
+    )
+    work = OpenLoopWorkload(
+        pager,
+        rng.child("ops"),
+        arrivals,
+        n_pages,
+        get_fraction=get_fraction,
+        zipf_alpha=zipf_alpha,
+        concurrency=concurrency,
+        compute_us=compute_us,
+    )
+    result = run_process(sim, work.run(duration_us), until=until)
+    samples = [round(float(s), 6) for s in result.latency_samples]
+    return {
+        "arrival_kind": arrival_kind,
+        "backend": backend,
+        "offered_per_sec": rate_per_sec,
+        "seed": seed,
+        "duration_us": duration_us,
+        "issued": result.issued,
+        "completed": result.completed,
+        "completed_in_window": result.completed_in_window,
+        "dropped": result.dropped,
+        "queue_peak": result.queue_peak,
+        "achieved_per_sec": round(result.achieved_per_sec, 3),
+        "mean_us": round(float(np.mean(samples)), 4) if samples else 0.0,
+        "p50_us": round(percentile(samples, 50), 4) if samples else 0.0,
+        "p99_us": round(percentile(samples, 99), 4) if samples else 0.0,
+        "samples": samples,
+    }
+
+
+def run_trace_replay_point(
+    seed: int = 0,
+    trace_json: Optional[str] = None,
+    backend: str = "hydra",
+    machines: int = 12,
+    fit: float = 0.5,
+    concurrency: int = 2,
+    compute_us: float = 25.0,
+    payload_mode: str = "phantom",
+    until: float = 10_000_000_000.0,
+) -> Dict:
+    """Replay one trace (``trace_json``, or the deterministic synthetic
+    trace derived from ``seed``) against a paged ``backend`` pool.
+
+    Returns a plain dict with the per-epoch table and overall latency
+    samples, picklable for sweep shards.
+    """
+    if trace_json is None:
+        trace = ReplayTrace.synthetic(seed=seed)
+    else:
+        trace = ReplayTrace.from_json(trace_json)
+    n_pages = trace.key_space
+    cluster, pool = build_pool(backend, machines, seed, payload_mode=payload_mode)
+    sim = cluster.sim
+    pager = PagedMemory(pool, resident_pages=max(1, int(n_pages * fit)))
+    run_process(sim, pager.preload(range(n_pages)), until=until)
+
+    rng = RandomSource(seed, f"replay/{backend}/{trace.name}")
+    work = TraceReplayWorkload(
+        pager, rng, trace, concurrency=concurrency, compute_us=compute_us
+    )
+    run_process(sim, work.run(), until=until)
+    samples = [round(float(s), 6) for s in work.samples()]
+    epochs = []
+    for row in work.epoch_table():
+        entry = dict(row)
+        for key in ("p50_us", "p99_us", "mean_us"):
+            entry[key] = round(float(entry[key]), 4)
+        epochs.append(entry)
+    return {
+        "trace": trace.name,
+        "backend": backend,
+        "seed": seed,
+        "key_space": trace.key_space,
+        "duration_us": trace.duration_us,
+        "completed": work.stats["completed"],
+        "mean_us": round(float(np.mean(samples)), 4) if samples else 0.0,
+        "p50_us": round(percentile(samples, 50), 4) if samples else 0.0,
+        "p99_us": round(percentile(samples, 99), 4) if samples else 0.0,
+        "epochs": epochs,
+        "samples": samples,
+    }

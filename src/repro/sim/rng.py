@@ -76,6 +76,22 @@ class RandomSource:
             return [seq[self._rng.randrange(len(seq))] for _ in range(size)]
         return self._rng.sample(list(seq), size)
 
+    def weighted_choice(self, items: Sequence, weights: Sequence[float]):
+        """One element of ``items`` drawn with the given (unnormalized)
+        weights — the per-epoch size-class draw in trace replay."""
+        if len(items) != len(weights) or not items:
+            raise ValueError("items and weights must be equal-length and non-empty")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError(f"weights must sum to > 0, got {total}")
+        target = self._rng.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if target < cumulative:
+                return item
+        return items[-1]  # float round-off on the last boundary
+
     def sample(self, seq: Sequence, k: int) -> list:
         """k distinct elements from seq (k may exceed len(seq): capped)."""
         k = min(k, len(seq))

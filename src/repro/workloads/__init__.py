@@ -1,17 +1,40 @@
-"""Workload models: TPC-C/VoltDB, Memcached ETC/SYS, PageRank, fio."""
+"""Workload models: TPC-C/VoltDB, Memcached ETC/SYS, PageRank, fio,
+open-loop load generation, and epoch-sliced trace replay."""
 
+from .arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 from .base import ClosedLoopWorkload
 from .fio import FioWorkload
 from .graph import PageRankWorkload
 from .memcached import ETC_GET_FRACTION, SYS_GET_FRACTION, MemcachedWorkload
+from .openloop import OpenLoopResult, OpenLoopWorkload
+from .replay import EpochResult, ReplayTrace, TraceEpoch, TraceReplayWorkload
 from .tpcc import TpccWorkload
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
     "ClosedLoopWorkload",
     "FioWorkload",
     "PageRankWorkload",
     "ETC_GET_FRACTION",
     "SYS_GET_FRACTION",
     "MemcachedWorkload",
+    "OpenLoopResult",
+    "OpenLoopWorkload",
+    "EpochResult",
+    "ReplayTrace",
+    "TraceEpoch",
+    "TraceReplayWorkload",
     "TpccWorkload",
 ]

@@ -1,0 +1,274 @@
+"""Arrival processes for open-loop load generation.
+
+Closed-loop drivers (``ClosedLoopWorkload``) issue the next operation only
+after the previous one completes, so they can never push a backend past
+saturation — the coordinated-omission blind spot. The processes here
+generate *arrival times* independently of service completions, which is
+what a population of millions of independent clients looks like to a
+remote-memory pool:
+
+* :class:`PoissonArrivals` — memoryless constant-rate traffic, the
+  baseline offered-load model;
+* :class:`MMPPArrivals` — a two-state Markov-modulated Poisson process
+  (on/off): exponentially-distributed bursts at a high rate separated by
+  exponentially-distributed idle/low-rate gaps, the §2.2 "request burst"
+  uncertainty as a stationary process;
+* :class:`DiurnalArrivals` — a nonhomogeneous Poisson process whose rate
+  follows a sinusoidal day/night cycle, sampled exactly via
+  Lewis-Shedler thinning.
+
+Every process draws from a :class:`~repro.sim.RandomSource`, so a whole
+sweep is reproducible from one seed, and each exposes
+:meth:`~ArrivalProcess.expected_count` (the rate integral ∫λ(t)dt) so
+tests can check generated counts against the analytic mean.
+
+All rates are in operations per *second* at the API (the unit humans
+sweep in); simulation time is microseconds throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..sim import RandomSource
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "make_arrivals",
+]
+
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+_US_PER_SEC = 1e6
+
+
+class ArrivalProcess:
+    """Base class: a stream of inter-arrival gaps in microseconds.
+
+    Subclasses implement :meth:`next_gap`; the internal clock ``self.t``
+    advances by each gap, so nonhomogeneous processes know where in their
+    cycle they are. One instance is one stream — build a fresh instance
+    (same seed) to replay it.
+    """
+
+    kind = "base"
+
+    def __init__(self, rng: RandomSource, rate_per_sec: float):
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate_per_sec must be > 0, got {rate_per_sec}")
+        self.rng = rng
+        self.rate_per_sec = rate_per_sec
+        self.rate_per_us = rate_per_sec / _US_PER_SEC
+        self.t = 0.0  # process-local time of the last arrival (us)
+
+    def next_gap(self) -> float:
+        """Microseconds until the next arrival; advances the clock."""
+        raise NotImplementedError
+
+    def expected_count(self, t0_us: float, t1_us: float) -> float:
+        """The rate integral ∫λ(t)dt over ``[t0, t1]`` — the analytic
+        mean of the number of arrivals in that window."""
+        raise NotImplementedError
+
+    def arrival_times(self, duration_us: float) -> List[float]:
+        """All arrival times in ``[t, t + duration)`` from the current
+        clock (absolute, in process-local microseconds)."""
+        horizon = self.t + duration_us
+        times: List[float] = []
+        while True:
+            self.next_gap()
+            if self.t >= horizon:
+                return times
+            times.append(self.t)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson traffic: i.i.d. exponential inter-arrivals."""
+
+    kind = "poisson"
+
+    def next_gap(self) -> float:
+        gap = self.rng.exponential(1.0 / self.rate_per_us)
+        self.t += gap
+        return gap
+
+    def expected_count(self, t0_us: float, t1_us: float) -> float:
+        return self.rate_per_us * (t1_us - t0_us)
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state (on/off) Markov-modulated Poisson process.
+
+    The process alternates between a *burst* state (rate
+    ``rate_per_sec * burst_multiplier``) and an *idle* state (rate
+    ``rate_per_sec * idle_multiplier``); state holding times are
+    exponential with means ``mean_burst_us`` / ``mean_idle_us``. With the
+    default multipliers the long-run average rate equals ``rate_per_sec``
+    at the default 20 % duty cycle, so MMPP sweeps are comparable
+    point-for-point with Poisson sweeps at the same nominal rate.
+
+    The generator tracks time and arrivals attributed to each state
+    (``time_in_burst_us`` etc.) so tests can check the duty cycle and the
+    per-state rates directly.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        rate_per_sec: float,
+        mean_burst_us: float = 2_000.0,
+        mean_idle_us: float = 8_000.0,
+        burst_multiplier: float = 4.0,
+        idle_multiplier: float = 0.25,
+    ):
+        super().__init__(rng, rate_per_sec)
+        if mean_burst_us <= 0 or mean_idle_us <= 0:
+            raise ValueError("state holding-time means must be > 0")
+        if burst_multiplier <= idle_multiplier:
+            raise ValueError(
+                f"burst_multiplier ({burst_multiplier}) must exceed "
+                f"idle_multiplier ({idle_multiplier})"
+            )
+        self.mean_burst_us = mean_burst_us
+        self.mean_idle_us = mean_idle_us
+        self.burst_rate_per_us = self.rate_per_us * burst_multiplier
+        self.idle_rate_per_us = self.rate_per_us * idle_multiplier
+        self.in_burst = False  # start idle: bursts arrive, not persist
+        self._state_left_us = rng.exponential(mean_idle_us)
+        self.time_in_burst_us = 0.0
+        self.time_in_idle_us = 0.0
+        self.burst_arrivals = 0
+        self.idle_arrivals = 0
+
+    @property
+    def duty_cycle(self) -> float:
+        """Stationary fraction of time spent in the burst state."""
+        return self.mean_burst_us / (self.mean_burst_us + self.mean_idle_us)
+
+    def mean_rate_per_us(self) -> float:
+        """Long-run average arrival rate (per microsecond)."""
+        duty = self.duty_cycle
+        return duty * self.burst_rate_per_us + (1 - duty) * self.idle_rate_per_us
+
+    def _flip_state(self) -> None:
+        if self.in_burst:
+            self.time_in_burst_us += self._state_left_us
+        else:
+            self.time_in_idle_us += self._state_left_us
+        self.in_burst = not self.in_burst
+        mean = self.mean_burst_us if self.in_burst else self.mean_idle_us
+        self._state_left_us = self.rng.exponential(mean)
+
+    def next_gap(self) -> float:
+        gap = 0.0
+        while True:
+            rate = self.burst_rate_per_us if self.in_burst else self.idle_rate_per_us
+            candidate = (
+                self.rng.exponential(1.0 / rate) if rate > 0 else math.inf
+            )
+            if candidate < self._state_left_us:
+                # Arrival lands within the current state.
+                self._state_left_us -= candidate
+                if self.in_burst:
+                    self.time_in_burst_us += candidate
+                    self.burst_arrivals += 1
+                else:
+                    self.time_in_idle_us += candidate
+                    self.idle_arrivals += 1
+                gap += candidate
+                self.t += candidate
+                return gap
+            # State expires first: advance to the boundary and redraw —
+            # the memorylessness of the exponential makes discarding the
+            # candidate draw exact, not an approximation.
+            gap += self._state_left_us
+            self.t += self._state_left_us
+            self._flip_state()
+
+    def expected_count(self, t0_us: float, t1_us: float) -> float:
+        # Stationary expectation (exact as the window spans many cycles).
+        return self.mean_rate_per_us() * (t1_us - t0_us)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Nonhomogeneous Poisson with a sinusoidal day/night rate:
+
+    ``λ(t) = rate * (1 + amplitude * sin(2π t / period))``
+
+    sampled exactly with Lewis-Shedler thinning: candidate arrivals are
+    drawn from a homogeneous process at ``λ_max = rate * (1 + amplitude)``
+    and accepted with probability ``λ(t)/λ_max``. The compressed default
+    period keeps several "days" inside one simulated run.
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        rate_per_sec: float,
+        amplitude: float = 0.6,
+        period_us: float = 100_000.0,
+        phase: float = 0.0,
+    ):
+        super().__init__(rng, rate_per_sec)
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period_us <= 0:
+            raise ValueError(f"period_us must be > 0, got {period_us}")
+        self.amplitude = amplitude
+        self.period_us = period_us
+        self.phase = phase
+        self._max_rate_per_us = self.rate_per_us * (1.0 + amplitude)
+
+    def rate_at(self, t_us: float) -> float:
+        """Instantaneous rate λ(t) in arrivals per microsecond."""
+        omega = 2.0 * math.pi / self.period_us
+        return self.rate_per_us * (
+            1.0 + self.amplitude * math.sin(omega * t_us + self.phase)
+        )
+
+    def next_gap(self) -> float:
+        start = self.t
+        while True:
+            self.t += self.rng.exponential(1.0 / self._max_rate_per_us)
+            accept = self.rate_at(self.t) / self._max_rate_per_us
+            if self.rng.random() < accept:
+                return self.t - start
+
+    def expected_count(self, t0_us: float, t1_us: float) -> float:
+        # ∫ rate*(1 + a*sin(ωt + φ)) dt, closed form.
+        omega = 2.0 * math.pi / self.period_us
+        base = self.rate_per_us * (t1_us - t0_us)
+        wave = (
+            self.rate_per_us
+            * self.amplitude
+            / omega
+            * (math.cos(omega * t0_us + self.phase) - math.cos(omega * t1_us + self.phase))
+        )
+        return base + wave
+
+
+def make_arrivals(
+    kind: str,
+    rng: RandomSource,
+    rate_per_sec: float,
+    period_us: Optional[float] = None,
+) -> ArrivalProcess:
+    """Construct an arrival process by kind name (CLI plumbing)."""
+    if kind == "poisson":
+        return PoissonArrivals(rng, rate_per_sec)
+    if kind == "bursty":
+        return MMPPArrivals(rng, rate_per_sec)
+    if kind == "diurnal":
+        if period_us is not None:
+            return DiurnalArrivals(rng, rate_per_sec, period_us=period_us)
+        return DiurnalArrivals(rng, rate_per_sec)
+    raise ValueError(f"unknown arrival kind {kind!r}; choose from {ARRIVAL_KINDS}")

@@ -10,13 +10,20 @@ sharded across two workers — and compares canonical artifacts:
 * perf suite — :func:`repro.harness.perf.deterministic_anchors`;
 * chaos soak — :func:`repro.chaos.soak_json` (the ``soak.json`` bytes);
 * figure suite — :func:`repro.parallel.bench.bench_report_digest` plus
-  the raw ``results/*.txt`` bytes the benchmark wrote.
+  the raw ``results/*.txt`` bytes the benchmark wrote;
+* loadgen — :func:`repro.harness.loadgen.loadgen_canonical_json` for
+  both the offered-load sweep and the trace-replay suite.
 """
 
 import json
 from pathlib import Path
 
 from repro.chaos import ChaosConfig, run_soak, soak_json
+from repro.harness.loadgen import (
+    loadgen_canonical_json,
+    run_replay_suite,
+    run_sweep,
+)
 from repro.harness.perf import deterministic_anchors, run_perf_suite
 from repro.parallel.bench import bench_report_digest, run_bench
 
@@ -79,3 +86,36 @@ def test_figure_benchmark_parallel_matches_serial_bytes(tmp_path):
     parallel_report = (dirs[2] / "fig01_tradeoff.txt").read_bytes()
     assert serial_report == parallel_report
     assert b"Figure 1" in serial_report
+
+
+# Small grid, short points: the gate cares about byte equality, not
+# about where the knee lands.
+_SWEEP_KW = dict(
+    rates=(20_000.0, 60_000.0, 100_000.0),
+    seeds=2,
+    duration_us=30_000.0,
+    quick=True,
+)
+
+
+def test_loadgen_sweep_parallel_matches_serial_bytes():
+    serial = run_sweep(jobs=1, **_SWEEP_KW)
+    parallel = run_sweep(jobs=2, **_SWEEP_KW)
+    assert serial["jobs"] == 1 and parallel["jobs"] == 2
+    assert loadgen_canonical_json(parallel) == loadgen_canonical_json(serial)
+    # The per-rate sample digests are the strongest anchors: identical
+    # digests mean every pooled latency sample matched to 1e-6 us.
+    for point_serial, point_parallel in zip(serial["points"], parallel["points"]):
+        assert point_serial["n_samples"] > 0
+        assert point_serial["samples_sha256"] == point_parallel["samples_sha256"]
+
+
+def test_trace_replay_parallel_matches_serial_bytes():
+    serial = run_replay_suite(jobs=1, seeds=2, quick=True)
+    parallel = run_replay_suite(jobs=2, seeds=2, quick=True)
+    assert loadgen_canonical_json(parallel) == loadgen_canonical_json(serial)
+    assert serial["overall"]["n_samples"] > 0
+    assert (
+        serial["overall"]["samples_sha256"]
+        == parallel["overall"]["samples_sha256"]
+    )

@@ -1,0 +1,146 @@
+"""Statistical property tests for the arrival processes.
+
+Each process is checked against its analytic law at 20 fixed seeds
+(property-test style, like ``test_ec_properties.py``):
+
+* Poisson — inter-arrival gaps pass a Kolmogorov-Smirnov test against
+  the exponential CDF at the offered rate;
+* diurnal — the generated arrival count lands inside a CI around the
+  rate integral ∫λ(t)dt, and the "day" half of each cycle really does
+  carry more traffic than the "night" half;
+* bursty (MMPP) — the realized burst duty cycle matches the stationary
+  value, and the per-state arrival rates match their multipliers.
+
+All draws come from seeded :class:`~repro.sim.RandomSource` streams, so
+these are deterministic regressions, not flaky statistics: the
+thresholds were chosen with margin over the observed worst case across
+the seed set.
+"""
+
+import math
+
+import pytest
+
+from repro.sim import RandomSource
+from repro.workloads import (
+    ARRIVAL_KINDS,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+SEEDS = range(20)
+
+
+def _ks_statistic_exponential(gaps, mean):
+    """Two-sided KS distance between the empirical CDF of ``gaps`` and
+    Exponential(mean)."""
+    ordered = sorted(gaps)
+    n = len(ordered)
+    worst = 0.0
+    for i, gap in enumerate(ordered):
+        cdf = 1.0 - math.exp(-gap / mean)
+        worst = max(worst, abs((i + 1) / n - cdf), abs(cdf - i / n))
+    return worst
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_poisson_gaps_are_exponential(seed):
+    rate_per_sec = 10_000.0
+    process = PoissonArrivals(
+        RandomSource(seed, "arrivals/poisson"), rate_per_sec
+    )
+    n = 2_000
+    gaps = [process.next_gap() for _ in range(n)]
+    assert all(gap > 0 for gap in gaps)
+    # Mean gap = 1/λ = 100 us at 10k/s.
+    statistic = _ks_statistic_exponential(gaps, 1e6 / rate_per_sec)
+    # 1.63/sqrt(n) is the α=0.01 asymptotic critical value; the worst
+    # observed value across the seed set is well under it.
+    assert statistic < 1.63 / math.sqrt(n)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_diurnal_count_matches_rate_integral(seed):
+    process = DiurnalArrivals(
+        RandomSource(seed, "arrivals/diurnal"), rate_per_sec=20_000.0,
+        amplitude=0.6, period_us=100_000.0,
+    )
+    duration_us = 1_000_000.0  # ten full "days"
+    times = process.arrival_times(duration_us)
+    expected = process.expected_count(0.0, duration_us)
+    assert expected == pytest.approx(20_000.0 * duration_us / 1e6, rel=1e-6)
+    # Poisson count: sd = sqrt(m); 4 sigma leaves no room for flakes at
+    # fixed seeds while still catching a rate integral that is off.
+    assert abs(len(times) - expected) < 4.0 * math.sqrt(expected)
+
+    # The modulation must be visible, not just the average: the rising
+    # half of each sine cycle (λ > rate) must carry more arrivals than
+    # the falling half (λ < rate).
+    period = process.period_us
+    day = sum(1 for t in times if (t % period) < period / 2)
+    night = len(times) - day
+    assert day > night * 1.5
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mmpp_duty_cycle_and_state_rates(seed):
+    rate_per_sec = 10_000.0
+    process = MMPPArrivals(
+        RandomSource(seed, "arrivals/bursty"), rate_per_sec
+    )
+    # Defaults: 2 ms bursts at 4x rate, 8 ms idle at 0.25x -> the
+    # long-run mean rate equals the nominal rate exactly.
+    assert process.duty_cycle == pytest.approx(0.2)
+    assert process.mean_rate_per_us() == pytest.approx(process.rate_per_us)
+
+    duration_us = 2_000_000.0  # ~200 burst/idle cycles
+    process.arrival_times(duration_us)
+
+    observed_time = process.time_in_burst_us + process.time_in_idle_us
+    assert observed_time > 0.9 * duration_us
+    duty = process.time_in_burst_us / observed_time
+    # Across 20 seeds the realized duty cycle stays within ~0.05 of the
+    # stationary 0.2 (sd of ~200 exponential cycles).
+    assert abs(duty - process.duty_cycle) < 0.06
+
+    burst_rate = process.burst_arrivals / process.time_in_burst_us
+    idle_rate = process.idle_arrivals / process.time_in_idle_us
+    assert burst_rate == pytest.approx(process.burst_rate_per_us, rel=0.15)
+    assert idle_rate == pytest.approx(process.idle_rate_per_us, rel=0.15)
+    # The defining contrast: bursts are an order denser than idle.
+    assert burst_rate > 10 * idle_rate
+
+
+def test_expected_count_closed_forms():
+    rng = RandomSource(0, "arrivals/forms")
+    poisson = PoissonArrivals(rng.child("p"), 5_000.0)
+    assert poisson.expected_count(0.0, 200_000.0) == pytest.approx(1_000.0)
+
+    diurnal = DiurnalArrivals(
+        rng.child("d"), 5_000.0, amplitude=0.5, period_us=50_000.0
+    )
+    # Whole periods: the sine integrates to zero.
+    assert diurnal.expected_count(0.0, 100_000.0) == pytest.approx(500.0)
+    # Half a period starting at the trough-to-peak rise: above average.
+    assert diurnal.expected_count(0.0, 25_000.0) > 5_000.0 / 1e6 * 25_000.0
+
+
+def test_make_arrivals_dispatch():
+    rng = RandomSource(3, "arrivals/make")
+    for kind in ARRIVAL_KINDS:
+        process = make_arrivals(kind, rng.child(kind), 1_000.0)
+        assert process.kind == kind
+        assert process.next_gap() > 0
+    custom = make_arrivals("diurnal", rng.child("custom"), 1_000.0,
+                           period_us=12_345.0)
+    assert custom.period_us == 12_345.0
+    with pytest.raises(ValueError):
+        make_arrivals("weibull", rng, 1_000.0)
+    with pytest.raises(ValueError):
+        PoissonArrivals(rng, 0.0)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(rng, 1_000.0, amplitude=1.5)
+    with pytest.raises(ValueError):
+        MMPPArrivals(rng, 1_000.0, burst_multiplier=0.2, idle_multiplier=0.5)
