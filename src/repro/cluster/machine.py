@@ -15,6 +15,10 @@ from ..sim import Simulator, Store, TimeSeries
 from .disk import SSD, SSDConfig
 from .memory import Slab, SlabState
 
+# States a one-sided verb may touch; module constant so the split access
+# fast path skips rebuilding the tuple per verb.
+_ACCESSIBLE_STATES = (SlabState.MAPPED, SlabState.REGENERATING)
+
 __all__ = ["Machine"]
 
 
@@ -130,7 +134,9 @@ class Machine:
     def read_split(self, slab_id: int, page_id: int) -> Any:
         """Serve a one-sided READ. Missing pages read as ``None`` (garbage
         in real hardware); a missing/unmapped slab is an access fault."""
-        slab = self._slab_for_access(slab_id)
+        slab = self.hosted_slabs.get(slab_id)
+        if slab is None or slab.state not in _ACCESSIBLE_STATES:
+            raise self._access_fault(slab_id, slab)
         slab.access_count += 1
         slab.last_access_us = self.sim.now
         return slab.pages.get(page_id)
@@ -138,7 +144,9 @@ class Machine:
     def write_split(self, slab_id: int, page_id: int, payload: Any) -> None:
         """Apply a one-sided WRITE. Writes to a regenerating slab fault
         (its memory region is revoked while being rebuilt, §4.4)."""
-        slab = self._slab_for_access(slab_id)
+        slab = self.hosted_slabs.get(slab_id)
+        if slab is None or slab.state not in _ACCESSIBLE_STATES:
+            raise self._access_fault(slab_id, slab)
         if slab.writes_disabled:
             raise RemoteAccessError(
                 f"slab {slab_id} on machine {self.id} has writes disabled"
@@ -149,13 +157,16 @@ class Machine:
 
     def _slab_for_access(self, slab_id: int) -> Slab:
         slab = self.hosted_slabs.get(slab_id)
-        if slab is None:
-            raise RemoteAccessError(f"no slab {slab_id} on machine {self.id}")
-        if slab.state not in (SlabState.MAPPED, SlabState.REGENERATING):
-            raise RemoteAccessError(
-                f"slab {slab_id} on machine {self.id} is {slab.state.value}"
-            )
+        if slab is None or slab.state not in _ACCESSIBLE_STATES:
+            raise self._access_fault(slab_id, slab)
         return slab
+
+    def _access_fault(self, slab_id: int, slab: Optional[Slab]) -> RemoteAccessError:
+        if slab is None:
+            return RemoteAccessError(f"no slab {slab_id} on machine {self.id}")
+        return RemoteAccessError(
+            f"slab {slab_id} on machine {self.id} is {slab.state.value}"
+        )
 
     # -- control-plane messages ------------------------------------------------
     def deliver_message(self, src_id: int, message: Any) -> None:

@@ -30,7 +30,7 @@ from ..cluster import PhantomSplit
 from ..ec import CorruptionDetected, DecodeError, PageCodec, reencode_split_pages
 from ..net import RdmaFabric
 from ..obs import MetricsRegistry, Span, Tracer
-from ..sim import Event, RandomSource, Simulator
+from ..sim import Event, RandomSource, Simulator, Timeout
 from .address_space import AddressRange, RemoteAddressSpace, SlabHandle
 from .config import HydraConfig
 from .datapath import (
@@ -243,6 +243,21 @@ class ResilienceManager:
         # Completions per 1-second window — throughput-over-time for the
         # dashboard / Fig 2-style timelines without retaining per-op data.
         self.ops_window = metrics.throughput(f"rm.{machine_id}.ops")
+        # Plan-cache pressure is an operator signal: steady evictions mean
+        # the erasure-pattern working set exceeds the LRU capacity and
+        # decode plans are being recompiled on the hot path.
+        self.codec.code.plan_cache.bind_eviction_counter(
+            metrics.counter(f"rm.{machine_id}.ec.plan_evictions")
+        )
+
+        # Datapath overhead constants: pure functions of the construction-
+        # time config, computed once so the per-op yields reuse the floats
+        # (bit-identical to calling the helpers each time).
+        dp = config.datapath
+        self._issue_us: Dict[int, float] = {}
+        self._completion_k_us = completion_overhead_us(dp, config.k)
+        self._encode_us = encode_latency_us(config)
+        self._decode_us = decode_latency_us(config)
 
         endpoint.register("evict_slab", self._on_evict_notice)
         endpoint.register("slab_regenerated", self._on_slab_regenerated)
@@ -442,15 +457,20 @@ class ResilienceManager:
             if self._fenced:
                 break
             available = address_range.available_positions()
-            data_positions = list(range(config.k))
+            slots = address_range.slots
             fast_path = dp.async_encoding and all(
-                address_range.handle(p).available for p in data_positions
+                handle.available for handle in slots[: config.k]
             )
             # Only verbs on the critical path cost posting time: the fast
             # path returns after the k data-split writes (parities are
             # posted asynchronously).
             critical_posts = config.k if fast_path else max(1, len(available))
-            yield self.sim.timeout(issue_overhead_us(dp, critical_posts))
+            issue_us = self._issue_us.get(critical_posts)
+            if issue_us is None:
+                issue_us = self._issue_us[critical_posts] = issue_overhead_us(
+                    dp, critical_posts
+                )
+            yield Timeout(self.sim, issue_us)
             phases.mark("issue")
             try:
                 if fast_path:
@@ -496,14 +516,17 @@ class ResilienceManager:
             # were unavailable when the splits were POSTED — if one came
             # back while our acks were in flight, the helper posts the
             # split directly instead of buffering.
-            for position in range(config.n):
-                posted = position in available
-                live = address_range.handle(position).available
-                if posted and live:
-                    continue  # the write itself covered this position
-                self._record_or_post_catchup(
-                    address_range, position, offset, page_id, version, data
-                )
+            if len(available) != config.n or not all(
+                handle.available for handle in address_range.slots
+            ):
+                for position in range(config.n):
+                    posted = position in available
+                    live = address_range.handle(position).available
+                    if posted and live:
+                        continue  # the write itself covered this position
+                    self._record_or_post_catchup(
+                        address_range, position, offset, page_id, version, data
+                    )
             if self._meta is not None:
                 if full_done.triggered:
                     self._meta.append(
@@ -555,15 +578,17 @@ class ResilienceManager:
         config = self.config
         dp = config.datapath
         phases = phases if phases is not None else self.tracer.phases(span)
-        acks = []
-        for position in range(config.k):
-            payload = self._payload(data_splits, position, version)
-            acks.append(
-                self._post_split_write(address_range, position, offset, payload, span)
-            )
+        if data_splits is not None:
+            posts = list(enumerate(data_splits))  # row views, one per position
+        else:
+            posts = [
+                (position, PhantomSplit(version=version))
+                for position in range(config.k)
+            ]
+        acks = self._post_split_writes(address_range, offset, posts, span)
         succeeded = yield from self._await_acks(acks, need=config.k)
         phases.mark("wait_k", fanout=config.k, acked=succeeded)
-        yield self.sim.timeout(completion_overhead_us(dp, config.k))
+        yield Timeout(self.sim, self._completion_k_us)
         phases.mark("completion")
         if succeeded < config.k:
             raise RemoteMemoryUnavailable("data-split writes failed")
@@ -591,7 +616,7 @@ class ResilienceManager:
         span: Optional[Span] = None,
     ):
         config = self.config
-        yield self.sim.timeout(encode_latency_us(config))
+        yield Timeout(self.sim, self._encode_us)
         if self._fenced:
             # Fenced mid-write: the successor's seal pass owns this page
             # now; posting stale parities would race its full rewrite.
@@ -617,7 +642,7 @@ class ResilienceManager:
             parity = self.codec.code.encode(data_splits)
         else:
             parity = None
-        acks = []
+        posts = []
         for index in range(config.r):
             position = config.k + index
             if not address_range.handle(position).available:
@@ -632,9 +657,8 @@ class ResilienceManager:
                 payload = parity[index]
             else:
                 payload = PhantomSplit(version=version)
-            acks.append(
-                self._post_split_write(address_range, position, offset, payload, span)
-            )
+            posts.append((position, payload))
+        acks = self._post_split_writes(address_range, offset, posts, span)
         if acks:
             yield from self._await_acks(acks, need=len(acks))
         self.events.incr("parity_writes", len(acks))
@@ -666,21 +690,26 @@ class ResilienceManager:
             raise RemoteMemoryUnavailable(
                 f"only {len(available)} slabs available, need {config.k}"
             )
-        yield self.sim.timeout(encode_latency_us(config))
+        yield Timeout(self.sim, self._encode_us)
         phases.mark("encode")
         if config.payload_mode == "real":
             all_splits = self.codec.code.encode_page(data_splits)
         else:
             all_splits = None
-        acks = []
-        for position in available:
-            if all_splits is not None:
-                payload = all_splits[position]
-            else:
-                payload = PhantomSplit(version=version)
-            acks.append(
-                self._post_split_write(address_range, position, offset, payload, span)
-            )
+        acks = self._post_split_writes(
+            address_range,
+            offset,
+            [
+                (
+                    position,
+                    all_splits[position]
+                    if all_splits is not None
+                    else PhantomSplit(version=version),
+                )
+                for position in available
+            ],
+            span,
+        )
         wait_for = len(acks) if not dp.async_encoding else config.k
         succeeded = yield from self._await_acks(acks, need=wait_for)
         phases.mark("wait_k", fanout=len(acks), acked=succeeded)
@@ -731,8 +760,11 @@ class ResilienceManager:
                 f"page {page_id}: only {len(available)} slabs reachable"
             )
 
-        suspected = any(
-            self.error_scores.get(address_range.handle(p).machine_id, 0.0)
+        # No machine has ever been suspected on the vast majority of reads;
+        # one truthiness check replaces the per-position score scan then.
+        error_scores = self.error_scores
+        suspected = bool(error_scores) and any(
+            error_scores.get(address_range.handle(p).machine_id, 0.0)
             >= config.error_correction_limit
             for p in available
         )
@@ -746,15 +778,15 @@ class ResilienceManager:
             if suspected:
                 span.set_tag("suspected", True)
 
-        yield self.sim.timeout(issue_overhead_us(dp, fanout))
+        issue_us = self._issue_us.get(fanout)
+        if issue_us is None:
+            issue_us = self._issue_us[fanout] = issue_overhead_us(dp, fanout)
+        yield Timeout(self.sim, issue_us)
         phases.mark("issue")
 
         positions = self.rng.sample(available, fanout)
-        gather = _SplitGather(self.sim, lambda p: self._is_valid(p, version))
-        for position in positions:
-            gather.post(
-                position, self._post_split_read(address_range, position, offset, span)
-            )
+        gather = _SplitGather(self.sim, self._split_validator(version))
+        self._post_split_reads(address_range, positions, offset, gather, span)
 
         escalations = 0
         while len(gather.valid) < config.k:
@@ -797,7 +829,7 @@ class ResilienceManager:
                 f"need {config.k} (want v{version}; arrivals: {', '.join(detail)})"
             )
 
-        yield self.sim.timeout(completion_overhead_us(dp, config.k))
+        yield Timeout(self.sim, self._completion_k_us)
         phases.mark("completion")
 
         # In-place coding guard: the k-th valid arrival deregisters the
@@ -806,7 +838,7 @@ class ResilienceManager:
         first_k = gather.first_valid(config.k)
         systematic = set(first_k) == set(range(config.k))
         if not systematic:
-            yield self.sim.timeout(decode_latency_us(config))
+            yield Timeout(self.sim, self._decode_us)
             phases.mark("decode")
             self.events.incr("decoded_reads")
 
@@ -1477,6 +1509,132 @@ class ResilienceManager:
             span=span,
         )
 
+    def _post_split_writes(
+        self,
+        address_range: AddressRange,
+        offset: int,
+        posts,
+        span: Optional[Span] = None,
+    ) -> List[Event]:
+        """Batched write fan-out: one split write per ``(position, payload)``.
+
+        Walks the verb layers once for the whole fan-out, hoisting the
+        handle/endpoint lookups off the per-split path. Verbs are posted in
+        list order, so per-QP completion ordering and RNG draw order are
+        identical to calling :meth:`_post_split_write` in a loop.
+        """
+        if span is not None:
+            return [
+                self._post_split_write(address_range, position, offset, payload, span)
+                for position, payload in posts
+            ]
+        split_size = self.config.split_size
+        slots = address_range.slots
+        endpoints = self._endpoints
+        acks = []
+        append = acks.append
+        for position, payload in posts:
+            handle = slots[position]
+            pair = endpoints.get(handle.machine_id)
+            if pair is None:
+                pair = self._endpoint(handle.machine_id)
+            machine, qp = pair
+            append(
+                qp._post(
+                    split_size,
+                    lambda m=machine, s=handle.slab_id, p=payload: m.write_split(
+                        s, offset, p
+                    ),
+                    True,
+                )
+            )
+        return acks
+
+    def _post_split_reads(
+        self,
+        address_range: AddressRange,
+        positions,
+        offset: int,
+        gather,
+        span: Optional[Span] = None,
+    ) -> None:
+        """Batched read fan-out into ``gather`` — see :meth:`_post_split_writes`."""
+        if span is not None:
+            for position in positions:
+                gather.post(
+                    position,
+                    self._post_split_read(address_range, position, offset, span),
+                )
+            return
+        split_size = self.config.split_size
+        slots = address_range.slots
+        endpoints = self._endpoints
+        post = gather.post
+        for position in positions:
+            handle = slots[position]
+            pair = endpoints.get(handle.machine_id)
+            if pair is None:
+                pair = self._endpoint(handle.machine_id)
+            machine, qp = pair
+            post(
+                position,
+                qp._post(
+                    split_size,
+                    lambda m=machine, s=handle.slab_id: m.read_split(s, offset),
+                    True,
+                ),
+            )
+
+    def _post_split_read_batch(
+        self,
+        address_range: AddressRange,
+        positions,
+        offset: int,
+    ) -> List[Tuple[int, Event]]:
+        """Batched read fan-out returning ``(position, event)`` pairs.
+
+        Same one-pass endpoint walk as :meth:`_post_split_reads`, for
+        callers (recovery, reseal) that await the whole batch instead of
+        streaming arrivals into a gather. Posting order follows
+        ``positions``, so per-QP RNG draw order matches the scalar loop.
+        """
+        split_size = self.config.split_size
+        slots = address_range.slots
+        endpoints = self._endpoints
+        posted: List[Tuple[int, Event]] = []
+        append = posted.append
+        for position in positions:
+            handle = slots[position]
+            pair = endpoints.get(handle.machine_id)
+            if pair is None:
+                pair = self._endpoint(handle.machine_id)
+            machine, qp = pair
+            append(
+                (
+                    position,
+                    qp._post(
+                        split_size,
+                        lambda m=machine, s=handle.slab_id: m.read_split(s, offset),
+                        True,
+                    ),
+                )
+            )
+        return posted
+
+    def _split_validator(self, version: int):
+        """A single-call closure equivalent of ``_is_valid(p, version)`` —
+        the read gather invokes it once per arrival, so the extra lambda →
+        method indirection is worth flattening."""
+
+        def valid(payload, _phantom=PhantomSplit, _ndarray=np.ndarray) -> bool:
+            if payload is None:
+                return False
+            if isinstance(payload, _phantom):
+                return not payload.corrupt and payload.version == version
+            return isinstance(payload, _ndarray)
+
+        return valid
+
     def _is_valid(self, payload, version: int) -> bool:
         if payload is None:
             return False
@@ -1495,16 +1653,14 @@ class ResilienceManager:
             return 0
         need = min(need, len(events))
         waiter = self.sim.event(name="acks")
-        state = {"succeeded": 0, "finished": 0}
+        counts = [0, 0]  # [succeeded, finished]
         total = len(events)
 
         def on_done(event: Event) -> None:
-            state["finished"] += 1
+            counts[1] += 1
             if event._ok:
-                state["succeeded"] += 1
-            if not waiter.triggered and (
-                state["succeeded"] >= need or state["finished"] == total
-            ):
+                counts[0] += 1
+            if not waiter.triggered and (counts[0] >= need or counts[1] == total):
                 waiter.succeed_now()
 
         for event in events:
@@ -1512,9 +1668,7 @@ class ResilienceManager:
                 on_done(event)
             else:
                 event.callbacks.append(on_done)
-        if not waiter.triggered and (
-            state["succeeded"] >= need or state["finished"] == total
-        ):
+        if not waiter.triggered and (counts[0] >= need or counts[1] == total):
             waiter.succeed_now()
         yield waiter
-        return state["succeeded"]
+        return counts[0]

@@ -558,10 +558,7 @@ def _recover_page(rm, page_id: int, versions: Tuple[int, ...]):
                 local[position] = payload
     if len(available) + len(local) < config.k:
         return None, False
-    posted = [
-        (position, rm._post_split_read(address_range, position, offset))
-        for position in available
-    ]
+    posted = rm._post_split_read_batch(address_range, available, offset)
     yield from _await_all(rm.sim, [event for _p, event in posted])
     arrivals = {
         position: (event._value if event._ok else None)
@@ -601,15 +598,18 @@ def _recover_page(rm, page_id: int, versions: Tuple[int, ...]):
         except DecodeError:
             pass
     best, best_score = None, -1
-    for candidate in candidates:
-        encoded = rm.codec.encode(candidate)
-        score = sum(
-            1
-            for position, row in splits.items()
-            if np.array_equal(row, encoded[position])
-        )
-        if score > best_score:
-            best, best_score = candidate, score
+    if candidates:
+        # One slab-wide kernel pass re-encodes every candidate at once;
+        # row i of the stack is byte-identical to encode(candidates[i]).
+        encoded_stack = rm.codec.encode_batch(candidates)
+        for candidate, encoded in zip(candidates, encoded_stack):
+            score = sum(
+                1
+                for position, row in splits.items()
+                if np.array_equal(row, encoded[position])
+            )
+            if score > best_score:
+                best, best_score = candidate, score
     if best is not None and best_score >= config.k:
         return best, True
     return None, False

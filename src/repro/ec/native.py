@@ -1,0 +1,472 @@
+"""Runtime-compiled native GF(2^8) slab kernel (optional fast path).
+
+The numpy table-gather kernels top out well below a GB/s on this
+workload because every byte pays index arithmetic in the gather loop.
+The classic fix — the one ISA-L (the library Hydra's kernel module
+links) uses — is the SSSE3/AVX2 ``pshufb`` nibble-table kernel: a
+GF(2^8) multiply is linear over XOR, so ``c*x == c*(x & 0x0f) ^
+c*(x & 0xf0)`` and both halves are 16-entry lookups that fit one vector
+shuffle. That turns a coefficient application into ~3 vector ops per 32
+bytes, which is memory-bound rather than gather-bound.
+
+Rather than shipping a prebuilt extension (the repo stays pure Python),
+the C source below is compiled **at first use** with whatever ``cc`` /
+``gcc`` the host already has, cached under ``~/.cache/repro-hydra`` keyed
+by a hash of the source and flags, and loaded through :mod:`ctypes`. Any
+failure — no compiler, sandboxed filesystem, exotic arch — degrades
+silently to the numpy kernels, which produce byte-identical output (the
+property tests pin both paths against the per-page reference).
+
+Set ``REPRO_EC_NATIVE=0`` to force the numpy path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+from .galois import MUL_TABLE
+
+__all__ = ["NativeGF", "load_native", "native_kernel_name"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+#include <string.h>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define GF_ISA 2
+#elif defined(__SSSE3__)
+#include <tmmintrin.h>
+#define GF_ISA 1
+#else
+#define GF_ISA 0
+#endif
+
+int gf_kernel_isa(void) { return GF_ISA; }
+
+/* nib is a 32-byte table: nib[0..15] = c*n, nib[16..31] = c*(n<<4).
+   Exact in GF(2^8): multiplication is linear over XOR, so
+   c*x = c*(x & 0x0f) ^ c*(x & 0xf0). */
+
+#if GF_ISA == 2
+static void gf_mul_one(const uint8_t* nib, const uint8_t* x, uint8_t* y,
+                       size_t n, int accumulate) {
+    __m256i lo = _mm256_broadcastsi128_si256(_mm_loadu_si128((const __m128i*)nib));
+    __m256i hi = _mm256_broadcastsi128_si256(_mm_loadu_si128((const __m128i*)(nib + 16)));
+    __m256i mask = _mm256_set1_epi8(0x0f);
+    size_t i = 0;
+    if (accumulate) {
+        for (; i + 32 <= n; i += 32) {
+            __m256i v = _mm256_loadu_si256((const __m256i*)(x + i));
+            __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+            __m256i h = _mm256_shuffle_epi8(
+                hi, _mm256_and_si256(_mm256_srli_epi16(v, 4), mask));
+            __m256i acc = _mm256_loadu_si256((const __m256i*)(y + i));
+            _mm256_storeu_si256((__m256i*)(y + i),
+                _mm256_xor_si256(acc, _mm256_xor_si256(l, h)));
+        }
+        for (; i < n; i++)
+            y[i] ^= (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+    } else {
+        for (; i + 32 <= n; i += 32) {
+            __m256i v = _mm256_loadu_si256((const __m256i*)(x + i));
+            __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+            __m256i h = _mm256_shuffle_epi8(
+                hi, _mm256_and_si256(_mm256_srli_epi16(v, 4), mask));
+            _mm256_storeu_si256((__m256i*)(y + i), _mm256_xor_si256(l, h));
+        }
+        for (; i < n; i++)
+            y[i] = (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+    }
+}
+#elif GF_ISA == 1
+static void gf_mul_one(const uint8_t* nib, const uint8_t* x, uint8_t* y,
+                       size_t n, int accumulate) {
+    __m128i lo = _mm_loadu_si128((const __m128i*)nib);
+    __m128i hi = _mm_loadu_si128((const __m128i*)(nib + 16));
+    __m128i mask = _mm_set1_epi8(0x0f);
+    size_t i = 0;
+    if (accumulate) {
+        for (; i + 16 <= n; i += 16) {
+            __m128i v = _mm_loadu_si128((const __m128i*)(x + i));
+            __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+            __m128i h = _mm_shuffle_epi8(
+                hi, _mm_and_si128(_mm_srli_epi16(v, 4), mask));
+            __m128i acc = _mm_loadu_si128((const __m128i*)(y + i));
+            _mm_storeu_si128((__m128i*)(y + i),
+                _mm_xor_si128(acc, _mm_xor_si128(l, h)));
+        }
+        for (; i < n; i++)
+            y[i] ^= (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+    } else {
+        for (; i + 16 <= n; i += 16) {
+            __m128i v = _mm_loadu_si128((const __m128i*)(x + i));
+            __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+            __m128i h = _mm_shuffle_epi8(
+                hi, _mm_and_si128(_mm_srli_epi16(v, 4), mask));
+            _mm_storeu_si128((__m128i*)(y + i), _mm_xor_si128(l, h));
+        }
+        for (; i < n; i++)
+            y[i] = (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+    }
+}
+#else
+static void gf_mul_one(const uint8_t* nib, const uint8_t* x, uint8_t* y,
+                       size_t n, int accumulate) {
+    if (accumulate)
+        for (size_t i = 0; i < n; i++)
+            y[i] ^= (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+    else
+        for (size_t i = 0; i < n; i++)
+            y[i] = (uint8_t)(nib[x[i] & 0x0f] ^ nib[16 + (x[i] >> 4)]);
+}
+#endif
+
+static void gf_xor_rows(const uint8_t* x, uint8_t* y, size_t n, int accumulate) {
+    if (accumulate) {
+        for (size_t i = 0; i < n; i++) y[i] ^= x[i];
+    } else {
+        memcpy(y, x, n);
+    }
+}
+
+/* One (nr, ns) matrix application onto an (ns, n) block with arbitrary
+   row strides: out[r] = XOR_s coef[r*ns+s] * src_block[s]. */
+static void gf_block_apply(const uint8_t* nibs, const uint8_t* coef,
+                           const uint8_t* src, uint8_t* out,
+                           size_t nr, size_t ns, size_t n) {
+    for (size_t r = 0; r < nr; r++) {
+        uint8_t* dst = out + r * n;
+        int first = 1;
+        for (size_t s = 0; s < ns; s++) {
+            uint8_t c = coef[r * ns + s];
+            if (c == 0) continue;
+            const uint8_t* row = src + s * n;
+            if (c == 1) gf_xor_rows(row, dst, n, !first);
+            else gf_mul_one(nibs + (size_t)c * 32, row, dst, n, !first);
+            first = 0;
+        }
+        if (first) memset(dst, 0, n);
+    }
+}
+
+/* out[r*n..] = XOR_s coef[r*ns+s] * src[s*n..] over a contiguous
+   (ns, n) source slab. nibs is the 256x32 nibble-table block. */
+void gf_matrix_apply(const uint8_t* nibs, const uint8_t* coef,
+                     const uint8_t* src, uint8_t* out,
+                     size_t nr, size_t ns, size_t n) {
+    gf_block_apply(nibs, coef, src, out, nr, ns, n);
+}
+
+/* Same product, but the source rows live at scattered addresses (the
+   per-page codec holds splits as separate arrays). */
+void gf_matrix_apply_rows(const uint8_t* nibs, const uint8_t* coef,
+                          const uint8_t* const* rows, uint8_t* out,
+                          size_t nr, size_t ns, size_t n) {
+    for (size_t r = 0; r < nr; r++) {
+        uint8_t* dst = out + r * n;
+        int first = 1;
+        for (size_t s = 0; s < ns; s++) {
+            uint8_t c = coef[r * ns + s];
+            if (c == 0) continue;
+            if (c == 1) gf_xor_rows(rows[s], dst, n, !first);
+            else gf_mul_one(nibs + (size_t)c * 32, rows[s], dst, n, !first);
+            first = 0;
+        }
+        if (first) memset(dst, 0, n);
+    }
+}
+
+/* Whole-slab product: apply one matrix to every page of a 3-D
+   (pages, rows, n) stack. Byte strides let src/out be row slices of a
+   larger codeword layout (e.g. parity written straight into the
+   (pages, k+r, n) output at offset k*n). Each page's working set is a
+   few KB, so rows stay L1-resident across output rows — this beats the
+   flat layout + transpose-copy formulation on every slab shape. */
+void gf_matrix_apply_paged(const uint8_t* nibs, const uint8_t* coef,
+                           const uint8_t* src, uint8_t* out,
+                           size_t npages, size_t nr, size_t ns, size_t n,
+                           size_t src_stride, size_t out_stride) {
+    for (size_t p = 0; p < npages; p++)
+        gf_block_apply(nibs, coef, src + p * src_stride,
+                       out + p * out_stride, nr, ns, n);
+}
+
+/* Same, with per-page source pointers: pages[p] is a contiguous (ns, n)
+   block (a raw page buffer — k splits back to back), so whole-slab
+   encode reads the caller's bytes objects with no staging copy. */
+void gf_matrix_apply_pages(const uint8_t* nibs, const uint8_t* coef,
+                           const uint8_t* const* pages, uint8_t* out,
+                           size_t npages, size_t nr, size_t ns, size_t n,
+                           size_t out_stride) {
+    for (size_t p = 0; p < npages; p++)
+        gf_block_apply(nibs, coef, pages[p], out + p * out_stride, nr, ns, n);
+}
+"""
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-hydra")
+
+
+def _compile(source: str) -> Optional[str]:
+    """Compile ``source`` to a cached shared object; None on any failure."""
+    flag_sets = (
+        ["-O3", "-march=native", "-shared", "-fPIC"],
+        ["-O3", "-shared", "-fPIC"],  # cross-arch fallback
+    )
+    for compiler in ("cc", "gcc"):
+        for flags in flag_sets:
+            tag = hashlib.sha256(
+                ("\x00".join([source, compiler] + flags)).encode()
+            ).hexdigest()[:16]
+            try:
+                directory = _cache_dir()
+                os.makedirs(directory, exist_ok=True)
+            except OSError:
+                directory = tempfile.mkdtemp(prefix="repro-gf-")
+            so_path = os.path.join(directory, f"gf_{tag}.so")
+            if os.path.exists(so_path):
+                return so_path
+            c_path = os.path.join(directory, f"gf_{tag}.c")
+            try:
+                with open(c_path, "w") as fh:
+                    fh.write(source)
+                # Build to a temp name then rename: concurrent processes
+                # (the -j N shard runner) race on the cache slot, and a
+                # half-written .so must never be dlopen'd.
+                tmp_path = so_path + f".tmp{os.getpid()}"
+                result = subprocess.run(
+                    [compiler, *flags, "-o", tmp_path, c_path],
+                    capture_output=True,
+                    timeout=60,
+                )
+                if result.returncode != 0:
+                    continue
+                os.replace(tmp_path, so_path)
+                return so_path
+            except (OSError, subprocess.SubprocessError):
+                continue
+    return None
+
+
+class NativeGF:
+    """ctypes wrapper around the compiled kernel.
+
+    Holds the 256x32 nibble-table block (derived from ``MUL_TABLE``, so
+    the native path performs the exact same field lookups as the numpy
+    path) and exposes the two matrix-apply entry points the slab and
+    per-page kernels dispatch to.
+    """
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        lib.gf_matrix_apply.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_size_t] * 3
+        lib.gf_matrix_apply.restype = None
+        lib.gf_matrix_apply_rows.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_size_t] * 3
+        lib.gf_matrix_apply_rows.restype = None
+        lib.gf_matrix_apply_paged.argtypes = (
+            [ctypes.c_void_p] * 4 + [ctypes.c_size_t] * 6
+        )
+        lib.gf_matrix_apply_paged.restype = None
+        lib.gf_matrix_apply_pages.argtypes = (
+            [ctypes.c_void_p] * 4 + [ctypes.c_size_t] * 5
+        )
+        lib.gf_matrix_apply_pages.restype = None
+        lib.gf_kernel_isa.restype = ctypes.c_int
+        self.isa = {0: "scalar", 1: "ssse3", 2: "avx2"}[int(lib.gf_kernel_isa())]
+        nibs = np.zeros((256, 32), dtype=np.uint8)
+        low = np.arange(16)
+        for c in range(256):
+            nibs[c, :16] = MUL_TABLE[c, low]
+            nibs[c, 16:] = MUL_TABLE[c, low << 4]
+        self._nibs = np.ascontiguousarray(nibs)
+        self._nibs_ptr = self._nibs.ctypes.data
+        self._apply = lib.gf_matrix_apply
+        self._apply_rows = lib.gf_matrix_apply_rows
+        self._apply_paged = lib.gf_matrix_apply_paged
+        self._apply_pages = lib.gf_matrix_apply_pages
+        # Scattered-row staging buffer: copying k ~512 B rows into one
+        # contiguous block costs ~2.5 us while extracting k raw pointers
+        # via ``.ctypes.data`` costs ~13 us (each access builds a fresh
+        # ctypes interface object) — so the RM decode/verify hot path
+        # stages and calls the flat kernel with one cached pointer.
+        self._stage: Optional[np.ndarray] = None
+        self._stage_ptr = 0
+        self._stage_flat: Optional[np.ndarray] = None
+
+    def matrix_apply(self, coef: np.ndarray, src: np.ndarray, out: np.ndarray) -> None:
+        """``out = coef @ src`` over GF(2^8), all C-contiguous uint8."""
+        nr, ns = coef.shape
+        self._apply(
+            self._nibs_ptr,
+            coef.ctypes.data,
+            src.ctypes.data,
+            out.ctypes.data,
+            nr,
+            ns,
+            src.shape[1],
+        )
+
+    def matrix_apply_rows(
+        self, coef: np.ndarray, rows, out: np.ndarray, coef_ptr: Optional[int] = None
+    ) -> None:
+        """Like :meth:`matrix_apply` with scattered 1-D source rows.
+
+        The rows are staged into a persistent contiguous buffer (cheaper
+        than per-row pointer extraction; strided rows are normalized by
+        the same copy) and the flat kernel runs once. ``coef_ptr`` lets
+        plan caches pass the coefficient matrix's raw address so the hot
+        path performs a single ``.ctypes.data`` access (for ``out``).
+        """
+        nr, ns = coef.shape
+        n = rows[0].shape[0]
+        stage = self._stage
+        if stage is None or stage.shape[0] < ns or stage.shape[1] != n:
+            self._stage = stage = np.empty((max(ns + nr, 24), n), dtype=np.uint8)
+            self._stage_ptr = stage.ctypes.data
+            self._stage_flat = stage.reshape(-1)
+        np.concatenate(rows, out=self._stage_flat[: ns * n])
+        self._apply(
+            self._nibs_ptr,
+            coef_ptr if coef_ptr is not None else coef.ctypes.data,
+            self._stage_ptr,
+            out.ctypes.data,
+            nr,
+            ns,
+            n,
+        )
+
+    def matrix_apply_rows_alloc(
+        self,
+        coef: np.ndarray,
+        rows,
+        coef_ptr: Optional[int] = None,
+        copy: bool = True,
+    ) -> np.ndarray:
+        """:meth:`matrix_apply_rows` that also owns the output buffer.
+
+        The product lands in the tail rows of the staging buffer (cached
+        pointer, so the hot path performs zero ``.ctypes`` accesses when
+        ``coef_ptr`` is given — each such access costs ~1.6 us). With
+        ``copy=False`` the returned array is a *view* of the stage, valid
+        only until the next native call; callers that consume the result
+        immediately (verify) use it to skip the copy.
+        """
+        nr, ns = coef.shape
+        n = rows[0].shape[0]
+        stage = self._stage
+        if stage is None or stage.shape[0] < ns + nr or stage.shape[1] != n:
+            self._stage = stage = np.empty((max(ns + nr, 24), n), dtype=np.uint8)
+            self._stage_ptr = stage.ctypes.data
+            self._stage_flat = stage.reshape(-1)
+        np.concatenate(rows, out=self._stage_flat[: ns * n])
+        self._apply(
+            self._nibs_ptr,
+            coef_ptr if coef_ptr is not None else coef.ctypes.data,
+            self._stage_ptr,
+            self._stage_ptr + ns * n,
+            nr,
+            ns,
+            n,
+        )
+        out = stage[ns : ns + nr]
+        return out.copy() if copy else out
+
+    def matrix_apply_paged(
+        self,
+        coef: np.ndarray,
+        src: np.ndarray,
+        out: np.ndarray,
+        src_stride: Optional[int] = None,
+        out_stride: Optional[int] = None,
+    ) -> None:
+        """Apply ``coef`` page-wise over a 3-D (pages, rows, n) stack.
+
+        ``src``/``out`` are C-contiguous uint8 stacks; the optional byte
+        strides let either one be a row slice of a wider codeword layout
+        (default: tight stacks, stride = rows * n).
+        """
+        npages = src.shape[0]
+        nr, ns = coef.shape
+        n = src.shape[2]
+        self._apply_paged(
+            self._nibs_ptr,
+            coef.ctypes.data,
+            src.ctypes.data,
+            out.ctypes.data,
+            npages,
+            nr,
+            ns,
+            n,
+            src_stride if src_stride is not None else ns * n,
+            out_stride if out_stride is not None else nr * n,
+        )
+
+    def matrix_apply_pages(
+        self,
+        coef: np.ndarray,
+        pages,
+        out: np.ndarray,
+        out_stride: Optional[int] = None,
+    ) -> None:
+        """Like :meth:`matrix_apply_paged` but each source page is a
+        separate ``bytes`` buffer (ns * n bytes, k splits back to back),
+        read in place — zero staging copies on the encode path."""
+        npages = len(pages)
+        nr, ns = coef.shape
+        n = out.shape[-1]
+        ptrs = (ctypes.c_char_p * npages)(*pages)
+        self._apply_pages(
+            self._nibs_ptr,
+            coef.ctypes.data,
+            ptrs,
+            out.ctypes.data,
+            npages,
+            nr,
+            ns,
+            n,
+            out_stride if out_stride is not None else nr * n,
+        )
+
+
+_NATIVE: Optional[NativeGF] = None
+_TRIED = False
+
+
+def load_native() -> Optional[NativeGF]:
+    """The process-wide native kernel, or None (numpy fallback)."""
+    global _NATIVE, _TRIED
+    if _TRIED:
+        return _NATIVE
+    _TRIED = True
+    if os.environ.get("REPRO_EC_NATIVE", "1") == "0":
+        return None
+    so_path = _compile(_C_SOURCE)
+    if so_path is None:
+        return None
+    try:
+        _NATIVE = NativeGF(ctypes.CDLL(so_path))
+    except OSError:
+        _NATIVE = None
+    return _NATIVE
+
+
+def native_kernel_name() -> str:
+    """Diagnostic label for benchmark metadata: avx2/ssse3/scalar/numpy."""
+    kernel = load_native()
+    return kernel.isa if kernel is not None else "numpy"

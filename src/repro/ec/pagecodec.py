@@ -8,6 +8,7 @@ parities, and reassemble from any ``k`` shards.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -15,9 +16,25 @@ import numpy as np
 from .rs import ReedSolomonCode
 from .vectorized import correct_pages, decode_pages, encode_pages
 
-__all__ = ["PAGE_SIZE", "PageCodec"]
+__all__ = ["PAGE_SIZE", "BATCH_MIN_PAGES", "PageCodec"]
 
 PAGE_SIZE = 4096  # bytes; the x86 base page the paper codes over
+
+
+def _batch_min() -> int:
+    try:
+        value = int(os.environ.get("REPRO_EC_BATCH_MIN", "1"))
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+# Batch-vs-scalar crossover: batches smaller than this take the per-page
+# scalar path inside the ``*_batch`` entry points. Both paths are
+# byte-identical (pinned by the property tests), so this is purely a
+# tuning knob for deployments where slab-kernel setup overhead shows up
+# on tiny batches. Default 1 = always batch.
+BATCH_MIN_PAGES = _batch_min()
 
 
 class PageCodec:
@@ -27,12 +44,18 @@ class PageCodec:
     The paper's (8+2) default turns a 4 KB page into ten 512 B splits.
     """
 
-    def __init__(self, k: int, r: int, page_size: int = PAGE_SIZE):
+    def __init__(
+        self,
+        k: int,
+        r: int,
+        page_size: int = PAGE_SIZE,
+        plan_cache_capacity: Optional[int] = None,
+    ):
         if page_size < 1:
             raise ValueError(f"page_size must be positive, got {page_size}")
         if k > page_size:
             raise ValueError(f"k={k} exceeds page_size={page_size}")
-        self.code = ReedSolomonCode(k, r)
+        self.code = ReedSolomonCode(k, r, plan_cache_capacity=plan_cache_capacity)
         self.page_size = page_size
         self.split_size = -(-page_size // k)  # ceil division
         self.padded_size = self.split_size * k
@@ -76,18 +99,26 @@ class PageCodec:
     def split_pages(self, pages: Sequence[bytes]) -> np.ndarray:
         """Divide many pages into a (pages, k, split_size) stack.
 
-        One ``frombuffer`` + ``reshape`` over the concatenated bytes —
-        no per-split copies — and exact: row ``i`` equals
-        ``split(pages[i])``.
+        Pages are gathered with one ``concatenate`` of ``frombuffer``
+        views into a preallocated stack — no per-split copies and no
+        slab-sized ``bytes`` temporary (a fresh multi-MB ``b"".join``
+        costs more in allocator/page-fault overhead than the copy
+        itself). Exact: row ``i`` equals ``split(pages[i])``.
         """
         count = len(pages)
         if self.padded_size == self.page_size:
-            flat = np.frombuffer(b"".join(pages), dtype=np.uint8)
-            if flat.size != count * self.page_size:
-                raise ValueError(
-                    f"every page must be exactly {self.page_size} bytes"
-                )
-            return flat.reshape(count, self.k, self.split_size).copy()
+            buffer = np.empty((count, self.page_size), dtype=np.uint8)
+            if count:
+                try:
+                    np.concatenate(
+                        [np.frombuffer(page, dtype=np.uint8) for page in pages],
+                        out=buffer.reshape(-1),
+                    )
+                except ValueError:
+                    raise ValueError(
+                        f"every page must be exactly {self.page_size} bytes"
+                    ) from None
+            return buffer.reshape(count, self.k, self.split_size)
         buffer = np.zeros((count, self.padded_size), dtype=np.uint8)
         for i, page in enumerate(pages):
             if len(page) != self.page_size:
@@ -105,11 +136,41 @@ class PageCodec:
                 f"expected (pages, {self.k}, {self.split_size}) stack, "
                 f"got {stack.shape}"
             )
+        if not stack.shape[0]:
+            return []  # reshape(0, -1) is a numpy error for empty stacks
         flat = np.ascontiguousarray(stack).reshape(stack.shape[0], -1)
         return [row[: self.page_size].tobytes() for row in flat]
 
     def encode_batch(self, pages: Sequence[bytes]) -> np.ndarray:
-        """Many pages -> (pages, k + r, split_size) stack, one matmul."""
+        """Many pages -> (pages, k + r, split_size) stack, one kernel pass.
+
+        With the native kernel loaded (and no padding in play), the full
+        systematic generator is applied straight over the caller's page
+        buffers — identity rows become ``memcpy`` into the data block,
+        parity rows one table-gather sweep each — so the whole batch
+        costs zero staging copies. Fallback: gather + ``encode_pages``.
+        Both orders of operations run the identical MUL_TABLE lookups.
+        """
+        if 0 < len(pages) < BATCH_MIN_PAGES:
+            return np.stack([self.encode(page) for page in pages])
+        code = self.code
+        native = code._native
+        if (
+            native is not None
+            and self.padded_size == self.page_size
+            and all(type(page) is bytes for page in pages)
+        ):
+            count = len(pages)
+            for page in pages:
+                if len(page) != self.page_size:
+                    raise ValueError(
+                        f"page must be exactly {self.page_size} bytes, "
+                        f"got {len(page)}"
+                    )
+            out = np.empty((count, code.n, self.split_size), dtype=np.uint8)
+            if count:
+                native.matrix_apply_pages(code.generator, pages, out)
+            return out
         return encode_pages(self.code, self.split_pages(pages))
 
     def decode_batch(
@@ -121,6 +182,14 @@ class PageCodec:
         the payload received at ``indices[j]``. Exact match for per-page
         ``decode``.
         """
+        count = len(payload_stack)
+        if 0 < count < BATCH_MIN_PAGES:
+            return [
+                self.decode(
+                    {index: payload_stack[p, j] for j, index in enumerate(indices)}
+                )
+                for p in range(count)
+            ]
         return self.join_pages(decode_pages(self.code, indices, payload_stack))
 
     def correct_batch(
@@ -137,6 +206,20 @@ class PageCodec:
         exact match for per-page :meth:`correct`, but clean pages ride one
         batched residual check + decode (see ``vectorized.correct_pages``).
         """
+        count = len(payload_stack)
+        if 0 < count < BATCH_MIN_PAGES:
+            pages: List[bytes] = []
+            bad: List[List[int]] = []
+            for p in range(count):
+                received = {
+                    index: payload_stack[p, j] for j, index in enumerate(indices)
+                }
+                page, page_bad = self.correct(
+                    received, max_errors=max_errors, best_effort=best_effort
+                )
+                pages.append(page)
+                bad.append(page_bad)
+            return pages, bad
         data_stack, corrupted = correct_pages(
             self.code,
             indices,

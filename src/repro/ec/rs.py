@@ -22,19 +22,85 @@ import numpy as np
 from .galois import MUL_TABLE, gf_inv
 from .matrix import (
     SingularMatrixError,
-    gf_apply_row_plan,
     gf_apply_row_plan_into,
     gf_mat_inverse,
     gf_matmul,
+    gf_matmul_slab,
     gf_row_plan,
     systematic_generator,
 )
+from .native import load_native
+from .plancache import PlanCache
+
+# numpy interns builtin dtypes, so identity is an exact (and much cheaper)
+# stand-in for ``dtype == np.uint8`` on the per-split validation path.
+_UINT8 = np.dtype(np.uint8)
+
+# Process-wide plan caches for default-capacity codes, keyed by (k, r).
+# Compiled plans are deterministic in (k, r, pattern), so sharing them
+# across codec instances only changes who pays the compile.
+_SHARED_PLAN_CACHES: Dict[Tuple[int, int], PlanCache] = {}
 
 __all__ = [
     "DecodeError",
     "CorruptionDetected",
     "ReedSolomonCode",
 ]
+
+
+class _DecodePlan:
+    """Precompiled decode plan for one received-index tuple: the k x k
+    inverse matrix (C-contiguous, ready for the native kernel) plus the
+    lazily compiled row plan the numpy fallback applies."""
+
+    __slots__ = ("matrix", "matrix_ptr", "_plan")
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        # Raw address for the native kernel, resolved once per plan: the
+        # plan keeps the matrix alive, so the pointer stays valid.
+        self.matrix_ptr = self.matrix.ctypes.data
+        self._plan = None
+
+    @property
+    def plan(self) -> list:
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = gf_row_plan(self.matrix)
+        return plan
+
+
+class _ExtrasPlan:
+    """Precompiled consistency plan for one received-index tuple: the
+    (d x k) extras transform, its fallback row plan, and the residual
+    ratio tables the pivot-error localizer reads — one LRU entry instead
+    of three parallel dicts keyed by the same tuple."""
+
+    __slots__ = ("transform", "transform_ptr", "_plan", "_ratios")
+
+    def __init__(self, transform: np.ndarray):
+        self.transform = np.ascontiguousarray(transform, dtype=np.uint8)
+        self.transform_ptr = self.transform.ctypes.data
+        self._plan = None
+        self._ratios = None
+
+    @property
+    def plan(self) -> list:
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = gf_row_plan(self.transform)
+        return plan
+
+    @property
+    def ratios(self):
+        """(inv_row0, ratios) with ratios[j-1, c] = T[j, c] ⊗ T[0, c]⁻¹."""
+        cached = self._ratios
+        if cached is None:
+            inv_row0 = np.array(
+                [gf_inv(int(t)) for t in self.transform[0]], dtype=np.uint8
+            )
+            cached = self._ratios = (inv_row0, MUL_TABLE[self.transform[1:], inv_row0])
+        return cached
 
 
 class DecodeError(ValueError):
@@ -71,12 +137,14 @@ class ReedSolomonCode:
     r:
         Number of parity splits appended.
 
-    Instances are immutable and cheap to share; decode matrices are cached
-    per received-index tuple because a Resilience Manager sees the same few
-    combinations over and over.
+    Instances are immutable and cheap to share; decode plans are cached
+    per received-index tuple (bounded LRU — see :class:`PlanCache`)
+    because a Resilience Manager sees the same few combinations over and
+    over, while erasure-pattern churn in long chaos soaks must not grow
+    the cache without bound.
     """
 
-    def __init__(self, k: int, r: int):
+    def __init__(self, k: int, r: int, plan_cache_capacity: Optional[int] = None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if r < 0:
@@ -87,18 +155,25 @@ class ReedSolomonCode:
         self.r = r
         self.n = k + r
         self.generator = systematic_generator(k, r)
-        self._decode_cache: Dict[Tuple[int, ...], np.ndarray] = {}
-        self._rebuild_cache: Dict[Tuple[Tuple[int, ...], int], np.ndarray] = {}
-        self._extras_cache: Dict[Tuple[int, ...], np.ndarray] = {}
-        # Compiled row plans (see gf_row_plan) for the per-page hot paths.
-        self._decode_plans: Dict[Tuple[int, ...], list] = {}
-        self._extras_plans: Dict[Tuple[int, ...], list] = {}
+        # One bounded LRU replaces the former unbounded per-kind dicts
+        # (decode matrices, extras transforms, residual ratios, rebuild
+        # rows); entries are namespaced by kind within the shared budget.
+        # Plans are pure functions of (k, r, pattern), so default-capacity
+        # codes share one process-wide cache per (k, r): a 12-machine
+        # cluster compiles each decode plan once, not once per RM. An
+        # explicit capacity opts out into a private cache.
+        if plan_cache_capacity is None:
+            cache = _SHARED_PLAN_CACHES.get((k, r))
+            if cache is None:
+                cache = _SHARED_PLAN_CACHES[(k, r)] = PlanCache()
+            self.plan_cache = cache
+        else:
+            self.plan_cache = PlanCache(plan_cache_capacity)
+        self._parity_matrix = np.ascontiguousarray(self.generator[self.k :])
         self._parity_plan = gf_row_plan(self.generator[self.k :]) if r else None
-        # (transform, inv of its first row, row ratios) per received-index
-        # tuple, for residual-guided pivot-error localization.
-        self._residual_ratio_cache: Dict[
-            Tuple[int, ...], Tuple[np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
+        # The native SIMD kernel (or None → numpy fallback); resolved once
+        # per codec, immutable for the process lifetime.
+        self._native = load_native()
         # One reusable gather buffer for the in-place kernels; reallocated
         # only when the split length changes (it never does in steady state).
         self._scratch: Optional[np.ndarray] = None
@@ -122,9 +197,11 @@ class ReedSolomonCode:
             return np.zeros((0, data_splits.shape[1]), dtype=np.uint8)
         length = data_splits.shape[1]
         out = np.empty((self.r, length), dtype=np.uint8)
-        return gf_apply_row_plan_into(
-            self._parity_plan, list(data_splits), out, self._scratch_for(length)
-        )
+        if self._native is None:
+            return gf_apply_row_plan_into(
+                self._parity_plan, list(data_splits), out, self._scratch_for(length)
+            )
+        return gf_matmul_slab(self._parity_matrix, data_splits, out=out)
 
     def encode_page(self, data_splits: np.ndarray) -> np.ndarray:
         """All ``k + r`` splits (data stacked above parity)."""
@@ -133,12 +210,15 @@ class ReedSolomonCode:
         out = np.empty((self.n, length), dtype=np.uint8)
         out[: self.k] = data_splits
         if self.r:
-            gf_apply_row_plan_into(
-                self._parity_plan,
-                list(data_splits),
-                out[self.k :],
-                self._scratch_for(length),
-            )
+            if self._native is None:
+                gf_apply_row_plan_into(
+                    self._parity_plan,
+                    list(data_splits),
+                    out[self.k :],
+                    self._scratch_for(length),
+                )
+            else:
+                gf_matmul_slab(self._parity_matrix, data_splits, out=out[self.k :])
         return out
 
     # ------------------------------------------------------------------
@@ -166,14 +246,16 @@ class ReedSolomonCode:
         """Decode from exactly ``k`` already-validated rows at ``indices``."""
         if indices == tuple(range(self.k)):
             return np.stack(payload_rows)  # all-systematic fast path
-        plan = self._decode_plans.get(indices)
-        if plan is None:
-            plan = gf_row_plan(self._decode_matrix(indices))
-            self._decode_plans[indices] = plan
-        length = payload_rows[0].shape[0]
-        out = np.empty((self.k, length), dtype=np.uint8)
-        return gf_apply_row_plan_into(
-            plan, payload_rows, out, self._scratch_for(length)
+        entry = self._decode_plan(indices)
+        native = self._native
+        if native is None:
+            length = payload_rows[0].shape[0]
+            out = np.empty((self.k, length), dtype=np.uint8)
+            return gf_apply_row_plan_into(
+                entry.plan, payload_rows, out, self._scratch_for(length)
+            )
+        return native.matrix_apply_rows_alloc(
+            entry.matrix, payload_rows, coef_ptr=entry.matrix_ptr
         )
 
     def reencode_split(self, data_splits: np.ndarray, index: int) -> np.ndarray:
@@ -238,7 +320,19 @@ class ReedSolomonCode:
         first = indices[: self.k]
         extras = indices[self.k :]
         base_rows = [self._check_vector(splits[i]) for i in first]
-        expected = gf_apply_row_plan(self._extras_plan(tuple(indices)), base_rows)
+        entry = self._extras_entry(tuple(indices))
+        native = self._native
+        if native is None:
+            length = base_rows[0].shape[0]
+            expected = np.empty((len(extras), length), dtype=np.uint8)
+            gf_apply_row_plan_into(
+                entry.plan, base_rows, expected, self._scratch_for(length)
+            )
+        else:
+            # Stage-view output: consumed before any further native call.
+            expected = native.matrix_apply_rows_alloc(
+                entry.transform, base_rows, coef_ptr=entry.transform_ptr, copy=False
+            )
         for row, index in enumerate(extras):
             if not np.array_equal(expected[row], self._check_vector(splits[index])):
                 return False
@@ -410,12 +504,16 @@ class ReedSolomonCode:
         pivot_rows = payload_rows[:k]
         length = payload_rows[0].shape[0]
         residual = np.empty((extras_count, length), dtype=np.uint8)
-        gf_apply_row_plan_into(
-            self._extras_plan(tuple(idx_list)),
-            pivot_rows,
-            residual,
-            self._scratch_for(length),
-        )
+        entry = self._extras_entry(tuple(idx_list))
+        native = self._native
+        if native is None:
+            gf_apply_row_plan_into(
+                entry.plan, pivot_rows, residual, self._scratch_for(length)
+            )
+        else:
+            native.matrix_apply_rows(
+                entry.transform, pivot_rows, residual, coef_ptr=entry.transform_ptr
+            )
         for row in range(extras_count):
             np.bitwise_xor(residual[row], payload_rows[k + row], out=residual[row])
         bad_rows = np.nonzero(residual.any(axis=1))[0]
@@ -466,18 +564,9 @@ class ReedSolomonCode:
         explains the rows (>= 2 corruptions) or more than one does
         (ambiguous — impossible for m >= k + 2, but guarded anyway).
         """
-        key = tuple(idx_list)
-        cached = self._residual_ratio_cache.get(key)
-        if cached is None:
-            transform = self._extras_transform(key)
-            inv_row0 = np.array(
-                [gf_inv(int(t)) for t in transform[0]], dtype=np.uint8
-            )
-            # ratios[j - 1, c] = T[j, c] ⊗ T[0, c]⁻¹
-            ratios = MUL_TABLE[transform[1:], inv_row0]
-            cached = (transform, inv_row0, ratios)
-            self._residual_ratio_cache[key] = cached
-        transform, inv_row0, ratios = cached
+        entry = self._extras_entry(tuple(idx_list))
+        transform = entry.transform
+        inv_row0, ratios = entry.ratios
         extras_count = residual.shape[0]
         row0 = residual[0]
         p0 = int(np.flatnonzero(row0)[0])
@@ -620,53 +709,55 @@ class ReedSolomonCode:
         (sources, target) pair because the Resource Monitor rebuilds a
         whole slab's pages through the same few combinations.
         """
-        key = (tuple(source_positions), target_position)
-        cached = self._rebuild_cache.get(key)
+        key = ("rebuild", tuple(source_positions), target_position)
+        cached = self.plan_cache.get(key)
         if cached is None:
-            if len(key[0]) != self.k:
+            if len(key[1]) != self.k:
                 raise DecodeError(
-                    f"rebuild needs exactly {self.k} source positions, got {len(key[0])}"
+                    f"rebuild needs exactly {self.k} source positions, got {len(key[1])}"
                 )
             if not 0 <= target_position < self.n:
                 raise DecodeError(
                     f"target position {target_position} out of range 0..{self.n - 1}"
                 )
-            cached = gf_matmul(
-                self.generator[target_position : target_position + 1],
-                self._decode_matrix(key[0]),
+            cached = self.plan_cache.put(
+                key,
+                gf_matmul(
+                    self.generator[target_position : target_position + 1],
+                    self._decode_matrix(key[1]),
+                ),
             )
-            self._rebuild_cache[key] = cached
         return cached
 
     # -- internals -------------------------------------------------------
-    def _extras_plan(self, indices: Tuple[int, ...]) -> list:
-        """Compiled row plan of :meth:`_extras_transform`, cached alike."""
-        plan = self._extras_plans.get(indices)
-        if plan is None:
-            plan = gf_row_plan(self._extras_transform(indices))
-            self._extras_plans[indices] = plan
-        return plan
-
-    def _extras_transform(self, indices: Tuple[int, ...]) -> np.ndarray:
-        """Cached (d x k) map from the first-k received splits to the
-        expected values of the remaining ``d`` received splits."""
-        cached = self._extras_cache.get(indices)
-        if cached is None:
+    def _extras_entry(self, indices: Tuple[int, ...]) -> _ExtrasPlan:
+        """Cached consistency plan: the (d x k) map from the first-k
+        received splits to the expected remaining ``d``, plus its
+        compiled row plan and residual-ratio tables."""
+        key = ("extras", indices)
+        entry = self.plan_cache.get(key)
+        if entry is None:
             first = list(indices[: self.k])
             extras = list(indices[self.k :])
-            cached = gf_matmul(
+            transform = gf_matmul(
                 self.generator[extras], self._decode_matrix(tuple(first))
             )
-            self._extras_cache[indices] = cached
-        return cached
+            entry = self.plan_cache.put(key, _ExtrasPlan(transform))
+        return entry
+
+    def _extras_transform(self, indices: Tuple[int, ...]) -> np.ndarray:
+        return self._extras_entry(indices).transform
+
+    def _decode_plan(self, indices: Tuple[int, ...]) -> _DecodePlan:
+        key = ("decode", indices)
+        entry = self.plan_cache.get(key)
+        if entry is None:
+            rows = self.generator[list(indices)]
+            entry = self.plan_cache.put(key, _DecodePlan(gf_mat_inverse(rows)))
+        return entry
 
     def _decode_matrix(self, indices: Tuple[int, ...]) -> np.ndarray:
-        cached = self._decode_cache.get(indices)
-        if cached is None:
-            rows = self.generator[list(indices)]
-            cached = gf_mat_inverse(rows)
-            self._decode_cache[indices] = cached
-        return cached
+        return self._decode_plan(indices).matrix
 
     def _check_splits(self, splits: np.ndarray, expected_rows: int) -> np.ndarray:
         splits = np.asarray(splits, dtype=np.uint8)
@@ -680,7 +771,7 @@ class ReedSolomonCode:
 
     @staticmethod
     def _check_vector(split: np.ndarray) -> np.ndarray:
-        if type(split) is np.ndarray and split.dtype == np.uint8:
+        if type(split) is np.ndarray and split.dtype is _UINT8:
             if split.ndim != 1:
                 raise DecodeError(f"each split must be 1-D, got shape {split.shape}")
             return split

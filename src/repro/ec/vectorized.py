@@ -3,20 +3,22 @@
 Slab regeneration re-encodes one split position for *every* page of a
 slab (§4.4); doing that page-by-page through the scalar codec would cost
 a Python-level matrix solve per page. These helpers batch pages that
-share a source-position set into a single GF(2^8) matmul:
-
-    target_split = G[t] @ inv(G[rows]) @ stacked_sources
+share a source-position set into whole-slab GF(2^8) kernels: each page
+is a (rows, split_size) block of a 3-D stack and one coefficient matrix
+is applied across every page in a single call (the native paged kernel
+when compiled, the flat matmul otherwise — see :mod:`.native`).
 
 They are exact: every output equals what the per-page codec would
-produce (tested against it).
+produce (tested against it, byte for byte).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .galois import MUL_TABLE
 from .matrix import gf_matmul
 from .rs import DecodeError, ReedSolomonCode
 
@@ -28,6 +30,39 @@ __all__ = [
     "correct_pages",
     "reencode_split_pages",
 ]
+
+
+def _apply_paged(
+    code: ReedSolomonCode,
+    matrix: np.ndarray,
+    stack: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``matrix @ stack[p]`` for every page ``p`` of a 3-D stack.
+
+    ``stack`` is (pages, rows, split); pages may be strided (e.g. the
+    pivot columns of a wider received stack) as long as each page's
+    (rows, split) block is itself contiguous — the paged kernel takes the
+    page stride explicitly, so no staging copy is made. Fallback is the
+    flat transpose + matmul formulation; both run the same MUL_TABLE
+    lookups, so results are byte-identical.
+    """
+    pages, rows, split = stack.shape
+    nr = matrix.shape[0]
+    if out is None:
+        out = np.empty((pages, nr, split), dtype=np.uint8)
+    native = code._native
+    if (
+        native is not None
+        and pages
+        and stack.strides[1:] == (split, 1)
+        and out.flags.c_contiguous
+    ):
+        native.matrix_apply_paged(matrix, stack, out, src_stride=stack.strides[0])
+        return out
+    flat = stack.transpose(1, 0, 2).reshape(rows, pages * split)
+    out[:] = gf_matmul(matrix, flat).reshape(nr, pages, split).transpose(1, 0, 2)
+    return out
 
 
 def rebuild_transform(
@@ -100,7 +135,10 @@ def encode_pages(
 
     ``data_splits_stack`` has shape (pages, k, split_size); the result has
     shape (pages, n, split_size) with data splits first, parity after —
-    identical to calling ``encode_page`` per page.
+    identical to calling ``encode_page`` per page. The parity block is
+    written straight into the output stack at byte offset ``k * split``
+    of each page (the paged kernel takes output strides), so encoding
+    costs one data copy and one kernel sweep, no transposes.
     """
     stack = np.asarray(data_splits_stack, dtype=np.uint8)
     if stack.ndim != 3 or stack.shape[1] != code.k:
@@ -108,15 +146,24 @@ def encode_pages(
             f"expected (pages, k={code.k}, split) stack, got {stack.shape}"
         )
     pages, _k, split_size = stack.shape
-    # One preallocated output instead of a stack+parity concatenate copy.
     out = np.empty((pages, code.n, split_size), dtype=np.uint8)
     out[:, : code.k] = stack
-    if code.r:
-        flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
-        parity_flat = gf_matmul(code.generator[code.k :], flat)
-        out[:, code.k :] = parity_flat.reshape(
-            code.r, pages, split_size
-        ).transpose(1, 0, 2)
+    if code.r and pages:
+        native = code._native
+        if native is not None and stack.strides[1:] == (split_size, 1):
+            native.matrix_apply_paged(
+                code._parity_matrix,
+                stack,
+                out[:, code.k :],
+                src_stride=stack.strides[0],
+                out_stride=code.n * split_size,
+            )
+        else:
+            flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
+            parity_flat = gf_matmul(code.generator[code.k :], flat)
+            out[:, code.k :] = parity_flat.reshape(
+                code.r, pages, split_size
+            ).transpose(1, 0, 2)
     return out
 
 
@@ -142,10 +189,7 @@ def decode_pages(
         )
     if index_tuple == tuple(range(code.k)):
         return stack  # all-systematic fast path
-    pages, _k, split_size = stack.shape
-    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
-    decoded = gf_matmul(code.decode_matrix(index_tuple), flat)
-    return decoded.reshape(code.k, pages, split_size).transpose(1, 0, 2)
+    return _apply_paged(code, code.decode_matrix(index_tuple), stack)
 
 
 def correct_pages(
@@ -164,9 +208,23 @@ def correct_pages(
 
     Equivalent to calling ``code.correct`` page by page in stack order —
     including raising the same :class:`DecodeError` the first failing page
-    would raise — but the pages that turn out clean (the overwhelmingly
-    common case in a corruption sweep) share *one* batched residual check
-    and *one* batched decode, so per-page cost approaches plain decode.
+    would raise — but the whole residual check runs as one paged kernel
+    sweep and the two corruption shapes the §5.1 read path actually sees
+    are resolved batch-wide without touching the scalar codec:
+
+    * a single corrupt *extra* split (exactly one residual row nonzero):
+      the pivot decoding is already the accepted codeword;
+    * a single corrupt *pivot* split (every residual row nonzero): the
+      vectorized localizer finds the unique column whose ratio structure
+      explains all residual rows at once (same prefilter + full check as
+      ``ReedSolomonCode._locate_pivot_error``), repairs it in place, and
+      the repaired pivots ride the same batched decode as clean pages.
+
+    Pages the batch localizer cannot settle — ambiguous residuals, deeper
+    contamination, acceptance thresholds the guided path cannot reach —
+    fall back to per-page ``code.correct`` in ascending page order, so
+    results, localization lists, and error classification stay
+    byte-identical to the per-page codec by construction.
     """
     stack = np.asarray(payload_stack, dtype=np.uint8)
     idx = [int(i) for i in indices]
@@ -181,7 +239,8 @@ def correct_pages(
     if max_errors is None:
         max_errors = max(0, (m - code.k - 1) // 2)
     needed = code.k + 2 * max_errors + 1
-    if m < needed and not best_effort:
+    guaranteed = m >= needed
+    if not guaranteed and not best_effort:
         raise DecodeError(
             f"correcting {max_errors} errors needs {needed} splits, got {m}"
         )
@@ -198,20 +257,62 @@ def correct_pages(
     if pages == 0:
         return np.empty((0, code.k, split_size), dtype=np.uint8), corrupted
 
+    k = code.k
+    d = m - k
+
     # Batched residual over every page at once: expected extras from the
     # pivot (first k) columns vs the extras actually received.
-    pivot = stack[:, : code.k]
-    flat = pivot.transpose(1, 0, 2).reshape(code.k, pages * split_size)
-    transform = code._extras_transform(tuple(idx))
-    expected = gf_matmul(transform, flat).reshape(m - code.k, pages, split_size)
-    actual = stack[:, code.k :].transpose(1, 0, 2)
-    dirty = np.nonzero((expected != actual).any(axis=(0, 2)))[0]
+    pivot = stack[:, :k]
+    entry = code._extras_entry(tuple(idx))
+    residual = _apply_paged(code, entry.transform, pivot)
+    np.bitwise_xor(residual, stack[:, k:], out=residual)
+    row_bad = residual.any(axis=2)  # (pages, d)
+    nbad = row_bad.sum(axis=1)
 
-    out = decode_pages(code, idx[: code.k], pivot)
+    def accepts(agreement: int) -> bool:
+        if guaranteed and agreement >= m - max_errors:
+            return True
+        return best_effort and agreement >= k + 1 and 2 * agreement - m >= k
+
+    fallback: List[int] = []
+    fixed = pivot
+    dirty = np.nonzero(nbad)[0]
     if len(dirty):
-        out = np.ascontiguousarray(out)
-        for page in dirty:
-            page = int(page)
+        if not accepts(m - 1) or d < 2:
+            # No single-error candidate can reach the acceptance bar (or
+            # too few extras to disambiguate) — exactly where the guided
+            # path hands over to swap/scan. Per-page fallback preserves
+            # its decisions (and its error classification) verbatim.
+            fallback = [int(page) for page in dirty]
+        else:
+            # Mutable copy for repairs. Must be an unconditional copy: for
+            # a single-page stack the pivot view is already contiguous
+            # (size-1 leading dim), so ``ascontiguousarray`` would alias
+            # the caller's buffer — and the scalar codec never mutates
+            # its input splits.
+            fixed = pivot.copy()
+            counts = nbad[dirty]
+            for page in dirty[counts == 1]:
+                # One corrupt extra; the pivot decoding disagrees only
+                # with it and is accepted at agreement m - 1.
+                page = int(page)
+                corrupted[page] = [idx[k + int(np.nonzero(row_bad[page])[0][0])]]
+            all_bad = dirty[counts == d]
+            if len(all_bad):
+                located = _locate_pivot_errors_batch(
+                    code, idx, residual, all_bad, fixed, corrupted
+                )
+                fallback.extend(int(page) for page in all_bad[~located])
+            fallback.extend(int(page) for page in dirty[(counts != 1) & (counts != d)])
+            fallback.sort()
+
+    out = decode_pages(code, idx[:k], fixed)
+    if fallback:
+        # A view (systematic decode returns its input) must be copied
+        # before the per-page overwrites, or they would leak into the
+        # caller's stack.
+        out = out.copy() if out.base is not None else np.ascontiguousarray(out)
+        for page in fallback:
             received = {idx[row]: stack[page, row] for row in range(m)}
             data, bad = code.correct(
                 received, max_errors=max_errors, best_effort=best_effort
@@ -224,7 +325,7 @@ def correct_pages(
 def reencode_split_pages(
     code: ReedSolomonCode, data_splits_stack: np.ndarray, index: int
 ) -> np.ndarray:
-    """Regenerate split ``index`` of many pages in one matmul.
+    """Regenerate split ``index`` of many pages in one kernel pass.
 
     ``data_splits_stack`` has shape (pages, k, split_size); returns a
     (pages, split_size) array equal to per-page ``reencode_split``.
@@ -239,6 +340,73 @@ def reencode_split_pages(
     if index < code.k:
         return stack[:, index].copy()
     pages, _k, split_size = stack.shape
-    flat = stack.transpose(1, 0, 2).reshape(code.k, pages * split_size)
-    row = gf_matmul(code.generator[index : index + 1], flat)[0]
+    row = _apply_paged(code, code.generator[index : index + 1], stack)
     return row.reshape(pages, split_size)
+
+
+def _locate_pivot_errors_batch(
+    code: ReedSolomonCode,
+    idx: List[int],
+    residual: np.ndarray,
+    pages_sel: np.ndarray,
+    fixed: np.ndarray,
+    corrupted: List[List[int]],
+) -> np.ndarray:
+    """Vectorized ``_locate_pivot_error`` over every all-rows-dirty page.
+
+    For a corrupt pivot column ``c`` with error ``e``, residual row ``j``
+    is ``T[j, c] ⊗ e`` — row ``j`` is row 0 scaled by the cached ratio
+    ``T[j, c] ⊗ T[0, c]⁻¹``. The prefilter reads one byte per page (the
+    first nonzero byte of row 0) and checks all columns of all pages with
+    two table gathers; pages with exactly one surviving column are then
+    grouped *by column* for the full vector check, repaired in ``fixed``,
+    and recorded in ``corrupted``. Returns the located mask over
+    ``pages_sel``; unlocated pages (no survivor, ambiguous survivors, or
+    a failed full check) keep their per-page fallback.
+    """
+    k = code.k
+    entry = code._extras_entry(tuple(idx))
+    transform = entry.transform
+    inv_row0, ratios = entry.ratios
+    group = residual[pages_sel]  # (g, d, split)
+    g = group.shape[0]
+    row0 = group[:, 0]
+    # First nonzero byte of row 0 (rows are all nonzero here by selection).
+    p0 = np.argmax(row0 != 0, axis=1)
+    arange_g = np.arange(g)
+    v0 = row0[arange_g, p0]
+    # predicted[i, j, c] = ratios[j, c] ⊗ v0[i]: what residual row j + 1
+    # must hold at byte p0 if column c is the corrupt one.
+    predicted = MUL_TABLE[ratios[None, :, :], v0[:, None, None]]
+    at_p0 = np.take_along_axis(group[:, 1:], p0[:, None, None], axis=2)[:, :, 0]
+    survivors = (predicted == at_p0[:, :, None]).all(axis=1)  # (g, k)
+    nsurv = survivors.sum(axis=1)
+
+    located = np.zeros(g, dtype=bool)
+    single = np.nonzero(nsurv == 1)[0]
+    if len(single):
+        column_of = np.argmax(survivors[single], axis=1)
+        for column in np.unique(column_of):
+            column = int(column)
+            sel = single[column_of == column]
+            grp = group[sel]
+            # error = T[0, c]⁻¹ ⊗ row0, then confirm every remaining row —
+            # both scalings ride the paged kernel (one coefficient over
+            # the whole group), not a per-element fancy gather.
+            inv_mat = np.array([[inv_row0[column]]], dtype=np.uint8)
+            error = _apply_paged(code, inv_mat, grp[:, :1])  # (gg, 1, split)
+            coefs = np.ascontiguousarray(transform[1:, column : column + 1])
+            expected = _apply_paged(code, coefs, error)
+            ok = (expected == grp[:, 1:]).all(axis=(1, 2))
+            good = np.nonzero(ok)[0]
+            if len(good):
+                repaired = pages_sel[sel[good]]
+                fixed[repaired, column] ^= error[good, 0]
+                bad_list = [idx[column]]
+                for page in repaired:
+                    corrupted[int(page)] = list(bad_list)
+            located[sel] = ok
+    # nsurv == 0 (no column explains the rows) and nsurv >= 2 (ambiguous
+    # prefilter — the scalar path runs full checks per survivor) both go
+    # to the per-page fallback, which reproduces those decisions exactly.
+    return located

@@ -68,6 +68,10 @@ PERF_BENCH_NAMES = (
     "ec_correct_best_effort",
     "ec_batch_encode",
     "ec_batch_decode",
+    "ec_slab_encode",
+    "ec_slab_decode",
+    "ec_slab_correct",
+    "rdma_completion_batch",
     "rm_end_to_end",
     "rm_corrupted",
     "obs_overhead",
@@ -82,7 +86,15 @@ _EC_OPS = (
     "ec_correct_best_effort",
     "ec_batch_encode",
     "ec_batch_decode",
+    "ec_slab_encode",
+    "ec_slab_decode",
+    "ec_slab_correct",
 )
+
+# The raw-kernel slab benchmarks always run this many pages (1 MB of
+# data at the 4 KB page size) regardless of --quick, so their MB/s is
+# comparable across modes and matches the kernel's design point.
+_SLAB_PAGES = 256
 
 # Simulated-time (or size-derived) fields per benchmark that must be
 # byte-identical across hosts, repeat counts, and ``-j`` values — the
@@ -99,6 +111,10 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
     "ec_correct_best_effort": ("pages", "mb", "corrupt_pages"),
     "ec_batch_encode": ("pages", "mb"),
     "ec_batch_decode": ("pages", "mb"),
+    "ec_slab_encode": ("pages", "mb"),
+    "ec_slab_decode": ("pages", "mb"),
+    "ec_slab_correct": ("pages", "mb"),
+    "rdma_completion_batch": ("posts", "sim_now_us"),
     "rm_end_to_end": (
         "ops",
         "page_ops",
@@ -128,7 +144,7 @@ _ANCHOR_FIELDS: Dict[str, Tuple[str, ...]] = {
 
 # Wall-clock throughput fields per benchmark, for ``--compare``: the new
 # run regresses when any of these drops below baseline * (1 - tolerance).
-_RATE_FIELDS = ("events_per_sec", "mb_per_sec", "pages_per_sec")
+_RATE_FIELDS = ("events_per_sec", "mb_per_sec", "pages_per_sec", "posts_per_sec")
 
 
 def _suite_sizes(quick: bool) -> Tuple[int, int, int, int, int, int]:
@@ -252,16 +268,23 @@ def bench_ec(
     r: int = 2,
     ops: Optional[Sequence[str]] = None,
 ) -> Dict[str, dict]:
-    """Per-page and batched codec throughput at the paper's RS(8+2) point.
+    """Batched and per-page codec throughput at the paper's RS(8+2) point.
 
-    ``decode`` uses a non-systematic split set (one data split replaced by
-    a parity split) — the case late-binding reads actually hit. ``verify``
-    checks k+1 splits, ``correct`` localizes one corrupted split from
-    k+2Δ+1 = 11 splits (Δ=1).
+    The headline ``ec_encode`` / ``ec_decode`` / ``ec_correct`` rows
+    measure the slab-wide batch entry points — the path every RM hot loop
+    now takes (encode-on-write, grouped decode-on-read, correction
+    sweeps). ``decode`` uses a non-systematic split set (one data split
+    replaced by a parity split) — the case late-binding reads actually
+    hit; ``correct`` localizes one corrupted split per page from
+    k+2Δ+1 = 11 splits (Δ=1) with *every* page corrupted, the worst case
+    for the batched localizer. ``ec_verify`` and
+    ``ec_correct_guaranteed`` keep exercising the per-page scalar codec,
+    and the ``ec_slab_*`` rows time the raw (fixed 256-page) kernels with
+    all staging prebuilt.
 
     ``ops`` restricts the run to a subset of :data:`PERF_BENCH_NAMES`'s
     ``ec_*`` entries (the parallel runner shards one op per worker);
-    ``None`` runs all six. Each op's setup and measurement are identical
+    ``None`` runs all. Each op's setup and measurement are identical
     either way.
     """
     selected = tuple(_EC_OPS) if ops is None else tuple(ops)
@@ -273,16 +296,15 @@ def bench_ec(
     needs_encoded = set(selected) - {
         "ec_encode", "ec_batch_encode", "ec_correct_guaranteed",
     }
-    encoded = [codec.encode(page) for page in pages] if needs_encoded else []
+    enc_stack = codec.encode_batch(pages) if needs_encoded else None
     mb = n_pages * PAGE_SIZE / _MB
     indices = list(range(k - 1)) + [k]  # drop data split k-1, use parity k
     results: Dict[str, dict] = {}
 
-    # -- encode (page -> k+r splits, the write path) -------------------
+    # -- encode (pages -> k+r split stacks, the batched write path) ----
     if "ec_encode" in selected:
         def encode_workload() -> dict:
-            for page in pages:
-                codec.encode(page)
+            codec.encode_batch(pages)
             return {}
 
         seconds, _ = _best_of(encode_workload, repeats)
@@ -293,11 +315,10 @@ def bench_ec(
 
     # -- decode (non-systematic k of k+r, the late-binding read path) --
     if "ec_decode" in selected:
-        received = [{i: splits[i] for i in indices} for splits in encoded]
+        received_stack = np.ascontiguousarray(enc_stack[:, indices])
 
         def decode_workload() -> dict:
-            for splits in received:
-                codec.decode(splits)
+            codec.decode_batch(indices, received_stack)
             return {}
 
         seconds, _ = _best_of(decode_workload, repeats)
@@ -306,10 +327,12 @@ def bench_ec(
             "mb_per_sec": round(mb / seconds, 2),
         }
 
-    # -- verify (k+1 splits, the background consistency check) ---------
+    # -- verify (k+1 splits, the background consistency check; stays on
+    # the per-page scalar codec on purpose) ----------------------------
     if "ec_verify" in selected:
         verify_sets = [
-            {i: splits[i] for i in range(k + 1)} for splits in encoded
+            {i: enc_stack[page, i] for i in range(k + 1)}
+            for page in range(n_pages)
         ]
 
         def verify_workload() -> dict:
@@ -326,26 +349,26 @@ def bench_ec(
             "mb_per_sec": round(mb / seconds, 2),
         }
 
-    # -- correct (1 corrupted split among all k+r, majority decoding; the
-    # RM clamps correction fanout to n and localizes best-effort) ------
+    # -- correct (1 corrupted split among all k+r on every page, batch
+    # majority decoding; the RM clamps correction fanout to n and
+    # localizes best-effort) -------------------------------------------
     if "ec_correct" in selected:
-        corrupt_sets = []
-        for splits in encoded[:correct_pages]:
-            received_all = {i: splits[i].copy() for i in range(codec.n)}
-            received_all[2][:16] ^= 0xA5  # deterministic corruption
-            corrupt_sets.append(received_all)
+        all_indices = list(range(codec.n))
+        corrupt_stack = enc_stack[:correct_pages].copy()
+        corrupt_stack[:, 2, :16] ^= 0xA5  # deterministic corruption
         correct_mb = correct_pages * PAGE_SIZE / _MB
         # Warm the compiled GF plan caches (decode plans, extras
         # transform, residual ratios) so the timed region measures
         # steady-state correction, not one-time plan compilation.
-        codec.correct(corrupt_sets[0], max_errors=1, best_effort=True)
+        codec.correct_batch(
+            all_indices, corrupt_stack[:1], max_errors=1, best_effort=True
+        )
 
         def correct_workload() -> dict:
-            located = 0
-            for splits in corrupt_sets:
-                _, corrupted = codec.correct(splits, max_errors=1, best_effort=True)
-                located += corrupted == [2]
-            return {"located": located}
+            _, corrupted = codec.correct_batch(
+                all_indices, corrupt_stack, max_errors=1, best_effort=True
+            )
+            return {"located": sum(bad == [2] for bad in corrupted)}
 
         seconds, payload = _best_of(correct_workload, repeats)
         if payload["located"] != correct_pages:
@@ -393,9 +416,7 @@ def bench_ec(
     # one corrupted split that the per-page localizer must fix) ---------
     if "ec_correct_best_effort" in selected:
         all_indices = list(range(codec.n))
-        sweep_stack = np.stack([
-            np.stack([splits[i] for i in all_indices]) for splits in encoded
-        ])
+        sweep_stack = enc_stack.copy()
         dirty_pages = list(range(0, n_pages, 16))
         for page in dirty_pages:
             sweep_stack[page, 2, :16] ^= 0xA5  # deterministic corruption
@@ -432,9 +453,7 @@ def bench_ec(
         }
 
     if "ec_batch_decode" in selected:
-        stack = np.stack([
-            np.stack([splits[i] for i in indices]) for splits in encoded
-        ])
+        stack = np.ascontiguousarray(enc_stack[:, indices])
 
         def batch_decode_workload() -> dict:
             codec.decode_batch(indices, stack)
@@ -445,12 +464,149 @@ def bench_ec(
             "pages": n_pages, "mb": round(mb, 3), "seconds": round(seconds, 6),
             "mb_per_sec": round(mb / seconds, 2),
         }
+
+    # -- raw slab kernels (fixed 256-page slab, staging prebuilt): the
+    # GF throughput ceiling the batch entry points are chasing ----------
+    slab_selected = {"ec_slab_encode", "ec_slab_decode", "ec_slab_correct"}
+    if slab_selected & set(selected):
+        from ..ec.vectorized import correct_pages as slab_correct
+        from ..ec.vectorized import decode_pages as slab_decode
+        from ..ec.vectorized import encode_pages as slab_encode
+
+        slab_mb = _SLAB_PAGES * PAGE_SIZE / _MB
+        slab_pages = _ec_pages(codec, _SLAB_PAGES)
+        slab_enc = codec.encode_batch(slab_pages)
+
+        if "ec_slab_encode" in selected:
+            slab_data = np.ascontiguousarray(slab_enc[:, :k])
+
+            def slab_encode_workload() -> dict:
+                slab_encode(codec.code, slab_data)
+                return {}
+
+            seconds, _ = _best_of(slab_encode_workload, repeats)
+            results["ec_slab_encode"] = {
+                "pages": _SLAB_PAGES, "mb": round(slab_mb, 3),
+                "seconds": round(seconds, 6),
+                "mb_per_sec": round(slab_mb / seconds, 2),
+            }
+
+        if "ec_slab_decode" in selected:
+            slab_received = np.ascontiguousarray(slab_enc[:, indices])
+            codec.code.decode_matrix(tuple(indices))  # warm the plan cache
+
+            def slab_decode_workload() -> dict:
+                slab_decode(codec.code, indices, slab_received)
+                return {}
+
+            seconds, _ = _best_of(slab_decode_workload, repeats)
+            results["ec_slab_decode"] = {
+                "pages": _SLAB_PAGES, "mb": round(slab_mb, 3),
+                "seconds": round(seconds, 6),
+                "mb_per_sec": round(slab_mb / seconds, 2),
+            }
+
+        if "ec_slab_correct" in selected:
+            all_indices = list(range(codec.n))
+            slab_corrupt = slab_enc.copy()
+            slab_corrupt[:, 2, :16] ^= 0xA5  # every page corrupt
+            slab_correct(
+                codec.code, all_indices, slab_corrupt[:1],
+                max_errors=1, best_effort=True,
+            )
+
+            def slab_correct_workload() -> dict:
+                _, corrupted = slab_correct(
+                    codec.code, all_indices, slab_corrupt,
+                    max_errors=1, best_effort=True,
+                )
+                return {"located": sum(bad == [2] for bad in corrupted)}
+
+            seconds, payload = _best_of(slab_correct_workload, repeats)
+            if payload["located"] != _SLAB_PAGES:
+                raise RuntimeError(
+                    "slab correct benchmark failed to localize corruption"
+                )
+            results["ec_slab_correct"] = {
+                "pages": _SLAB_PAGES, "mb": round(slab_mb, 3),
+                "seconds": round(seconds, 6),
+                "mb_per_sec": round(slab_mb / seconds, 2),
+            }
     return results
 
 
 # ----------------------------------------------------------------------
 # 3. End-to-end pages/sec through the Resilience Manager
 # ----------------------------------------------------------------------
+class _PerfNode:
+    """Minimal fabric endpoint for the raw verb benchmark: an id, a NIC,
+    and an alive flag — no slabs, no RM, no control plane."""
+
+    __slots__ = ("id", "nic", "alive")
+
+    def __init__(self, machine_id: int, nic) -> None:
+        self.id = machine_id
+        self.nic = nic
+        self.alive = True
+
+    def deliver_message(self, src_id: int, message) -> None:  # pragma: no cover
+        raise RuntimeError("perf nodes exchange no control messages")
+
+
+def bench_rdma_completion_batch(posts: int, repeats: int) -> dict:
+    """Raw RDMA verb throughput: split-sized write bursts across 8 QPs.
+
+    Every round posts one 512 B one-sided WRITE per queue pair at a
+    single simulated instant — the exact shape of the RM's data-split
+    fan-out — then waits for the burst to complete before the next round.
+    No erasure coding, no gathers, no RM: the measured rate isolates the
+    post → latency-draw → completion-dispatch pipeline that every split
+    of every page op pays. ``sim_now_us`` and ``posts`` are simulated
+    anchors; a change means the latency model or RNG stream moved.
+    """
+    from ..net import Nic, RdmaFabric
+    from ..net.config import NetworkConfig
+    from ..obs import MetricsRegistry
+    from ..sim import RandomSource
+
+    fanout = 8
+    rounds = posts // fanout
+
+    def workload() -> dict:
+        sim = Simulator()
+        config = NetworkConfig()
+        metrics = MetricsRegistry()
+        fabric = RdmaFabric(sim, config, RandomSource(7, "perf-rdma"))
+        for machine_id in range(fanout + 1):
+            fabric.register(
+                _PerfNode(machine_id, Nic(config, machine_id, metrics))
+            )
+        qps = [fabric.qp(0, target) for target in range(1, fanout + 1)]
+        state = {"completed": 0}
+
+        def apply() -> None:
+            state["completed"] += 1
+
+        def driver():
+            for _ in range(rounds):
+                acks = [qp.post_write(512, apply=apply) for qp in qps]
+                yield sim.all_of(acks)
+
+        run_process(sim, sim.process(driver(), name="perf-rdma"), until=1e12)
+        if state["completed"] != rounds * fanout:
+            raise RuntimeError("verb benchmark lost completions")
+        return {"sim_now_us": sim.now}
+
+    seconds, payload = _best_of(workload, repeats)
+    total = rounds * fanout
+    return {
+        "posts": total,
+        "seconds": round(seconds, 6),
+        "posts_per_sec": round(total / seconds, 1),
+        "sim_now_us": payload["sim_now_us"],
+    }
+
+
 def bench_rm_end_to_end(ops: int, repeats: int) -> dict:
     """The headline scenario: a full simulated cluster (12 machines,
     RS(8+2), Δ=1, real payloads, read verification on — the default
@@ -663,6 +819,12 @@ def run_perf_shard(name: str, quick: bool, repeats: int) -> Dict[str, dict]:
         }
     if name in _EC_OPS:
         return bench_ec(ec_pages, correct_pages, repeats, ops=(name,))
+    if name == "rdma_completion_batch":
+        return {
+            "rdma_completion_batch": bench_rdma_completion_batch(
+                16_000 if quick else 96_000, repeats
+            )
+        }
     if name == "rm_end_to_end":
         return {"rm_end_to_end": bench_rm_end_to_end(rm_ops, repeats)}
     if name == "rm_corrupted":
@@ -816,6 +978,12 @@ def format_results(doc: dict) -> str:
         lines.append(
             f"  {name:<22} {row['mb_per_sec']:>12,.1f} MB/s"
             f"  ({row['pages']} pages in {row['seconds']:.4f}s)"
+        )
+    if "rdma_completion_batch" in b:
+        rb = b["rdma_completion_batch"]
+        lines.append(
+            f"  rdma_completion_batch  {rb['posts_per_sec']:>12,.1f} posts/s"
+            f"  ({rb['posts']:,} verbs in {rb['seconds']:.3f}s)"
         )
     rm = b["rm_end_to_end"]
     lines.append(

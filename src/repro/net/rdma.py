@@ -25,12 +25,19 @@ semantics.
 
 from __future__ import annotations
 
-from math import exp
+from heapq import heappush as _heappush
+from math import exp, log
+from random import NV_MAGICCONST
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import Observability, Span
 from ..sim import Event, RandomSource, Simulator
-from ..sim.engine import _PROCESSED, _TRIGGERED
+from ..sim.engine import _PENDING, _PROCESSED, _TRIGGERED
+
+# Verb completions are the sim's highest-volume Event allocation;
+# building them via __new__ + direct slot stores skips the type.__call__
+# and __init__ frames on every post. Same fields, same initial state.
+_EVENT_NEW = Event.__new__
 from .config import NetworkConfig
 
 __all__ = [
@@ -119,6 +126,37 @@ class QueuePair:
     complete in post order.
     """
 
+    __slots__ = (
+        "fabric",
+        "sim",
+        "config",
+        "local_id",
+        "remote_id",
+        "rng",
+        "connected",
+        "_last_completion",
+        "_pending",
+        "_disconnect_listeners",
+        "_event_name",
+        "_local_nic",
+        "_remote_nic",
+        "_reach_epoch",
+        "_reach_ok",
+        "_tx_bytes",
+        "_tx_ops",
+        "_rx_bytes",
+        "_draw_normal",
+        "_draw_uniform",
+        "_draw_pareto",
+        "_call_later",
+        "_bytes_per_us",
+        "_base_latency_us",
+        "_send_recv_overhead_us",
+        "_jitter_sigma",
+        "_det_latency",
+        "_det_hot",
+    )
+
     def __init__(
         self,
         fabric: "RdmaFabric",
@@ -144,6 +182,17 @@ class QueuePair:
         self._event_name = f"rdma:{local_id}->{remote_id}"
         self._local_nic: Optional[Nic] = None
         self._remote_nic: Optional[Nic] = None
+        # Reachability cache, invalidated by the fabric's topology epoch:
+        # every alive flip routes through on_machine_failed/_recovered and
+        # every partition change through partition()/heal(), all of which
+        # bump the epoch — so a matching epoch means the cached answer is
+        # exact and the hot path pays one int compare instead of dict
+        # lookups and alive checks per verb.
+        self._reach_epoch = -1
+        self._reach_ok = False
+        # Raw counter objects for inline traffic accounting (bound on the
+        # first post, together with the NICs).
+        self._tx_bytes = self._tx_ops = self._rx_bytes = None
         # lognormvariate(mu, sigma) is exactly exp(normalvariate(mu, sigma))
         # in CPython; binding the inner draw saves a frame per posted verb
         # while consuming the identical RNG stream.
@@ -160,6 +209,15 @@ class QueuePair:
         self._base_latency_us = self.config.base_latency_us
         self._send_recv_overhead_us = self.config.send_recv_overhead_us
         self._jitter_sigma = self.config.jitter_sigma
+        # Deterministic latency cache: the pre-jitter, pre-congestion
+        # component depends only on (size, sidedness) and the hoisted wire
+        # constants, so each distinct verb size computes it exactly once.
+        # Values are (latency, transfer) — transfer feeds the congestion
+        # term, which stays live because background flows change mid-run.
+        self._det_latency: Dict[Tuple[int, bool], Tuple[float, float]] = {}
+        # One-slot cache in front of `_det_latency`: split-sized one-sided
+        # verbs dominate, so the common post skips the tuple-key dict probe.
+        self._det_hot: Optional[Tuple[int, bool, float, float]] = None
 
     # -- public verbs ------------------------------------------------------
     def post_read(
@@ -236,7 +294,13 @@ class QueuePair:
         span: Optional[Span] = None,
         kind: str = "op",
     ) -> Event:
-        event = Event(self.sim, name=self._event_name)
+        event = _EVENT_NEW(Event)
+        event.sim = self.sim
+        event.callbacks = []
+        event._state = _PENDING
+        event._value = None
+        event._ok = True
+        event.name = self._event_name
         verb_span: Optional[Span] = None
         if span is not None:
             verb_span = span.child(
@@ -252,7 +316,16 @@ class QueuePair:
                 _s.finish()
 
             event.callbacks.append(_finish_verb)
-        if not self.connected or not self.fabric.reachable(self.local_id, self.remote_id):
+        if self.connected:
+            fabric = self.fabric
+            epoch = fabric._topology_epoch
+            if self._reach_epoch != epoch:
+                self._reach_ok = fabric.reachable(self.local_id, self.remote_id)
+                self._reach_epoch = epoch
+            reachable = self._reach_ok
+        else:
+            reachable = False
+        if not reachable:
             # Immediately broken: fail after the RC retry timeout.
             def fail_later():
                 if not event.triggered:
@@ -266,15 +339,62 @@ class QueuePair:
             self.sim.call_later(self.config.failure_detect_us, fail_later)
             return event
 
-        # Traffic accounting (a verb moves size_bytes across both NICs).
-        if self._local_nic is None:
-            self._local_nic = self.fabric.nic(self.local_id)
-            self._remote_nic = self.fabric.nic(self.remote_id)
-        self._local_nic.count_tx(size_bytes)
-        self._remote_nic.count_rx(size_bytes)
+        # Traffic accounting (a verb moves size_bytes across both NICs),
+        # bumping the raw counters inline — same totals as
+        # ``count_tx``/``count_rx`` without two method calls per verb.
+        tx_bytes = self._tx_bytes
+        if tx_bytes is None:
+            local_nic = self._local_nic = self.fabric.nic(self.local_id)
+            remote_nic = self._remote_nic = self.fabric.nic(self.remote_id)
+            tx_bytes = self._tx_bytes = local_nic._bytes_tx
+            self._tx_ops = local_nic._ops_tx
+            self._rx_bytes = remote_nic._bytes_rx
+        tx_bytes.value += size_bytes
+        self._tx_ops.value += 1
+        self._rx_bytes.value += size_bytes
 
         if verb_span is None:
-            latency = self._op_latency(size_bytes, one_sided)
+            # Inlined :meth:`_op_latency` — identical float-op sequence and
+            # RNG draw order, minus the method calls on the untraced path.
+            hot = self._det_hot
+            if hot is not None and hot[0] == size_bytes and hot[1] == one_sided:
+                latency = hot[2]
+                transfer = hot[3]
+            else:
+                cached = self._det_latency.get((size_bytes, one_sided))
+                if cached is None:
+                    transfer = size_bytes / self._bytes_per_us
+                    latency = self._base_latency_us + transfer
+                    if not one_sided:
+                        latency += self._send_recv_overhead_us
+                    self._det_latency[(size_bytes, one_sided)] = (latency, transfer)
+                else:
+                    latency, transfer = cached
+                self._det_hot = (size_bytes, one_sided, latency, transfer)
+            local_nic = self._local_nic
+            remote_nic = self._remote_nic
+            if local_nic.background_flows or remote_nic.background_flows:
+                inflation = max(local_nic.inflation(), remote_nic.inflation())
+                if inflation > 1.0:
+                    latency += (inflation - 1.0) * (
+                        transfer + 0.2 * self._base_latency_us
+                    )
+            # Kinderman–Monahan normal draw, inlined from
+            # random.normalvariate — same generator, same draw order, same
+            # float ops, so the jitter sequence is bit-identical.
+            draw = self._draw_uniform
+            while True:
+                u1 = draw()
+                u2 = 1.0 - draw()
+                z = NV_MAGICCONST * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -log(u2):
+                    break
+            latency *= exp(0.0 + z * self._jitter_sigma)
+            cfg = self.config
+            if cfg.straggler_prob > 0 and draw() < cfg.straggler_prob:
+                latency += cfg.straggler_scale_us * self._draw_pareto(
+                    cfg.straggler_shape
+                )
             now = self.sim.now
             completion = max(now + latency, self._last_completion)
         else:
@@ -321,7 +441,23 @@ class QueuePair:
             for callback in callbacks:
                 callback(event)
 
-        self._call_later(completion - now, complete)
+        # Inlined sim.call_later(completion - now, complete): the same
+        # `now + (completion - now)` float dance and one (when, seq, fn)
+        # record, minus the call — verbs are the engine's highest-volume
+        # scheduling source. Works in both scheduler modes (heap mode keeps
+        # _limit at -inf, routing every insert to the overflow heap).
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        when = now + (completion - now)
+        if when < sim._limit:
+            idx = int(when * sim._inv)
+            if idx < sim._cursor:
+                sim._cursor = idx
+                sim._limit = (idx + sim._nbuckets) * sim._width
+            sim._buckets[idx & sim._mask].append((when, seq, complete))
+            sim._count += 1
+        else:
+            _heappush(sim._queue, (when, seq, complete))
         return event
 
     def _op_latency(self, size_bytes: int, one_sided: bool) -> float:
@@ -332,10 +468,15 @@ class QueuePair:
         intermediate part variables are skipped.
         """
         cfg = self.config
-        transfer = size_bytes / self._bytes_per_us
-        latency = self._base_latency_us + transfer
-        if not one_sided:
-            latency += self._send_recv_overhead_us
+        cached = self._det_latency.get((size_bytes, one_sided))
+        if cached is None:
+            transfer = size_bytes / self._bytes_per_us
+            latency = self._base_latency_us + transfer
+            if not one_sided:
+                latency += self._send_recv_overhead_us
+            self._det_latency[(size_bytes, one_sided)] = (latency, transfer)
+        else:
+            latency, transfer = cached
         # Congestion from background flows on either endpoint NIC. Queuing
         # delay grows with the *bytes* this op must push through the busy
         # link (plus a small fixed queue-entry cost) — small split-sized
@@ -414,12 +555,17 @@ class RdmaFabric:
         self._machines: Dict[int, Any] = {}
         self._qps: Dict[Tuple[int, int], QueuePair] = {}
         self._partitions: set = set()
+        # Bumped on every event that can change pairwise reachability
+        # (machine death/recovery, partition/heal, registration); QPs key
+        # their cached ``reachable`` answer on it.
+        self._topology_epoch = 0
 
     # -- registry ------------------------------------------------------------
     def register(self, machine: Any) -> None:
         if machine.id in self._machines:
             raise ValueError(f"machine id {machine.id} already registered")
         self._machines[machine.id] = machine
+        self._topology_epoch += 1
 
     def machine(self, machine_id: int) -> Any:
         return self._machines[machine_id]
@@ -464,6 +610,7 @@ class RdmaFabric:
     # -- failure / partition events -----------------------------------------
     def on_machine_failed(self, machine_id: int) -> None:
         """Disconnect every QP touching the failed machine."""
+        self._topology_epoch += 1
         for (local, remote), pair in self._qps.items():
             if remote == machine_id:
                 pair.disconnect(f"machine {machine_id} failed")
@@ -471,12 +618,14 @@ class RdmaFabric:
                 pair.disconnect(f"local machine {machine_id} failed")
 
     def on_machine_recovered(self, machine_id: int) -> None:
+        self._topology_epoch += 1
         for (local, remote), pair in self._qps.items():
             if machine_id in (local, remote) and self.reachable(local, remote):
                 pair.reconnect()
 
     def partition(self, a: int, b: int) -> None:
         """Make machines ``a`` and ``b`` mutually unreachable."""
+        self._topology_epoch += 1
         self._partitions.add(frozenset((a, b)))
         for key in ((a, b), (b, a)):
             pair = self._qps.get(key)
@@ -484,6 +633,7 @@ class RdmaFabric:
                 pair.disconnect(f"network partition between {a} and {b}")
 
     def heal(self, a: int, b: int) -> None:
+        self._topology_epoch += 1
         self._partitions.discard(frozenset((a, b)))
         for key in ((a, b), (b, a)):
             pair = self._qps.get(key)

@@ -104,6 +104,10 @@ _STATE_NAMES = {
 
 _INF = float("inf")
 
+# Dispatch-loop fast path: scheduled completions are plain closures, so an
+# exact class check skips the isinstance(Event) probe for the common case.
+_FunctionType = type(lambda: None)
+
 # Cancelled-entry compaction: sweep the calendar once at least this many
 # cancelled entries are buffered AND they outnumber the live entries.
 _COMPACT_MIN = 64
@@ -970,37 +974,119 @@ class Simulator:
         if self._heap_mode:
             self._run_until_triggered_heap(event, until)
             return
+        # Same amortized bucket drain as :meth:`run` — snapshot, sort once,
+        # dispatch in exact (time, seq) order — with the target's state
+        # checked between dispatches; undispatched entries are put back
+        # verbatim (they keep their records, so the next drain re-sorts
+        # them into the identical global order). This replaces the old
+        # single-step path, whose per-event ``_calendar_min`` scan plus
+        # ``bucket.remove`` made the driver-stepped benchmarks pay O(bucket)
+        # twice per dispatched event.
         horizon = _INF if until is None else until
-        while event._state == _PENDING:
-            found = self._calendar_min()
-            if found is None:
-                break
-            bucket, entry = found
-            when = entry[0]
-            if when > horizon:
-                break
-            bucket.remove(entry)
-            self._count -= 1
-            obj = entry[2]
-            cls = obj.__class__
-            if cls is list:
-                self.now = when
-                for fn in obj:
-                    fn()
-            elif isinstance(obj, Event):
-                if obj._state == _CANCELLED:
-                    if self._cancel_pending:
-                        self._cancel_pending -= 1
-                    continue  # revoked deadline: no clock advance, no work
-                self.now = when
-                callbacks = obj.callbacks
-                obj.callbacks = []
-                obj._state = _PROCESSED
-                for callback in callbacks:
-                    callback(obj)
-            else:
-                self.now = when
-                obj()  # bare call_later callable
+        queue = self._queue
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        while event._state == _PENDING and (self._count or queue):
+            if not self._count:
+                if queue[0][0] > horizon:
+                    return
+                cursor = int(queue[0][0] * self._inv)
+                self._cursor = cursor
+                self._limit = (cursor + self._nbuckets) * width
+                self._refill(self._limit)
+            elif queue and queue[0][0] < self._limit:
+                self._refill(self._limit)
+            cursor = self._cursor
+            slot = cursor & mask
+            bucket = buckets[slot]
+            if not bucket:
+                limit = self._limit
+                nxt = queue[0][0] if queue else _INF
+                while True:
+                    cursor += 1
+                    limit += width
+                    if nxt < limit:
+                        self._cursor = cursor
+                        self._limit = limit
+                        self._refill(limit)
+                        nxt = queue[0][0] if queue else _INF
+                    slot = cursor & mask
+                    bucket = buckets[slot]
+                    if bucket:
+                        break
+                self._cursor = cursor
+                self._limit = limit
+            bucket.sort()
+            end = (cursor + 1) * width
+            residue = None
+            if bucket[-1][0] >= end:
+                cut = _bisect_right(bucket, (end,))
+                if cut == 0:
+                    self._cursor = cursor + 1
+                    self._limit += width
+                    continue
+                residue = bucket[cut:]
+                del bucket[cut:]
+            entries = bucket
+            buckets[slot] = fresh = []
+            self._count -= len(entries)
+            i = 0
+            n = len(entries)
+            stopped = False
+            while i < n:
+                when, _seq, obj = entries[i]
+                if when > horizon or event._state != _PENDING:
+                    stopped = True
+                    break
+                i += 1
+                cls = obj.__class__
+                if cls is _FunctionType:
+                    self.now = when
+                    obj()  # bare call_later closure — the common case
+                elif cls is list:
+                    # A fused batch record dispatches atomically, exactly
+                    # as the single-step path did.
+                    self.now = when
+                    for fn in obj:
+                        fn()
+                elif isinstance(obj, Event):
+                    if obj._state == _CANCELLED:
+                        if self._cancel_pending:
+                            self._cancel_pending -= 1
+                        continue  # revoked deadline: no clock advance
+                    self.now = when
+                    callbacks = obj.callbacks
+                    obj.callbacks = []
+                    obj._state = _PROCESSED
+                    for callback in callbacks:
+                        callback(obj)
+                else:
+                    self.now = when
+                    obj()  # bare call_later callable
+                if fresh:
+                    # Same-bucket arrivals during dispatch: merge so they
+                    # interleave in exact (time, seq) order.
+                    rest = entries[i:]
+                    rest += fresh
+                    rest.sort()
+                    entries = rest
+                    self._count -= len(fresh)
+                    buckets[slot] = fresh = []
+                    i = 0
+                    n = len(entries)
+            if stopped or residue:
+                put_back = buckets[slot]
+                if stopped:
+                    put_back += entries[i:]
+                    self._count += n - i
+                if residue:
+                    put_back += residue
+                    self._count += len(residue)
+                if stopped:
+                    return
+            self._cursor = cursor + 1
+            self._limit += width
 
     def _run_until_triggered_heap(
         self, event: Event, until: Optional[float]

@@ -340,3 +340,83 @@ class TestCorrectErrorClassification:
         received_k = {i: splits[i] for i in range(4)}  # m=4 < k+1
         with pytest.raises(DecodeError, match="localization needs at least"):
             codec.correct(received_k, max_errors=1, best_effort=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_byte_identity_random_shapes(seed):
+    """Slab-wide kernels are byte-identical to per-page calls across
+    random ``(k, r, page_size, n_pages, erasure pattern, corruption)``
+    draws. Seeds 0 and 1 pin the empty-batch and single-page edges; the
+    rest draw ``n_pages`` freely.
+    """
+    rng = RandomSource(seed, "ec-prop/batch-identity")
+    codec = _draw_codec(rng, k_max=8)
+    n_pages = 0 if seed == 0 else 1 if seed == 1 else rng.randint(2, 12)
+    pages = [_random_page(rng, codec.page_size) for _ in range(n_pages)]
+
+    batch = codec.encode_batch(pages)
+    assert batch.shape == (n_pages, codec.n, codec.split_size)
+    singles = [codec.encode(page) for page in pages]
+    for got, want in zip(batch, singles):
+        assert np.array_equal(got, want)
+
+    # Random erasure pattern: any k of the n split positions survive.
+    indices = sorted(rng.sample(range(codec.n), codec.k))
+    if n_pages:
+        stack = np.stack([np.stack([s[i] for i in indices]) for s in singles])
+    else:
+        stack = np.empty((0, codec.k, codec.split_size), dtype=np.uint8)
+    decoded = codec.decode_batch(indices, stack)
+    per_page = [codec.decode({i: s[i] for i in indices}) for s in singles]
+    assert decoded == per_page == pages
+
+    # Random corruption through correct_batch whenever the draw leaves
+    # enough redundancy for best-effort localization (m = k + 2).
+    if codec.r >= 2 and n_pages:
+        wide = sorted(rng.sample(range(codec.n), codec.k + 2))
+        wstack = np.stack([np.stack([s[i] for i in wide]) for s in singles])
+        dirty = rng.sample(range(n_pages), rng.randint(0, min(2, n_pages)))
+        for page_index in dirty:
+            row = rng.randint(0, len(wide) - 1)
+            wstack[page_index, row] = _corrupt(rng, wstack[page_index, row])
+        got_pages, got_bad = codec.correct_batch(
+            wide, wstack, max_errors=1, best_effort=True
+        )
+        for page_index in range(n_pages):
+            received = {
+                index: wstack[page_index, row]
+                for row, index in enumerate(wide)
+            }
+            want_page, want_bad = codec.correct(
+                received, max_errors=1, best_effort=True
+            )
+            assert got_pages[page_index] == want_page == pages[page_index]
+            assert got_bad[page_index] == want_bad
+
+
+def test_batch_min_crossover_knob_is_byte_identical(monkeypatch):
+    """REPRO_EC_BATCH_MIN routes small batches down the scalar per-page
+    path; outputs must not change by a byte."""
+    from repro.ec import pagecodec as pc
+
+    codec = PageCodec(4, 2, page_size=256)
+    pages = [bytes([7 * i % 256]) * 256 for i in range(3)]
+    batched = codec.encode_batch(pages)
+    indices = [0, 2, 4, 5]
+    stack = np.ascontiguousarray(batched[:, indices])
+    wide_indices = list(range(codec.n))  # m = k + 2: best-effort viable
+    wide = batched.copy()
+    wide[1, 2] = _corrupt(RandomSource(3, "knob"), wide[1, 2])
+    decoded = codec.decode_batch(indices, stack)
+    fixed, bad = codec.correct_batch(
+        wide_indices, wide, max_errors=1, best_effort=True
+    )
+
+    monkeypatch.setattr(pc, "BATCH_MIN_PAGES", 8)  # force the scalar path
+    assert np.array_equal(codec.encode_batch(pages), batched)
+    assert codec.decode_batch(indices, stack) == decoded
+    s_fixed, s_bad = codec.correct_batch(
+        wide_indices, wide, max_errors=1, best_effort=True
+    )
+    assert (s_fixed, s_bad) == (fixed, bad)
+    assert fixed == pages and bad == [[], [2], []]
